@@ -1,0 +1,81 @@
+// Ablation (§5, "Acquisition function") — EdgeBOL's safe contextual LCB
+// (eq. 9) vs a SafeOpt-style max-width acquisition over minimizers and
+// expanders. The paper reports that SafeOpt "has overly slow convergence";
+// this bench reproduces the comparison on identical seeds.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+  using namespace edgebol::bench;
+
+  const int periods = 150;
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+
+  banner(std::cout, "Ablation: safe-LCB (EdgeBOL) vs SafeOpt acquisition");
+  std::cout << "(" << reps << " repetitions; delta2 = 8, d_max = 0.4 s, "
+            << "rho_min = 0.5; median cost over time)\n";
+
+  struct KindResult {
+    std::vector<double> cost_med;
+    double violation_rate = 0.0;
+  };
+  auto run_kind = [&](core::AcquisitionKind kind) {
+    std::vector<std::vector<double>> costs;
+    int viol = 0, considered = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      env::TestbedConfig tcfg;
+      tcfg.seed = 7000 + static_cast<std::uint64_t>(rep);
+      env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+      core::EdgeBolConfig cfg;
+      cfg.weights = {1.0, 8.0};
+      cfg.constraints = {0.4, 0.5};
+      cfg.acquisition = kind;
+      core::EdgeBol agent(env::ControlGrid{}, cfg);
+      const Trajectory tr = run_edgebol(tb, agent, periods);
+      costs.push_back(tr.cost);
+      for (std::size_t ti = 0; ti < tr.delay_s.size(); ++ti) {
+        ++considered;
+        viol += tr.delay_s[ti] > 0.4 * 1.05 || tr.map[ti] < 0.5 - 0.03;
+      }
+    }
+    KindResult r;
+    r.cost_med = percentile_series(costs, 50);
+    r.violation_rate = static_cast<double>(viol) / considered;
+    return r;
+  };
+
+  const KindResult lcb = run_kind(core::AcquisitionKind::kSafeLcb);
+  const KindResult sopt = run_kind(core::AcquisitionKind::kSafeOpt);
+  const KindResult unsafe = run_kind(core::AcquisitionKind::kGlobalLcb);
+
+  Table t({"t", "safe_lcb_cost_med", "safeopt_cost_med", "unsafe_lcb_cost_med"});
+  for (int ti : {0, 5, 10, 15, 20, 25, 35, 50, 75, 100, 125, 149}) {
+    t.add_row({fmt(ti, 0), fmt(lcb.cost_med[ti], 1), fmt(sopt.cost_med[ti], 1),
+               fmt(unsafe.cost_med[ti], 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nviolation rates: safe-LCB = " << fmt(lcb.violation_rate, 3)
+            << ", SafeOpt = " << fmt(sopt.violation_rate, 3)
+            << ", unsafe global LCB = " << fmt(unsafe.violation_rate, 3)
+            << "\n";
+
+  auto tail = [](const std::vector<double>& xs) {
+    double s = 0.0;
+    for (std::size_t i = xs.size() - 30; i < xs.size(); ++i) s += xs[i];
+    return s / 30.0;
+  };
+  std::cout << "converged cost (last 30 periods): safe-LCB = "
+            << fmt(tail(lcb.cost_med), 1)
+            << ", SafeOpt = " << fmt(tail(sopt.cost_med), 1)
+            << ", unsafe = " << fmt(tail(unsafe.cost_med), 1)
+            << "\nShape check (paper): SafeOpt spends its samples on "
+               "boundary width reduction, so its average cost converges "
+               "much more slowly than EdgeBOL's cost-directed LCB; the "
+               "unsafe variant may converge fast but pays in constraint "
+               "violations during exploration — what the safe set (eq. 8) "
+               "prevents.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Ablation — sensitivity to the confidence parameter beta^(1/2) (the paper
+// fixes 2.5, citing [8, 20]). Small beta explores aggressively but violates
+// the service constraints; large beta is safe but conservative (higher cost,
+// slower safe-set growth). This bench quantifies that trade-off.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+  using namespace edgebol::bench;
+
+  const int periods = 150;
+  const int reps = argc > 1 ? std::max(1, std::atoi(argv[1])) : 3;
+
+  banner(std::cout, "Ablation: beta^(1/2) sensitivity");
+  std::cout << "(" << reps << " repetitions; delta2 = 8, d_max = 0.4 s, "
+            << "rho_min = 0.5)\n\n";
+
+  Table t({"beta_sqrt", "converged_cost", "violation_rate",
+           "final_safe_set", "periods_to_within_5pct"});
+
+  for (double beta : {0.5, 1.0, 1.5, 2.5, 4.0, 6.0}) {
+    RunningStats conv, viol, safe, speed;
+    for (int rep = 0; rep < reps; ++rep) {
+      env::TestbedConfig tcfg;
+      tcfg.seed = 7800 + static_cast<std::uint64_t>(rep);
+      env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+      core::EdgeBolConfig cfg;
+      cfg.weights = {1.0, 8.0};
+      cfg.constraints = {0.4, 0.5};
+      cfg.beta_sqrt = beta;
+      core::EdgeBol agent(env::ControlGrid{}, cfg);
+      const Trajectory tr = run_edgebol(tb, agent, periods);
+
+      const double converged = tail_mean(tr.cost, 30);
+      conv.add(converged);
+      int v = 0;
+      for (std::size_t ti = 0; ti < tr.delay_s.size(); ++ti) {
+        v += tr.delay_s[ti] > 0.4 * 1.05 || tr.map[ti] < 0.5 - 0.03;
+      }
+      viol.add(static_cast<double>(v) / periods);
+      safe.add(tr.safe_set_size.back());
+      int reach = periods;
+      for (int ti = 0; ti < periods; ++ti) {
+        if (tr.cost[ti] <= converged * 1.05) {
+          reach = ti;
+          break;
+        }
+      }
+      speed.add(reach);
+    }
+    t.add_row({fmt(beta, 1), fmt(conv.mean(), 1), fmt(viol.mean(), 3),
+               fmt(safe.mean(), 0), fmt(speed.mean(), 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nExpectation: violation rate falls as beta grows; cost and "
+               "time-to-converge grow for very large beta; beta^(1/2) = 2.5 "
+               "sits at the knee — matching the paper's choice.\n";
+  return 0;
+}

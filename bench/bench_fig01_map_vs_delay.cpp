@@ -1,0 +1,41 @@
+// Fig. 1 — Mean average precision vs. service delay for images with
+// different resolutions. All other policies fixed at the minimum-delay
+// configuration (airtime 100%, GPU speed 100%, max MCS); each dot in the
+// paper is a 150-image average, reproduced here as noisy period samples
+// around the noise-free expectation.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgebol;
+
+  banner(std::cout, "Fig. 1: mAP vs service delay per image resolution");
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  Table expected({"resolution_pct", "service_delay_ms", "mAP"});
+  Table samples({"resolution_pct", "sample", "service_delay_ms", "mAP"});
+
+  for (double res : {0.25, 0.50, 0.75, 1.00}) {
+    env::ControlPolicy p;
+    p.resolution = res;
+    const env::Measurement e = tb.expected(p);
+    expected.add_row({fmt(100 * res, 0), fmt(1000 * e.delay_s, 1),
+                      fmt(e.map, 3)});
+    for (int s = 0; s < 5; ++s) {
+      const env::Measurement m = tb.step(p);
+      samples.add_row({fmt(100 * res, 0), fmt(s, 0), fmt(1000 * m.delay_s, 1),
+                       fmt(m.map, 3)});
+    }
+  }
+
+  std::cout << "\n-- noise-free expectation --\n";
+  expected.print(std::cout);
+  std::cout << "\n-- 150-image-average samples (dots in the paper) --\n";
+  samples.print(std::cout);
+
+  std::cout << "\nShape check (paper): higher-res -> higher delay & higher "
+               "precision;\nlow-res cuts delay at a 10-50% precision cost.\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 2 — Service delay vs. server power consumption for images with
+// different resolutions and radio (airtime) policies. One panel per airtime
+// in {20%, 50%, 100%}, GPU speed fixed at 100%, max MCS.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgebol;
+
+  banner(std::cout,
+         "Fig. 2: delay vs server power per airtime policy & resolution");
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  for (double airtime : {0.2, 0.5, 1.0}) {
+    std::cout << "\n-- panel: airtime = " << fmt(100 * airtime, 0) << "% --\n";
+    Table t({"resolution_pct", "server_power_W", "service_delay_ms",
+             "frame_rate_hz"});
+    for (double res : linspace(0.25, 1.0, 7)) {
+      env::ControlPolicy p;
+      p.resolution = res;
+      p.airtime = airtime;
+      const env::Measurement e = tb.expected(p);
+      t.add_row({fmt(100 * res, 0), fmt(e.server_power_w, 1),
+                 fmt(1000 * e.delay_s, 1), fmt(e.total_frame_rate_hz, 2)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nShape check (paper): higher airtime -> higher frame rate "
+               "-> higher server power; lower-res -> lower delay but higher "
+               "GPU load.\n";
+  return 0;
+}

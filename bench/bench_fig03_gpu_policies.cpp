@@ -1,0 +1,35 @@
+// Fig. 3 — Service delay (top) and GPU delay (bottom) vs. server power for
+// images with different resolutions and GPU-speed policies. One panel per
+// GPU speed in {10%, 45%, 100%}, airtime fixed at 100%, max MCS.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgebol;
+
+  banner(std::cout,
+         "Fig. 3: delay & GPU delay vs server power per GPU-speed policy");
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  for (double gpu : {0.1, 0.45, 1.0}) {
+    std::cout << "\n-- panel: GPU speed = " << fmt(100 * gpu, 0) << "% --\n";
+    Table t({"resolution_pct", "server_power_W", "service_delay_ms",
+             "gpu_delay_ms"});
+    for (double res : linspace(0.25, 1.0, 7)) {
+      env::ControlPolicy p;
+      p.resolution = res;
+      p.gpu_speed = gpu;
+      const env::Measurement e = tb.expected(p);
+      t.add_row({fmt(100 * res, 0), fmt(e.server_power_w, 1),
+                 fmt(1000 * e.delay_s, 1), fmt(1000 * e.gpu_delay_s, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nShape check (paper): higher GPU speed -> lower delay, "
+               "higher power; lower-res images *increase* GPU delay "
+               "(Faster R-CNN works harder on low-res frames).\n";
+  return 0;
+}

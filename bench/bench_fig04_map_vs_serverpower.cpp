@@ -1,0 +1,26 @@
+// Fig. 4 — Mean average precision vs. server power consumption for images
+// with different resolutions, at maximum radio and compute resources.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgebol;
+
+  banner(std::cout, "Fig. 4: mAP vs server power per image resolution");
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  Table t({"resolution_pct", "server_power_W", "mAP"});
+  for (double res : linspace(0.25, 1.0, 10)) {
+    env::ControlPolicy p;
+    p.resolution = res;
+    const env::Measurement e = tb.expected(p);
+    t.add_row({fmt(100 * res, 0), fmt(e.server_power_w, 1), fmt(e.map, 3)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nShape check (paper): higher mAP requires *less* server "
+               "power — high-res images are easier and fewer per second.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 6 — BS power consumption vs. radio policies under 10x offered load.
+// Same sweep as Fig. 5 with the BS additionally carrying 9x background bulk
+// traffic; the MCS effect inverts for high-resolution (high-load) streams.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace edgebol;
+
+  banner(std::cout, "Fig. 6: BS power vs mean MCS at 10x load");
+  env::Testbed tb =
+      env::make_static_testbed(35.0, env::high_load_config(10.0));
+
+  for (double airtime : {0.2, 0.5, 1.0}) {
+    std::cout << "\n-- panel: airtime = " << fmt(100 * airtime, 0) << "% --\n";
+    Table t({"resolution_pct", "mcs_cap", "mean_mcs", "bs_power_W"});
+    for (double res : {0.25, 0.50, 0.75, 1.00}) {
+      for (int mcs = 4; mcs <= ran::kMaxUlMcs; mcs += 4) {
+        env::ControlPolicy p;
+        p.resolution = res;
+        p.airtime = airtime;
+        p.mcs_cap = mcs;
+        const env::Measurement e = tb.expected(p);
+        t.add_row({fmt(100 * res, 0), fmt(mcs, 0), fmt(e.mean_mcs, 1),
+                   fmt(e.bs_power_w, 3)});
+      }
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nShape check (paper): at 10x load the BBU saturates for "
+               "high-res streams, so higher MCS now *raises* power, while "
+               "low-res streams keep the low-load ordering.\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark) for the performance-critical kernels:
+// GP conditioning and prediction (eqs. 3-4), tracked-candidate updates over
+// the 11^4 control grid, Cholesky extension, and one full testbed period.
+// These justify the §5 claim that posterior updates fit comfortably within
+// an O-RAN non-RT control period (seconds).
+
+#include <benchmark/benchmark.h>
+
+#include <edgebol/edgebol.hpp>
+
+namespace {
+
+using namespace edgebol;
+
+gp::GpRegressor make_gp(std::size_t n_obs, Rng& rng) {
+  gp::GpRegressor gp(
+      std::make_unique<gp::Matern32Kernel>(linalg::Vector(7, 1.0), 1.0),
+      1e-3);
+  for (std::size_t i = 0; i < n_obs; ++i) {
+    linalg::Vector z(7);
+    for (double& v : z) v = rng.uniform();
+    gp.add(z, rng.normal());
+  }
+  return gp;
+}
+
+void BM_KernelEval(benchmark::State& state) {
+  const gp::Matern32Kernel k(linalg::Vector(7, 1.0), 1.0);
+  Rng rng(1);
+  linalg::Vector a(7), b(7);
+  for (double& v : a) v = rng.uniform();
+  for (double& v : b) v = rng.uniform();
+  for (auto _ : state) benchmark::DoNotOptimize(k(a, b));
+}
+BENCHMARK(BM_KernelEval);
+
+void BM_GpAddObservation(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    gp::GpRegressor gp = make_gp(n, rng);
+    linalg::Vector z(7);
+    for (double& v : z) v = rng.uniform();
+    state.ResumeTiming();
+    gp.add(z, 0.5);
+  }
+}
+BENCHMARK(BM_GpAddObservation)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_GpPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  gp::GpRegressor gp = make_gp(n, rng);
+  linalg::Vector z(7, 0.5);
+  for (auto _ : state) benchmark::DoNotOptimize(gp.predict(z));
+}
+BENCHMARK(BM_GpPredict)->Arg(50)->Arg(150)->Arg(400);
+
+void BM_TrackedUpdateFullGrid(benchmark::State& state) {
+  // One add() with the full 11^4 candidate grid tracked — the per-period
+  // cost of keeping the whole control space scored.
+  Rng rng(4);
+  gp::GpRegressor gp = make_gp(100, rng);
+  env::ControlGrid grid;
+  gp.track_candidates(grid.candidate_features(env::Context{}));
+  linalg::Vector z(7, 0.4);
+  for (auto _ : state) {
+    gp.add(z, 0.1);
+    benchmark::DoNotOptimize(gp.tracked_mean(0));
+  }
+}
+BENCHMARK(BM_TrackedUpdateFullGrid)->Unit(benchmark::kMillisecond);
+
+void BM_CholeskyExtend(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    linalg::CholeskyFactor f;
+    state.ResumeTiming();
+    for (std::size_t k = 0; k < n; ++k) {
+      linalg::Vector col(k, 0.1);
+      f.extend(col, 2.0 + rng.uniform());
+    }
+  }
+}
+BENCHMARK(BM_CholeskyExtend)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineSolve(benchmark::State& state) {
+  service::PipelineInputs in;
+  for (int u = 0; u < 4; ++u) {
+    service::PipelineUser user;
+    user.solo_app_rate_bps = 3e6;
+    user.solo_phy_rate_bps = 30e6;
+    user.spectral_eff = 3.0;
+    user.eff_mcs = 16.0;
+    in.users.push_back(user);
+  }
+  in.image_bits = 0.6e6;
+  in.preprocess_s = 0.03;
+  in.response_bits = 24e3;
+  in.grant_latency_s = 0.01;
+  in.gpu_service_s = 0.12;
+  in.airtime = 0.8;
+  for (auto _ : state) benchmark::DoNotOptimize(service::solve_pipeline(in));
+}
+BENCHMARK(BM_PipelineSolve);
+
+void BM_TestbedStep(benchmark::State& state) {
+  env::Testbed tb = env::make_heterogeneous_testbed(4);
+  env::ControlPolicy p;
+  for (auto _ : state) benchmark::DoNotOptimize(tb.step(p));
+}
+BENCHMARK(BM_TestbedStep);
+
+void BM_EdgeBolSelectFullGrid(benchmark::State& state) {
+  env::Testbed tb = env::make_static_testbed(35.0);
+  core::EdgeBol agent(env::ControlGrid{}, core::EdgeBolConfig{});
+  // Warm up with observations so select() exercises real posteriors.
+  for (int t = 0; t < 30; ++t) {
+    const env::Context c = tb.context();
+    const core::Decision d = agent.select(c);
+    agent.update(c, d.policy_index, tb.step(d.policy));
+  }
+  const env::Context c = tb.context();
+  for (auto _ : state) benchmark::DoNotOptimize(agent.select(c));
+}
+BENCHMARK(BM_EdgeBolSelectFullGrid)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

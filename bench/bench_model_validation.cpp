@@ -1,0 +1,76 @@
+// Model validation — fluid pipeline vs discrete-event simulation.
+//
+// The learning experiments evaluate ~10^4 policies per period with the
+// fluid fixed-point model; this bench quantifies its fidelity against the
+// per-subframe discrete-event simulator across a sample of the policy
+// space and user populations, reporting the relative errors of delay,
+// frame rate, GPU utilization and BS duty.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+#include "env/event_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+  using namespace edgebol::bench;
+
+  const int samples = argc > 1 ? std::max(4, std::atoi(argv[1])) : 16;
+
+  banner(std::cout, "Model validation: fluid pipeline vs event simulation");
+
+  env::GridSpec spec;
+  spec.levels_per_dim = 5;
+  const env::ControlGrid grid(spec);
+  Rng rng(42);
+
+  Table t({"users", "res", "air", "gpu", "mcs", "delay_err_pct",
+           "rate_err_pct", "gpu_util_err_pct", "bs_duty_err_pct"});
+  RunningStats delay_err, rate_err;
+
+  for (int s = 0; s < samples; ++s) {
+    const std::size_t n_users = 1 + rng.uniform_index(3);
+    std::vector<double> snrs;
+    for (std::size_t u = 0; u < n_users; ++u) {
+      snrs.push_back(rng.uniform(18.0, 36.0));
+    }
+    const env::ControlPolicy& p = grid.policy(rng.uniform_index(grid.size()));
+
+    env::TestbedConfig cfg;
+    std::vector<ran::UeChannel> users;
+    for (double snr : snrs) {
+      users.emplace_back(std::make_unique<ran::ConstantSnr>(snr), 0.0, 0.5);
+    }
+    env::Testbed tb(cfg, std::move(users));
+    const env::Measurement fl = tb.expected(p);
+
+    env::EventSimConfig sim;
+    sim.duration_s = 60.0;
+    sim.warmup_s = 10.0;
+    const env::EventSimResult ev = env::simulate_events(cfg, snrs, p, sim);
+
+    double worst_ev = 0.0;
+    for (double d : ev.mean_delay_s) worst_ev = std::max(worst_ev, d);
+    auto err_pct = [](double model, double truth) {
+      return truth > 1e-9 ? 100.0 * (model - truth) / truth : 0.0;
+    };
+    const double de = err_pct(fl.delay_s, worst_ev);
+    const double re = err_pct(fl.total_frame_rate_hz, ev.total_frame_rate_hz);
+    delay_err.add(std::abs(de));
+    rate_err.add(std::abs(re));
+    t.add_row({fmt(static_cast<double>(n_users), 0), fmt(p.resolution, 2),
+               fmt(p.airtime, 2), fmt(p.gpu_speed, 2), fmt(p.mcs_cap, 0),
+               fmt(de, 1), fmt(re, 1),
+               fmt(err_pct(fl.gpu_utilization, ev.gpu_busy_fraction), 1),
+               fmt(err_pct(fl.bs_duty, ev.bs_busy_fraction), 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nmean |delay error| = " << fmt(delay_err.mean(), 1)
+            << "%, mean |rate error| = " << fmt(rate_err.mean(), 1)
+            << "%\nExpectation: single-digit errors for uncontended "
+               "configurations; up to ~20-25% (conservative side) when the "
+               "GPU saturates under multi-user load.\n";
+  return 0;
+}

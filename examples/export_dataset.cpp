@@ -1,0 +1,49 @@
+// Dataset export — the analogue of the paper's public measurement dataset
+// (github.com/jaayala/energy_edge_AI_dataset, §3): sweep the policy grid on
+// the simulated prototype and dump one CSV row per (policy, repetition)
+// with every KPI. Useful for offline analysis, plotting the §3 figures
+// with external tooling, and fitting GP hyperparameters.
+//
+//   $ ./export_dataset [levels_per_dim] [samples_per_point] > dataset.csv
+
+#include <cstdlib>
+#include <iostream>
+
+#include <edgebol/edgebol.hpp>
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+
+  const std::size_t levels =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const int samples = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  env::GridSpec spec;
+  spec.levels_per_dim = levels;
+  const env::ControlGrid grid(spec);
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  Table csv({"resolution", "airtime", "gpu_speed", "mcs_cap", "sample",
+             "service_delay_s", "gpu_delay_s", "map", "server_power_w",
+             "bs_power_w", "frame_rate_hz", "gpu_utilization", "bs_duty",
+             "mean_mcs", "mean_snr_db"});
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const env::ControlPolicy& p = grid.policy(i);
+    for (int s = 0; s < samples; ++s) {
+      const env::Measurement m = tb.step(p);
+      csv.add_row({fmt(p.resolution, 3), fmt(p.airtime, 3),
+                   fmt(p.gpu_speed, 3), fmt(p.mcs_cap, 0), fmt(s, 0),
+                   fmt(m.delay_s, 4), fmt(m.gpu_delay_s, 4), fmt(m.map, 4),
+                   fmt(m.server_power_w, 2), fmt(m.bs_power_w, 3),
+                   fmt(m.total_frame_rate_hz, 3), fmt(m.gpu_utilization, 4),
+                   fmt(m.bs_duty, 4), fmt(m.mean_mcs, 1),
+                   fmt(m.mean_snr_db, 1)});
+    }
+  }
+  csv.print_csv(std::cout);
+
+  std::cerr << "exported " << csv.num_rows() << " measurements ("
+            << grid.size() << " policies x " << samples << " samples)\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Pre-production hyperparameter fitting (§5): collect labelled prior data
+// on the platform across a few channel conditions, fit each surrogate's
+// Matérn length-scales / amplitude / noise by log-marginal-likelihood
+// maximization, and print them in a form ready to paste into an
+// EdgeBolConfig. The paper keeps hyperparameters fixed at these values
+// while the algorithm runs.
+//
+//   $ ./fit_hyperparameters [samples_per_snr]
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include <edgebol/edgebol.hpp>
+
+namespace {
+
+void print_hp(const char* name, const edgebol::gp::GpHyperparams& hp,
+              double lml) {
+  std::cout << name << ":\n  lengthscales = {";
+  for (std::size_t i = 0; i < hp.lengthscales.size(); ++i) {
+    std::cout << edgebol::fmt(hp.lengthscales[i], 3)
+              << (i + 1 < hp.lengthscales.size() ? ", " : "");
+  }
+  std::cout << "}\n  amplitude      = " << edgebol::fmt(hp.amplitude, 4)
+            << "\n  noise_variance = " << edgebol::fmt(hp.noise_variance, 6)
+            << "\n  log marginal likelihood = " << edgebol::fmt(lml, 1)
+            << "\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+
+  const int per_snr = argc > 1 ? std::max(20, std::atoi(argv[1])) : 60;
+
+  std::cout << "Collecting prior data (random policies at 4 SNR levels, "
+            << per_snr << " samples each; plus 3 multi-user scenarios)...\n";
+
+  env::ControlGrid grid;
+  Rng rng(7);
+  core::CostWeights weights{1.0, 8.0};
+  const double cost_scale = weights.cost(190.0, 7.0);
+
+  std::vector<linalg::Vector> z;
+  linalg::Vector y_cost, y_logdelay, y_map;
+  auto collect = [&](env::Testbed t, int n) {
+    for (int i = 0; i < n; ++i) {
+      const env::ControlPolicy& p = grid.policy(rng.uniform_index(grid.size()));
+      const env::Context c = t.context();
+      const env::Measurement m = t.step(p);
+      z.push_back(env::joint_features(c, p));
+      y_cost.push_back(weights.cost(m.server_power_w, m.bs_power_w) /
+                       cost_scale);
+      y_logdelay.push_back(std::log(std::min(m.delay_s, 3.0)));
+      y_map.push_back(m.map);
+    }
+  };
+  for (double snr : {35.0, 28.0, 20.0, 12.0}) {
+    collect(env::make_static_testbed(snr), per_snr);
+  }
+  for (std::size_t n : {2u, 4u, 6u}) {
+    collect(env::make_heterogeneous_testbed(n), per_snr / 2);
+  }
+  std::cout << "dataset: " << z.size() << " observations, "
+            << z.front().size() << " dims\n\n";
+
+  gp::HyperoptOptions opts;
+  opts.num_random_starts = 60;
+  opts.refine_rounds = 4;
+
+  const gp::GpHyperparams hp_cost = gp::fit_hyperparameters(z, y_cost, rng,
+                                                            opts);
+  print_hp("cost surrogate (scaled)", hp_cost,
+           gp::log_marginal_likelihood(hp_cost, z, y_cost));
+  const gp::GpHyperparams hp_delay =
+      gp::fit_hyperparameters(z, y_logdelay, rng, opts);
+  print_hp("delay surrogate (log seconds)", hp_delay,
+           gp::log_marginal_likelihood(hp_delay, z, y_logdelay));
+  const gp::GpHyperparams hp_map = gp::fit_hyperparameters(z, y_map, rng,
+                                                           opts);
+  print_hp("mAP surrogate", hp_map,
+           gp::log_marginal_likelihood(hp_map, z, y_map));
+
+  std::cout << "Dimension order: [n_users, cqi_mean, cqi_var, resolution, "
+               "airtime, gpu_speed, mcs_cap] (normalized).\n"
+               "Paste into EdgeBolConfig::{cost_hp, delay_hp, map_hp}; note "
+               "that dimensions held constant during collection (e.g. "
+               "cqi_var in single-user data) are unidentifiable — keep the "
+               "library defaults for those.\n";
+  return 0;
+}

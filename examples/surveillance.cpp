@@ -1,0 +1,76 @@
+// Surveillance slice: the workload the paper's introduction motivates.
+//
+// A security-surveillance operator runs an object-recognition slice with
+// several fixed cameras (heterogeneous radio links). Electricity is billed
+// at day/night rates, so the vBS power price delta2 switches twice per day.
+// EdgeBOL keeps the per-camera SLA (delay <= 1 s, mAP >= 0.55) while
+// steering energy use toward whichever resource is cheap right now.
+//
+//   $ ./surveillance [n_cameras]
+
+#include <cstdlib>
+#include <iostream>
+
+#include <edgebol/edgebol.hpp>
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+
+  const std::size_t cameras =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 4;
+  const int periods_per_tariff = 60;  // one "tariff block" of orchestration
+
+  std::cout << "Surveillance slice with " << cameras
+            << " cameras, day/night energy tariffs\n";
+
+  env::Testbed tb = env::make_heterogeneous_testbed(cameras, 30.0, 0.15);
+  const core::ConstraintSpec sla{1.0, 0.55};
+
+  // Day: grid electricity, server power dominates the bill (delta2 small).
+  // Night: the small cell switches to its battery budget (delta2 large).
+  const core::CostWeights day{1.0, 2.0};
+  const core::CostWeights night{1.0, 32.0};
+
+  Table t({"tariff", "period", "cost_mu", "delay_s", "mAP", "p_server_W",
+           "p_bs_W", "airtime", "gpu_speed"});
+
+  for (const auto& [label, weights] :
+       {std::pair{"day", day}, std::pair{"night", night},
+        std::pair{"day2", day}}) {
+    // Tariff change = new cost function = a fresh cost surrogate; the
+    // constraint surrogates could be carried over, but a fresh agent also
+    // demonstrates the convergence speed (~25 periods).
+    core::EdgeBolConfig cfg;
+    cfg.weights = weights;
+    cfg.constraints = sla;
+    core::EdgeBol agent(env::ControlGrid{}, cfg);
+
+    RunningStats tail_cost;
+    for (int p = 0; p < periods_per_tariff; ++p) {
+      const env::Context c = tb.context();
+      const core::Decision d = agent.select(c);
+      const env::Measurement m = tb.step(d.policy);
+      agent.update(c, d.policy_index, m);
+      if (p >= periods_per_tariff - 10)
+        tail_cost.add(weights.cost(m.server_power_w, m.bs_power_w));
+      if (p % 20 == 19) {
+        t.add_row({label, fmt(p, 0),
+                   fmt(weights.cost(m.server_power_w, m.bs_power_w), 1),
+                   fmt(m.delay_s, 3), fmt(m.map, 3), fmt(m.server_power_w, 1),
+                   fmt(m.bs_power_w, 2), fmt(d.policy.airtime, 2),
+                   fmt(d.policy.gpu_speed, 2)});
+      }
+    }
+    std::cout << "tariff " << label
+              << ": converged cost = " << fmt(tail_cost.mean(), 1)
+              << " mu\n";
+  }
+
+  std::cout << '\n';
+  t.print(std::cout);
+  std::cout << "\nEach tariff block re-converges within ~25 periods; the "
+               "lax 1 s SLA lets the agent run the GPU at its lowest power "
+               "limit in both tariffs, so the remaining lever is radio "
+               "airtime, trimmed as far as the per-camera delay allows.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Umbrella header for the EdgeBOL library.
+//
+// Pull in the public API in one line:
+//   #include <edgebol/edgebol.hpp>
+//
+// Layering (bottom to top):
+//   common/linalg  -> gp            (Gaussian-process online regression)
+//   ran/edge/service -> env         (the calibrated testbed simulator)
+//   oran                            (A1/E2/O1 control-plane plumbing)
+//   core                            (the EdgeBOL algorithm itself)
+//   nn -> baselines                 (oracle, DDPG, epsilon-greedy, random)
+
+#pragma once
+
+#include "baselines/ddpg.hpp"
+#include "baselines/egreedy.hpp"
+#include "baselines/linucb.hpp"
+#include "baselines/oracle.hpp"
+#include "baselines/random_search.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/acquisition.hpp"
+#include "core/edgebol.hpp"
+#include "core/formulations.hpp"
+#include "core/generic_bol.hpp"
+#include "core/multi_service_bol.hpp"
+#include "core/orchestrator.hpp"
+#include "core/safe_set.hpp"
+#include "edge/gpu_model.hpp"
+#include "edge/server.hpp"
+#include "env/context.hpp"
+#include "env/control_grid.hpp"
+#include "env/event_sim.hpp"
+#include "env/multi_service.hpp"
+#include "env/policy.hpp"
+#include "env/scenarios.hpp"
+#include "env/testbed.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/hyperopt.hpp"
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "oran/apps.hpp"
+#include "oran/messages.hpp"
+#include "oran/oran_env.hpp"
+#include "oran/ric.hpp"
+#include "ran/bs_power_model.hpp"
+#include "ran/channel.hpp"
+#include "ran/cqi.hpp"
+#include "ran/harq.hpp"
+#include "ran/mcs_tables.hpp"
+#include "ran/scheduler.hpp"
+#include "ran/vbs.hpp"
+#include "service/confidence_model.hpp"
+#include "service/image_source.hpp"
+#include "service/map_model.hpp"
+#include "service/pipeline.hpp"
+#include "telemetry/power_meter.hpp"

@@ -1,0 +1,90 @@
+// DDPG adapted to the contextual-bandit problem — the paper's §6.5
+// neural-network benchmark, inspired by vrAIn [4].
+//
+// Actor: context -> sigmoid action in [0,1]^4 (the paper's modification of
+// [4]'s architecture). Critic: (context, action) -> predicted "DDPG cost",
+// which equals the normalized energy cost (eq. 1) when the service
+// constraints hold and a maximum penalty cost otherwise — the constraint
+// handling mechanism described in §6.5. Because this is a bandit (no state
+// transitions), the critic regresses the immediate cost directly; no
+// bootstrapping or target networks are needed.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/edgebol.hpp"
+#include "env/control_grid.hpp"
+#include "env/testbed.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace edgebol::baselines {
+
+struct DdpgConfig {
+  std::vector<std::size_t> actor_hidden = {64, 64};
+  std::vector<std::size_t> critic_hidden = {64, 64};
+  double actor_lr = 1e-3;
+  double critic_lr = 2e-3;
+  std::size_t batch_size = 64;
+  std::size_t replay_capacity = 20000;
+  std::size_t updates_per_period = 4;
+  std::size_t warmup_periods = 16;    // pure exploration before training
+  double noise_stddev_init = 0.35;    // exploration noise on the action
+  double noise_decay = 0.999;
+  double noise_stddev_min = 0.02;
+  double penalty_cost = 1.5;          // "maximum cost value" on violations
+  double cost_scale = 0.0;            // 0 -> same automatic rule as EdgeBOL
+};
+
+class DdpgAgent {
+ public:
+  /// The grid supplies the physical ranges the normalized action maps onto
+  /// (DDPG itself acts in the continuous box, one of its selling points).
+  DdpgAgent(env::GridSpec grid_spec, core::CostWeights weights,
+            core::ConstraintSpec constraints, DdpgConfig config,
+            std::uint64_t seed);
+
+  /// Choose a control for the observed context (actor + exploration noise).
+  env::ControlPolicy select(const env::Context& context);
+
+  /// Observe the period outcome; store in replay and train.
+  void update(const env::Context& context, const env::ControlPolicy& policy,
+              const env::Measurement& measurement);
+
+  void set_constraints(const core::ConstraintSpec& constraints);
+  const core::ConstraintSpec& constraints() const { return constraints_; }
+  double exploration_stddev() const { return noise_stddev_; }
+  std::size_t replay_size() const { return replay_.size(); }
+  double cost_scale() const { return cost_scale_; }
+
+ private:
+  struct Transition {
+    linalg::Vector context_features;
+    linalg::Vector action;  // normalized [0,1]^4
+    double ddpg_cost = 0.0;
+  };
+
+  env::ControlPolicy to_policy(const linalg::Vector& action) const;
+  linalg::Vector to_action(const env::ControlPolicy& policy) const;
+  void train();
+
+  env::GridSpec spec_;
+  core::CostWeights weights_;
+  core::ConstraintSpec constraints_;
+  DdpgConfig cfg_;
+  double cost_scale_ = 1.0;
+  Rng rng_;
+  nn::Mlp actor_;
+  nn::Mlp critic_;
+  nn::Adam actor_opt_;
+  nn::Adam critic_opt_;
+  std::vector<Transition> replay_;
+  std::size_t replay_next_ = 0;  // ring-buffer cursor once at capacity
+  double noise_stddev_;
+  std::size_t periods_seen_ = 0;
+};
+
+}  // namespace edgebol::baselines

@@ -1,0 +1,65 @@
+// LinUCB-style linear contextual bandit baseline.
+//
+// §5 motivates EdgeBOL's GP machinery by noting that "most of the existing
+// contextual bandit algorithms assume a linear relationship between the
+// contexts-control space and the associated reward [35, 57]" — and that the
+// measured cost/KPI surfaces are anything but linear. This baseline makes
+// the point measurable: ridge regression of the constraint-penalized cost
+// on the joint [context, control] features, with the classic optimistic
+// bonus alpha * sqrt(phi^T A^{-1} phi), minimized over the control grid.
+// It explores efficiently but converges to the wrong optimum wherever the
+// surface bends (bench_ablation_model).
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "core/edgebol.hpp"
+#include "env/control_grid.hpp"
+#include "env/testbed.hpp"
+#include "linalg/matrix.hpp"
+
+namespace edgebol::baselines {
+
+struct LinUcbConfig {
+  double alpha = 1.0;          // optimism multiplier
+  double ridge_lambda = 1.0;   // prior precision of the ridge regression
+  double penalty_cost = 1.5;   // normalized cost charged on violations
+  double cost_scale = 0.0;     // 0 -> automatic (as EdgeBOL)
+};
+
+class LinUcbAgent {
+ public:
+  LinUcbAgent(env::ControlGrid grid, core::CostWeights weights,
+              core::ConstraintSpec constraints, LinUcbConfig config = {});
+
+  /// Pick the grid policy minimizing the optimistic linear cost estimate.
+  std::size_t select(const env::Context& context);
+
+  void update(const env::Context& context, std::size_t policy_index,
+              const env::Measurement& measurement);
+
+  void set_constraints(const core::ConstraintSpec& constraints);
+  const env::ControlGrid& grid() const { return grid_; }
+  std::size_t num_observations() const { return observations_; }
+
+  /// Current linear estimate theta^T phi for diagnostics/tests.
+  double predict(const env::Context&, const env::ControlPolicy&) const;
+
+ private:
+  linalg::Vector features(const env::Context&,
+                          const env::ControlPolicy&) const;
+
+  env::ControlGrid grid_;
+  core::CostWeights weights_;
+  core::ConstraintSpec constraints_;
+  LinUcbConfig cfg_;
+  double cost_scale_;
+  std::size_t dims_;
+  linalg::Matrix a_;      // A = lambda I + sum phi phi^T
+  linalg::Vector b_;      // sum phi * reward
+  std::size_t observations_ = 0;
+};
+
+}  // namespace edgebol::baselines

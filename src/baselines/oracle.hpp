@@ -1,0 +1,35 @@
+// Offline exhaustive-search oracle.
+//
+// The paper's "optimal" benchmark (dashed lines in Fig. 10, "Optimal" bars
+// in Fig. 12): with full knowledge of the system dynamics — here, the
+// testbed's noise-free expectation — search the entire control grid for the
+// feasible policy of minimum cost. Unusable in practice (it needs ground
+// truth), but it bounds EdgeBOL's optimality gap empirically.
+
+#pragma once
+
+#include <cstddef>
+
+#include "core/edgebol.hpp"
+#include "env/control_grid.hpp"
+#include "env/testbed.hpp"
+
+namespace edgebol::baselines {
+
+struct OracleResult {
+  bool feasible = false;          // any grid policy satisfies the constraints
+  std::size_t policy_index = 0;   // argmin (or min-delay fallback if none)
+  env::ControlPolicy policy{};
+  double cost = 0.0;              // eq. (1) at the optimum
+  env::Measurement expected{};    // ground-truth outcome at the optimum
+};
+
+/// Exhaustively evaluate every grid policy on the testbed's noise-free
+/// expectation. If no policy is feasible, returns the max-performance corner
+/// with feasible == false.
+OracleResult exhaustive_oracle(const env::Testbed& testbed,
+                               const env::ControlGrid& grid,
+                               const core::CostWeights& weights,
+                               const core::ConstraintSpec& constraints);
+
+}  // namespace edgebol::baselines

@@ -1,0 +1,40 @@
+// Uniform random search over the control grid, remembering the best
+// feasible policy seen so far. The weakest sensible baseline: no model, no
+// structure — pure exploration with memory.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "core/edgebol.hpp"
+#include "env/testbed.hpp"
+
+namespace edgebol::baselines {
+
+class RandomSearchAgent {
+ public:
+  RandomSearchAgent(std::size_t num_arms, core::CostWeights weights,
+                    core::ConstraintSpec constraints, std::uint64_t seed,
+                    double explore_fraction = 0.5);
+
+  /// With probability explore_fraction (or always, before any feasible arm
+  /// is known) samples a uniform arm; otherwise replays the incumbent.
+  std::size_t select();
+  void update(std::size_t arm, const env::Measurement& measurement);
+
+  std::optional<std::size_t> incumbent() const { return best_arm_; }
+  double incumbent_cost() const;
+
+ private:
+  core::CostWeights weights_;
+  core::ConstraintSpec constraints_;
+  Rng rng_;
+  std::size_t num_arms_;
+  double explore_fraction_;
+  std::optional<std::size_t> best_arm_;
+  double best_cost_ = 0.0;
+};
+
+}  // namespace edgebol::baselines

@@ -1,0 +1,75 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace edgebol {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+    : state_(0), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted =
+      static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53-bit resolution double in [0,1).
+  const std::uint64_t hi = (*this)();
+  const std::uint64_t lo = (*this)();
+  const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+  return static_cast<double>(bits) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t bound = n;
+  const std::uint64_t threshold = (-bound) % bound;
+  for (;;) {
+    const std::uint64_t r =
+        (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+    if (r >= threshold) return static_cast<std::size_t>(r % bound);
+  }
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double f = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * f;
+  has_spare_ = true;
+  return u * f;
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::split() {
+  const std::uint64_t seed =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  const std::uint64_t stream =
+      (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return Rng(seed, stream);
+}
+
+}  // namespace edgebol

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation for simulation and learning.
+//
+// Everything in this library that needs randomness takes an explicit Rng so
+// that experiments are reproducible run-to-run and seed-to-seed. The engine
+// is PCG-XSH-RR 64/32 (O'Neill, 2014): small state, good statistical quality,
+// and trivially portable.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace edgebol {
+
+/// Permuted congruential generator (PCG-XSH-RR 64/32).
+///
+/// Satisfies the essentials of UniformRandomBitGenerator so it can also be
+/// handed to <random> distributions if ever needed, but the convenience
+/// members below (uniform, normal, ...) are what the library uses.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return 0xffffffffU; }
+
+  /// Next raw 32-bit draw.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Standard normal via Box-Muller (cached spare deviate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+
+  /// A fresh generator with a seed derived from this one. Used to give each
+  /// subsystem (channel, GPU, meter, ...) an independent stream.
+  Rng split();
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace edgebol

@@ -1,0 +1,58 @@
+// Small statistics helpers used across the simulator and the evaluation
+// harness: streaming mean/variance (Welford), percentiles, and grid builders.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edgebol {
+
+/// Streaming mean / variance accumulator (Welford's algorithm).
+/// Numerically stable for long simulation runs.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Population variance (divides by n). Zero when fewer than two samples.
+  double variance() const;
+  /// Sample variance (divides by n-1). Zero when fewer than two samples.
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return n_ > 0 ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linearly interpolated percentile of a sample, p in [0, 100].
+/// Copies and sorts; intended for evaluation post-processing, not hot paths.
+double percentile(std::vector<double> values, double p);
+
+/// Median shorthand for percentile(values, 50).
+double median(std::vector<double> values);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 1; n == 1 -> {lo}).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Clamp helper that reads better than std::clamp at call sites where the
+/// argument order has tripped people up.
+double clamp01(double x);
+
+/// Mean of a vector; 0 for an empty vector.
+double mean_of(const std::vector<double>& values);
+
+/// Population variance of a vector; 0 for fewer than two elements.
+double variance_of(const std::vector<double>& values);
+
+}  // namespace edgebol

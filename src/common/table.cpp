@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgebol {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_numeric_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> out;
+  out.reserve(cells.size());
+  for (double c : cells) out.push_back(fmt(c, precision));
+  add_row(std::move(out));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::setw(static_cast<int>(width[c])) << row[c]
+         << (c + 1 < row.size() ? "  " : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << row[c] << (c + 1 < row.size() ? "," : "");
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+void banner(std::ostream& os, const std::string& title) {
+  os << "\n==== " << title << " ====\n";
+}
+
+}  // namespace edgebol

@@ -1,0 +1,49 @@
+// Aligned-column table printer used by the benchmark harness to emit the
+// rows/series of each figure in the paper, plus a CSV writer for offline
+// plotting. Kept deliberately tiny — the benches are the only clients.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edgebol {
+
+/// Builds a table row by row and renders it with aligned columns.
+///
+///   Table t({"airtime", "mcs", "bs_power_w"});
+///   t.add_row({"0.2", "10", "5.1"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision. (A distinct name
+  /// keeps braced string literals from matching vector<double>'s
+  /// iterator-pair constructor.)
+  void add_numeric_row(const std::vector<double>& cells, int precision = 4);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  /// Render with space-aligned columns and a separator rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment, comma-separated).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 4);
+
+/// Print a section banner for bench output:  ==== title ====
+void banner(std::ostream& os, const std::string& title);
+
+}  // namespace edgebol

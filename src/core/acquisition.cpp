@@ -1,0 +1,85 @@
+#include "core/acquisition.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace edgebol::core {
+
+double lcb_value(const gp::Prediction& p, double beta) {
+  return p.mean - beta * p.stddev();
+}
+
+std::size_t safeopt_select(
+    const SafeOptInputs& in,
+    const std::function<std::vector<std::size_t>(std::size_t)>& neighbors) {
+  if (in.cost == nullptr || in.delay == nullptr || in.map == nullptr ||
+      in.safe_set == nullptr)
+    throw std::invalid_argument("safeopt_select: null inputs");
+  const auto& safe = *in.safe_set;
+  if (safe.empty())
+    throw std::invalid_argument("safeopt_select: empty safe set");
+  const std::size_t m = in.cost->size();
+  if (in.delay->size() != m || in.map->size() != m)
+    throw std::invalid_argument("safeopt_select: posterior size mismatch");
+
+  // Best pessimistic cost among safe points.
+  double min_ucb = std::numeric_limits<double>::infinity();
+  for (std::size_t i : safe) {
+    if (i >= m) throw std::invalid_argument("safeopt_select: index range");
+    min_ucb = std::min(min_ucb,
+                       (*in.cost)[i].mean + in.beta * (*in.cost)[i].stddev());
+  }
+
+  auto is_safe = [&safe](std::size_t i) {
+    return std::binary_search(safe.begin(), safe.end(), i);
+  };
+  auto width = [&](std::size_t i) {
+    return 2.0 * in.beta *
+           ((*in.cost)[i].stddev() + (*in.delay)[i].stddev() +
+            (*in.map)[i].stddev());
+  };
+
+  std::size_t best = safe.front();
+  double best_width = -1.0;
+  for (std::size_t i : safe) {
+    const bool minimizer =
+        (*in.cost)[i].mean - in.beta * (*in.cost)[i].stddev() <= min_ucb;
+    bool expander = false;
+    if (!minimizer) {
+      for (std::size_t nb : neighbors(i)) {
+        if (!is_safe(nb)) {
+          expander = true;
+          break;
+        }
+      }
+    }
+    if (!minimizer && !expander) continue;
+    const double w = width(i);
+    if (w > best_width) {
+      best_width = w;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t lcb_argmin(const std::vector<gp::Prediction>& cost_posterior,
+                       const std::vector<std::size_t>& safe_set, double beta) {
+  if (safe_set.empty())
+    throw std::invalid_argument("lcb_argmin: empty safe set");
+  std::size_t best = safe_set.front();
+  double best_v = std::numeric_limits<double>::infinity();
+  for (std::size_t i : safe_set) {
+    if (i >= cost_posterior.size())
+      throw std::invalid_argument("lcb_argmin: index out of range");
+    const double v = lcb_value(cost_posterior[i], beta);
+    if (v < best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace edgebol::core

@@ -1,0 +1,52 @@
+// Acquisition function (paper eq. 9): the contextual Lower Confidence Bound
+// of Krause & Ong, restricted to the safe set:
+//   x_t = argmin_{x in S_t}  mu_u(c_t, x) - sqrt(beta) * sigma_u(c_t, x).
+//
+// Minimizing the optimistic cost bound both exploits (low posterior mean)
+// and explores (high uncertainty); because cheap policies sit near the
+// constraint boundary, this acquisition also expands the safe set without a
+// dedicated expansion step (§5).
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "gp/gp_regressor.hpp"
+
+namespace edgebol::core {
+
+/// Index (into the candidate list) minimizing the LCB over `safe_set`.
+/// Throws std::invalid_argument if the safe set is empty or references an
+/// out-of-range candidate.
+std::size_t lcb_argmin(const std::vector<gp::Prediction>& cost_posterior,
+                       const std::vector<std::size_t>& safe_set, double beta);
+
+/// The LCB value itself, for diagnostics.
+double lcb_value(const gp::Prediction& p, double beta);
+
+/// SafeOpt-style acquisition (Berkenkamp et al. [8]; Sui et al. [61]), for
+/// the comparison discussed in §5: instead of minimizing the cost LCB, pick
+/// the most *uncertain* point among the potential minimizers M_t (safe
+/// points whose cost LCB beats the best safe cost UCB) and the expanders
+/// G_t (safe points bordering the unsafe region — the practical
+/// neighbourhood approximation of the expander set). The paper found this
+/// converges much more slowly than eq. (9); bench_ablation_acquisition
+/// reproduces that.
+struct SafeOptInputs {
+  const std::vector<gp::Prediction>* cost = nullptr;
+  const std::vector<gp::Prediction>* delay = nullptr;
+  const std::vector<gp::Prediction>* map = nullptr;
+  const std::vector<std::size_t>* safe_set = nullptr;  // sorted indices
+  double beta = 2.5;
+};
+
+/// `neighbors(i)` must return the candidate indices adjacent to i (e.g.
+/// env::ControlGrid::neighbors). Throws std::invalid_argument on empty safe
+/// sets or inconsistent sizes.
+std::size_t safeopt_select(
+    const SafeOptInputs& in,
+    const std::function<std::vector<std::size_t>(std::size_t)>& neighbors);
+
+}  // namespace edgebol::core

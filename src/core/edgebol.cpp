@@ -1,0 +1,266 @@
+#include "core/edgebol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "core/acquisition.hpp"
+
+namespace edgebol::core {
+
+namespace {
+
+// The delay surrogate models log(delay): the transform is monotone, so the
+// safe-set test is unchanged (log d <= log d_max), while (i) the 4-8%
+// multiplicative measurement noise becomes homoscedastic — a GP assumption —
+// and (ii) the ~1/airtime blow-up flattens to something a stationary kernel
+// represents well. Observations are additionally clipped: starved corners of
+// the control space (airtime 10% with MCS cap 0) produce delays of tens of
+// seconds, and anything above the clip is equally (and very) unsafe.
+constexpr double kDelayClipS = 3.0;
+
+gp::GpHyperparams resolve(const gp::GpHyperparams& given,
+                          gp::GpHyperparams fallback) {
+  if (given.lengthscales.empty()) return fallback;
+  if (given.lengthscales.size() !=
+      env::Context::kFeatureDims + env::ControlPolicy::kFeatureDims)
+    throw std::invalid_argument("EdgeBol: hyperparams must cover 7 dims");
+  return given;
+}
+
+bool within_tolerance(const linalg::Vector& a, const linalg::Vector& b,
+                      double tol) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// The defaults below play the role of the paper's pre-production
+// hyperparameter fitting (§5): length-scales and signal variances matched to
+// the platform's measured smoothness, then held constant while the
+// algorithm runs. Safe exploration hinges on them: the amplitude bounds the
+// prior uncertainty (so unexplored regions are unsafe but not hopeless) and
+// the length-scales control how far one safe observation vouches for its
+// neighbours. Dimension order: [n_users, cqi_mean, cqi_var, resolution,
+// airtime, gpu_speed, mcs_cap], all normalized.
+
+gp::GpHyperparams default_cost_hyperparams() {
+  gp::GpHyperparams hp;
+  hp.lengthscales = {1.0, 2.0, 4.0, 2.3, 2.0, 2.8, 1.2};
+  hp.amplitude = 0.20;
+  hp.noise_variance = 8.0e-4;
+  return hp;
+}
+
+gp::GpHyperparams default_delay_hyperparams() {
+  gp::GpHyperparams hp;
+  hp.lengthscales = {0.9, 0.8, 1.0, 2.0, 1.5, 3.0, 1.0};
+  hp.amplitude = 0.5;
+  hp.noise_variance = 1.5e-3;
+  return hp;
+}
+
+gp::GpHyperparams default_map_hyperparams() {
+  gp::GpHyperparams hp;
+  // mAP depends (almost) only on the image resolution; the long scales on
+  // the remaining dimensions encode that prior.
+  hp.lengthscales = {8.0, 6.0, 4.5, 1.35, 8.0, 8.0, 8.0};
+  hp.amplitude = 0.06;
+  hp.noise_variance = 4.0e-4;
+  return hp;
+}
+
+EdgeBol::EdgeBol(env::ControlGrid grid, EdgeBolConfig config)
+    : grid_(std::move(grid)),
+      cfg_(std::move(config)),
+      cost_gp_(resolve(cfg_.cost_hp, default_cost_hyperparams()).make_kernel(),
+               resolve(cfg_.cost_hp, default_cost_hyperparams())
+                   .noise_variance),
+      delay_gp_(
+          resolve(cfg_.delay_hp, default_delay_hyperparams()).make_kernel(),
+          resolve(cfg_.delay_hp, default_delay_hyperparams()).noise_variance),
+      map_gp_(resolve(cfg_.map_hp, default_map_hyperparams()).make_kernel(),
+              resolve(cfg_.map_hp, default_map_hyperparams()).noise_variance) {
+  if (cfg_.beta_sqrt < 0.0)
+    throw std::invalid_argument("EdgeBol: beta_sqrt must be >= 0");
+  if (cfg_.delay_scale <= 0.0)
+    throw std::invalid_argument("EdgeBol: delay scale must be > 0");
+
+  // Automatic cost scale: the platform's plausible maximum cost, so scaled
+  // observations land in ~[0, 1] (the GP prior amplitude).
+  cost_scale_ = cfg_.cost_scale > 0.0
+                    ? cfg_.cost_scale
+                    : cfg_.weights.cost(/*server max*/ 190.0, /*bs max*/ 7.0);
+
+  s0_ = cfg_.initial_safe_set;
+  if (s0_.empty()) s0_.push_back(grid_.max_performance_index());
+  for (std::size_t i : s0_) {
+    if (i >= grid_.size())
+      throw std::invalid_argument("EdgeBol: S0 index out of range");
+  }
+}
+
+void EdgeBol::ensure_tracking(const env::Context& context) {
+  const linalg::Vector f = context.to_features();
+  if (tracked_context_features_ &&
+      within_tolerance(*tracked_context_features_, f,
+                       cfg_.tracking_tolerance))
+    return;
+  const std::vector<linalg::Vector> cands = grid_.candidate_features(context);
+  cost_gp_.track_candidates(cands);
+  delay_gp_.track_candidates(cands);
+  map_gp_.track_candidates(cands);
+  tracked_context_features_ = f;
+}
+
+Decision EdgeBol::select(const env::Context& context) {
+  ensure_tracking(context);
+  const std::size_t m = grid_.size();
+
+  std::vector<gp::Prediction> delay_post(m), map_post(m), cost_post(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    delay_post[j] = delay_gp_.tracked_prediction(j);
+    map_post[j] = map_gp_.tracked_prediction(j);
+    cost_post[j] = cost_gp_.tracked_prediction(j);
+  }
+
+  const double d_max_scaled =
+      std::log(cfg_.constraints.d_max_s / cfg_.delay_scale);
+  std::vector<std::size_t> safe =
+      compute_safe_set(delay_post, map_post, d_max_scaled,
+                       cfg_.constraints.map_min, cfg_.beta_sqrt, s0_);
+
+  // Did any candidate qualify on the GP evidence alone (i.e., beyond S0)?
+  bool fell_back = true;
+  for (std::size_t i : safe) {
+    const bool in_s0 = std::find(s0_.begin(), s0_.end(), i) != s0_.end();
+    const gp::Prediction& d = delay_post[i];
+    const gp::Prediction& q = map_post[i];
+    const bool qualified =
+        d.mean + cfg_.beta_sqrt * d.stddev() <= d_max_scaled &&
+        q.mean - cfg_.beta_sqrt * q.stddev() >= cfg_.constraints.map_min;
+    if (qualified || !in_s0) {
+      fell_back = false;
+      break;
+    }
+  }
+
+  Decision dec;
+  if (cfg_.acquisition == AcquisitionKind::kGlobalLcb) {
+    std::vector<std::size_t> all(grid_.size());
+    for (std::size_t j = 0; j < grid_.size(); ++j) all[j] = j;
+    dec.policy_index = lcb_argmin(cost_post, all, cfg_.beta_sqrt);
+  } else if (cfg_.acquisition == AcquisitionKind::kSafeOpt) {
+    SafeOptInputs in;
+    in.cost = &cost_post;
+    in.delay = &delay_post;
+    in.map = &map_post;
+    in.safe_set = &safe;
+    in.beta = cfg_.beta_sqrt;
+    dec.policy_index = safeopt_select(
+        in, [this](std::size_t i) { return grid_.neighbors(i); });
+  } else {
+    dec.policy_index = lcb_argmin(cost_post, safe, cfg_.beta_sqrt);
+  }
+  dec.policy = grid_.policy(dec.policy_index);
+  dec.safe_set_size = safe.size();
+  dec.fell_back_to_s0 = fell_back;
+  return dec;
+}
+
+void EdgeBol::observe(const env::Context& context,
+                      const env::ControlPolicy& policy,
+                      const env::Measurement& m) {
+  const linalg::Vector z = env::joint_features(context, policy);
+  if (cfg_.novelty_threshold > 0.0 && cost_gp_.num_observations() > 0) {
+    const bool informative =
+        cost_gp_.predict(z).variance >
+            cfg_.novelty_threshold * cost_gp_.noise_variance() ||
+        delay_gp_.predict(z).variance >
+            cfg_.novelty_threshold * delay_gp_.noise_variance() ||
+        map_gp_.predict(z).variance >
+            cfg_.novelty_threshold * map_gp_.noise_variance();
+    if (!informative) return;
+  }
+  const double u = cfg_.weights.cost(m.server_power_w, m.bs_power_w);
+  cost_gp_.add(z, u / cost_scale_);
+  delay_gp_.add(z,
+                std::log(std::min(m.delay_s, kDelayClipS) / cfg_.delay_scale));
+  map_gp_.add(z, m.map);
+}
+
+void EdgeBol::update(const env::Context& context, std::size_t policy_index,
+                     const env::Measurement& measurement) {
+  if (policy_index >= grid_.size())
+    throw std::invalid_argument("EdgeBol::update: policy index out of range");
+  observe(context, grid_.policy(policy_index), measurement);
+}
+
+void EdgeBol::add_prior_observation(const env::Context& context,
+                                    const env::ControlPolicy& policy,
+                                    const env::Measurement& measurement) {
+  observe(context, policy, measurement);
+}
+
+void EdgeBol::save_observations(std::ostream& os) const {
+  const std::size_t n = cost_gp_.num_observations();
+  os << "edgebol-observations v1\n";
+  os << "dims "
+     << (env::Context::kFeatureDims + env::ControlPolicy::kFeatureDims)
+     << "\n";
+  os << "count " << n << "\n";
+  os.precision(17);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (double v : cost_gp_.inputs()[i]) os << v << ' ';
+    os << cost_gp_.targets()[i] << ' ' << delay_gp_.targets()[i] << ' '
+       << map_gp_.targets()[i] << '\n';
+  }
+}
+
+void EdgeBol::load_observations(std::istream& is) {
+  std::string magic, version, key;
+  std::size_t dims = 0, count = 0;
+  is >> magic >> version;
+  if (magic != "edgebol-observations" || version != "v1")
+    throw std::runtime_error("EdgeBol::load_observations: bad header");
+  is >> key >> dims;
+  if (key != "dims" ||
+      dims != env::Context::kFeatureDims + env::ControlPolicy::kFeatureDims)
+    throw std::runtime_error("EdgeBol::load_observations: dims mismatch");
+  is >> key >> count;
+  if (key != "count")
+    throw std::runtime_error("EdgeBol::load_observations: bad count line");
+  for (std::size_t i = 0; i < count; ++i) {
+    linalg::Vector z(dims);
+    double y_cost = 0.0, y_delay = 0.0, y_map = 0.0;
+    for (double& v : z) is >> v;
+    is >> y_cost >> y_delay >> y_map;
+    if (!is)
+      throw std::runtime_error("EdgeBol::load_observations: truncated data");
+    // Targets are stored post-transform: add straight into the surrogates.
+    cost_gp_.add(z, y_cost);
+    delay_gp_.add(z, y_delay);
+    map_gp_.add(z, y_map);
+  }
+  tracked_context_features_.reset();  // caches no longer match the data
+}
+
+void EdgeBol::set_constraints(const ConstraintSpec& constraints) {
+  if (constraints.d_max_s <= 0.0 || constraints.map_min < 0.0 ||
+      constraints.map_min > 1.0)
+    throw std::invalid_argument("EdgeBol: invalid constraints");
+  cfg_.constraints = constraints;
+}
+
+gp::Prediction EdgeBol::cost_posterior(const env::Context& c,
+                                       const env::ControlPolicy& p) const {
+  return cost_gp_.predict(env::joint_features(c, p));
+}
+
+}  // namespace edgebol::core

@@ -1,0 +1,164 @@
+// EdgeBOL — Algorithm 1: contextual safe Bayesian online learning for joint
+// vBS + edge-AI orchestration.
+//
+// Three GP surrogates over the joint context-control space model the cost
+// u = delta1 * p_server + delta2 * p_bs (eq. 1), the service delay, and the
+// mAP. Every time period the agent observes the context, scores the entire
+// control grid under the GP posteriors (eqs. 3-4), builds the safe set
+// (eq. 8), picks the safe LCB minimizer (eq. 9), and conditions the GPs on
+// the resulting noisy KPI observations.
+//
+// Constraint thresholds may change at runtime (the operator relaxing an SLA,
+// Fig. 14): safe sets are recomputed from the surrogates, so adaptation is
+// immediate — no re-learning. Kernel hyperparameters, per the paper, are
+// fitted on prior data (see gp::fit_hyperparameters) and held constant while
+// the algorithm runs.
+
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "core/safe_set.hpp"
+#include "env/control_grid.hpp"
+#include "env/testbed.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/hyperopt.hpp"
+
+namespace edgebol::core {
+
+/// Energy prices of eq. (1), in monetary units per watt.
+struct CostWeights {
+  double delta1 = 1.0;  // edge-server power price
+  double delta2 = 1.0;  // vBS power price
+
+  double cost(double server_power_w, double bs_power_w) const {
+    return delta1 * server_power_w + delta2 * bs_power_w;
+  }
+};
+
+/// Which acquisition rule drives exploration within the safe set.
+enum class AcquisitionKind {
+  kSafeLcb,    // eq. (9): EdgeBOL's safe contextual LCB (the paper's choice)
+  kSafeOpt,    // SafeOpt-style max-width over minimizers+expanders (§5 ablation)
+  kGlobalLcb,  // LCB over the WHOLE grid, ignoring the safe set — the
+               // unsafe-BO ablation quantifying what eq. (8) buys
+};
+
+struct EdgeBolConfig {
+  double beta_sqrt = 2.5;  // beta^(1/2), as in the paper's evaluation
+  AcquisitionKind acquisition = AcquisitionKind::kSafeLcb;
+  CostWeights weights{};
+  ConstraintSpec constraints{};
+
+  /// GP hyperparameters per surrogate (cost / delay / mAP). When a vector
+  /// is empty, calibrated defaults over the 7-dim normalized joint space
+  /// are used. Fit them from prior data with gp::fit_hyperparameters for a
+  /// specific deployment.
+  gp::GpHyperparams cost_hp{};
+  gp::GpHyperparams delay_hp{};
+  gp::GpHyperparams map_hp{};
+
+  /// Scale dividing raw cost observations so GP targets are O(1). 0 picks
+  /// an automatic scale from the weights and the platform's power ranges.
+  double cost_scale = 0.0;
+  /// Scale dividing delay observations (seconds); 1 s is already O(1).
+  double delay_scale = 1.0;
+
+  /// Initial safe set S0 (grid indices). Empty selects the grid's
+  /// maximum-performance corner, per §5 (Practical Issues).
+  std::vector<std::size_t> initial_safe_set{};
+
+  /// Data-retention filter for long horizons (§5, Practical Issues: the
+  /// posterior update is O(N^3) in the number of stored observations). When
+  /// > 0, an observation is only added to the surrogates if at least one of
+  /// them is still uncertain at that input — specifically if some GP's
+  /// predictive variance exceeds `novelty_threshold` times its noise
+  /// variance. After convergence, repeated samples of the incumbent policy
+  /// stop growing the GPs, bounding memory and per-period compute on
+  /// 1000s-period runs. 0 (default) stores everything, as the paper does.
+  double novelty_threshold = 0.0;
+
+  /// Candidate scores over the whole grid are cached per context; the cache
+  /// is rebuilt (O(T^2 |X|)) only when the normalized context features move
+  /// by more than this tolerance since the cached context. Movements below
+  /// it are kernel-negligible (shortest context length-scale ~0.8), so this
+  /// absorbs single-user CQI flutter in multi-user slices. Set to 0 to
+  /// rebuild on every context change.
+  double tracking_tolerance = 0.04;
+};
+
+/// What the agent decided in one time period.
+struct Decision {
+  std::size_t policy_index = 0;
+  env::ControlPolicy policy{};
+  std::size_t safe_set_size = 0;
+  bool fell_back_to_s0 = false;  // constraints infeasible under the GPs
+};
+
+class EdgeBol {
+ public:
+  EdgeBol(env::ControlGrid grid, EdgeBolConfig config);
+
+  /// Algorithm 1, lines 4-7: given the observed context, compute posteriors
+  /// over the whole grid, build the safe set, and pick the safe LCB
+  /// minimizer.
+  Decision select(const env::Context& context);
+
+  /// Algorithm 1, lines 8-13: condition the surrogates on the KPIs observed
+  /// at the end of the period.
+  void update(const env::Context& context, std::size_t policy_index,
+              const env::Measurement& measurement);
+
+  /// Feed a pre-production observation without selecting (warm start).
+  void add_prior_observation(const env::Context& context,
+                             const env::ControlPolicy& policy,
+                             const env::Measurement& measurement);
+
+  /// Persist the surrogates' conditioning data (the pre-production ->
+  /// production handoff of §4.2): a plain-text format holding each
+  /// observation's joint input and the three transformed targets. Load into
+  /// a fresh agent built with the same grid and configuration; loading
+  /// replays the observations, so the restored agent makes identical
+  /// decisions. Throws std::runtime_error on malformed or mismatched data.
+  void save_observations(std::ostream& os) const;
+  void load_observations(std::istream& is);
+
+  /// Runtime SLA change: takes effect at the next select().
+  void set_constraints(const ConstraintSpec& constraints);
+  const ConstraintSpec& constraints() const { return cfg_.constraints; }
+  const CostWeights& weights() const { return cfg_.weights; }
+
+  const env::ControlGrid& grid() const { return grid_; }
+  std::size_t num_observations() const { return cost_gp_.num_observations(); }
+  double cost_scale() const { return cost_scale_; }
+
+  /// Posterior of the (scaled) cost surrogate at a context/policy — for
+  /// diagnostics and tests.
+  gp::Prediction cost_posterior(const env::Context&,
+                                const env::ControlPolicy&) const;
+
+ private:
+  void ensure_tracking(const env::Context& context);
+  void observe(const env::Context& context, const env::ControlPolicy& policy,
+               const env::Measurement& measurement);
+
+  env::ControlGrid grid_;
+  EdgeBolConfig cfg_;
+  double cost_scale_ = 1.0;
+  gp::GpRegressor cost_gp_;
+  gp::GpRegressor delay_gp_;
+  gp::GpRegressor map_gp_;
+  std::vector<std::size_t> s0_;
+  std::optional<linalg::Vector> tracked_context_features_;
+};
+
+/// Calibrated default hyperparameters for each surrogate over the 7-dim
+/// normalized joint space (used when EdgeBolConfig leaves them empty).
+gp::GpHyperparams default_cost_hyperparams();
+gp::GpHyperparams default_delay_hyperparams();
+gp::GpHyperparams default_map_hyperparams();
+
+}  // namespace edgebol::core

@@ -1,0 +1,182 @@
+#include "core/generic_bol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/acquisition.hpp"
+
+namespace edgebol::core {
+
+double MetricSpec::transform(double raw) const {
+  const double clipped = std::min(raw, clip);
+  const double scaled = clipped / scale;
+  if (!log_transform) return scaled;
+  if (scaled <= 0.0)
+    throw std::invalid_argument("MetricSpec: log of non-positive value in '" +
+                                name + "'");
+  return std::log(scaled);
+}
+
+namespace {
+
+gp::GpRegressor make_gp(const MetricSpec& spec) {
+  if (spec.hp.lengthscales.empty())
+    throw std::invalid_argument("GenericSafeBol: metric '" + spec.name +
+                                "' has no hyperparameters");
+  if (spec.scale <= 0.0)
+    throw std::invalid_argument("GenericSafeBol: metric '" + spec.name +
+                                "' has non-positive scale");
+  return gp::GpRegressor(spec.hp.make_kernel(), spec.hp.noise_variance);
+}
+
+}  // namespace
+
+GenericSafeBol::GenericSafeBol(std::vector<linalg::Vector> control_features,
+                               MetricSpec objective,
+                               std::vector<MetricSpec> metrics,
+                               std::vector<ConstraintDef> constraints,
+                               std::vector<std::size_t> initial_safe_set,
+                               double beta_sqrt)
+    : controls_(std::move(control_features)),
+      objective_spec_(std::move(objective)),
+      metric_specs_(std::move(metrics)),
+      constraints_(std::move(constraints)),
+      s0_(std::move(initial_safe_set)),
+      beta_(beta_sqrt),
+      objective_gp_(make_gp(objective_spec_)) {
+  if (controls_.empty())
+    throw std::invalid_argument("GenericSafeBol: no candidates");
+  const std::size_t control_dims = controls_.front().size();
+  for (const linalg::Vector& c : controls_) {
+    if (c.size() != control_dims)
+      throw std::invalid_argument("GenericSafeBol: ragged candidate features");
+  }
+  if (beta_ < 0.0)
+    throw std::invalid_argument("GenericSafeBol: beta must be >= 0");
+  for (const ConstraintDef& c : constraints_) {
+    if (c.metric >= metric_specs_.size())
+      throw std::invalid_argument("GenericSafeBol: constraint metric index");
+  }
+  if (s0_.empty())
+    throw std::invalid_argument("GenericSafeBol: S0 must not be empty");
+  for (std::size_t i : s0_) {
+    if (i >= controls_.size())
+      throw std::invalid_argument("GenericSafeBol: S0 index out of range");
+  }
+  const std::size_t dims = objective_spec_.hp.lengthscales.size();
+  if (dims <= control_dims)
+    throw std::invalid_argument(
+        "GenericSafeBol: hyperparameters must cover context + control dims");
+  context_dims_ = dims - control_dims;
+  metric_gps_.reserve(metric_specs_.size());
+  for (const MetricSpec& spec : metric_specs_) {
+    if (spec.hp.lengthscales.size() != dims)
+      throw std::invalid_argument(
+          "GenericSafeBol: inconsistent metric dimensionality");
+    metric_gps_.push_back(make_gp(spec));
+  }
+}
+
+linalg::Vector GenericSafeBol::joint(const linalg::Vector& context,
+                                     std::size_t index) const {
+  linalg::Vector z = context;
+  const linalg::Vector& x = controls_[index];
+  z.insert(z.end(), x.begin(), x.end());
+  return z;
+}
+
+void GenericSafeBol::ensure_tracking(const linalg::Vector& context) {
+  if (context.size() != context_dims_)
+    throw std::invalid_argument("GenericSafeBol: context dimension mismatch");
+  if (tracked_context_) {
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < context.size(); ++i) {
+      max_diff = std::max(max_diff,
+                          std::abs((*tracked_context_)[i] - context[i]));
+    }
+    if (max_diff <= tracking_tolerance_) return;
+  }
+  std::vector<linalg::Vector> cands;
+  cands.reserve(controls_.size());
+  for (std::size_t i = 0; i < controls_.size(); ++i) {
+    cands.push_back(joint(context, i));
+  }
+  objective_gp_.track_candidates(cands);
+  for (gp::GpRegressor& g : metric_gps_) g.track_candidates(cands);
+  tracked_context_ = context;
+}
+
+GenericDecision GenericSafeBol::select(const linalg::Vector& context) {
+  ensure_tracking(context);
+  const std::size_t m = controls_.size();
+
+  // Qualify candidates against every constraint's confidence bound.
+  std::vector<bool> ok(m, true);
+  for (const ConstraintDef& c : constraints_) {
+    const gp::GpRegressor& g = metric_gps_[c.metric];
+    const double thr = metric_specs_[c.metric].transform(c.threshold);
+    const double mu0 = metric_specs_[c.metric].prior_mean;
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!ok[j]) continue;
+      const gp::Prediction p = g.tracked_prediction(j);
+      const double mean = p.mean + mu0;
+      const bool pass = c.bound == BoundKind::kUpper
+                            ? mean + beta_ * p.stddev() <= thr
+                            : mean - beta_ * p.stddev() >= thr;
+      ok[j] = pass;
+    }
+  }
+
+  std::vector<std::size_t> safe;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (ok[j]) safe.push_back(j);
+  }
+  const bool fell_back = safe.empty();
+  for (std::size_t i : s0_) safe.push_back(i);
+  std::sort(safe.begin(), safe.end());
+  safe.erase(std::unique(safe.begin(), safe.end()), safe.end());
+
+  std::vector<gp::Prediction> obj(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    obj[j] = objective_gp_.tracked_prediction(j);
+  }
+
+  GenericDecision dec;
+  dec.index = lcb_argmin(obj, safe, beta_);
+  dec.safe_set_size = safe.size();
+  dec.fell_back_to_s0 = fell_back;
+  return dec;
+}
+
+void GenericSafeBol::update(const linalg::Vector& context, std::size_t index,
+                            double objective_value,
+                            const std::vector<double>& metric_values) {
+  if (index >= controls_.size())
+    throw std::invalid_argument("GenericSafeBol: index out of range");
+  if (metric_values.size() != metric_gps_.size())
+    throw std::invalid_argument("GenericSafeBol: metric count mismatch");
+  if (context.size() != context_dims_)
+    throw std::invalid_argument("GenericSafeBol: context dimension mismatch");
+  const linalg::Vector z = joint(context, index);
+  objective_gp_.add(z, objective_spec_.transform(objective_value) -
+                           objective_spec_.prior_mean);
+  for (std::size_t i = 0; i < metric_gps_.size(); ++i) {
+    metric_gps_[i].add(z, metric_specs_[i].transform(metric_values[i]) -
+                              metric_specs_[i].prior_mean);
+  }
+}
+
+void GenericSafeBol::set_threshold(std::size_t constraint, double threshold) {
+  if (constraint >= constraints_.size())
+    throw std::invalid_argument("GenericSafeBol: constraint index");
+  constraints_[constraint].threshold = threshold;
+}
+
+double GenericSafeBol::threshold(std::size_t constraint) const {
+  if (constraint >= constraints_.size())
+    throw std::invalid_argument("GenericSafeBol: constraint index");
+  return constraints_[constraint].threshold;
+}
+
+}  // namespace edgebol::core

@@ -1,0 +1,108 @@
+// Generic contextual safe Bayesian online optimization engine.
+//
+// §4.3 of the paper notes the framework's flexibility: "we could consider
+// power-constrained vBSs or an edge computing power budget by including the
+// power consumption targets as constraints, while minimizing latency and
+// maximizing accuracy... with minimal changes". This engine is that claim
+// made concrete: an objective surrogate plus any number of metric
+// surrogates with upper/lower-bound constraints, over an arbitrary
+// candidate set and context vector. EdgeBOL's energy formulation and the
+// alternative formulations in core/formulations.hpp are both thin
+// configurations of it.
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/safe_set.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/hyperopt.hpp"
+
+namespace edgebol::core {
+
+/// Direction of a constraint on a metric surrogate.
+enum class BoundKind {
+  kUpper,  // metric <= threshold (e.g. delay, power)
+  kLower,  // metric >= threshold (e.g. mAP)
+};
+
+/// One modeled quantity: GP prior plus the observation transform. Raw
+/// observations are clipped, divided by `scale`, and optionally
+/// log-transformed before entering the GP; thresholds go through the same
+/// monotone transform, so constraint semantics are unchanged.
+struct MetricSpec {
+  std::string name;
+  gp::GpHyperparams hp;  // must cover context_dims + control_dims
+  double scale = 1.0;
+  bool log_transform = false;
+  double clip = std::numeric_limits<double>::infinity();
+  /// Constant GP prior mean in *transformed* units. Safety depends on it:
+  /// with a zero prior, an upper-bounded metric (power, delay) looks
+  /// trivially safe wherever the GP has no data. Set it to a pessimistic
+  /// value (e.g. the plausible maximum) for upper-bounded metrics; zero is
+  /// already pessimistic for lower-bounded ones (mAP).
+  double prior_mean = 0.0;
+
+  double transform(double raw) const;
+};
+
+struct ConstraintDef {
+  std::size_t metric = 0;  // index into the metric list
+  BoundKind bound = BoundKind::kUpper;
+  double threshold = 0.0;  // in raw metric units
+};
+
+struct GenericDecision {
+  std::size_t index = 0;
+  std::size_t safe_set_size = 0;
+  bool fell_back_to_s0 = false;
+};
+
+class GenericSafeBol {
+ public:
+  /// `control_features`: one feature vector per candidate (control part
+  /// only; the context vector passed to select()/update() is prepended).
+  /// The objective is minimized; to maximize, negate observations.
+  GenericSafeBol(std::vector<linalg::Vector> control_features,
+                 MetricSpec objective, std::vector<MetricSpec> metrics,
+                 std::vector<ConstraintDef> constraints,
+                 std::vector<std::size_t> initial_safe_set,
+                 double beta_sqrt = 2.5);
+
+  GenericDecision select(const linalg::Vector& context);
+
+  /// `metric_values` must match the metric list (raw units).
+  void update(const linalg::Vector& context, std::size_t index,
+              double objective_value,
+              const std::vector<double>& metric_values);
+
+  void set_threshold(std::size_t constraint, double threshold);
+  double threshold(std::size_t constraint) const;
+
+  std::size_t num_candidates() const { return controls_.size(); }
+  std::size_t num_metrics() const { return metric_specs_.size(); }
+  std::size_t num_observations() const { return objective_gp_.num_observations(); }
+
+ private:
+  void ensure_tracking(const linalg::Vector& context);
+  linalg::Vector joint(const linalg::Vector& context,
+                       std::size_t index) const;
+
+  std::vector<linalg::Vector> controls_;
+  MetricSpec objective_spec_;
+  std::vector<MetricSpec> metric_specs_;
+  std::vector<ConstraintDef> constraints_;
+  std::vector<std::size_t> s0_;
+  double beta_;
+  std::size_t context_dims_ = 0;  // fixed by the first select()/update()
+  gp::GpRegressor objective_gp_;
+  std::vector<gp::GpRegressor> metric_gps_;
+  std::optional<linalg::Vector> tracked_context_;
+  double tracking_tolerance_ = 0.04;
+};
+
+}  // namespace edgebol::core

@@ -1,0 +1,63 @@
+// Joint multi-service orchestration (§4.4).
+//
+// The extension the paper sketches and then argues against for large S:
+// one agent controls both slices, with the union context (6 dims), the
+// product action space (8 dims, pruned by the shared-airtime coupling
+// a_1 + a_2 <= 1), and per-service delay/mAP constraints (2S of them). The
+// curse of dimensionality is the point: bench_multi_service compares this
+// joint agent against two per-slice EdgeBOL instances with a static airtime
+// split, reproducing the §4.4 efficiency-vs-scalability argument.
+
+#pragma once
+
+#include <vector>
+
+#include "core/edgebol.hpp"
+#include "core/generic_bol.hpp"
+#include "env/multi_service.hpp"
+
+namespace edgebol::core {
+
+struct JointPolicyPair {
+  env::ControlPolicy a;
+  env::ControlPolicy b;
+};
+
+struct JointBolConfig {
+  std::size_t levels_per_dim = 3;  // per service; candidates ~ levels^8
+  CostWeights weights{};
+  ConstraintSpec constraints_a{};
+  ConstraintSpec constraints_b{};
+  double beta_sqrt = 2.5;
+  double airtime_min = 0.1;
+  double airtime_max = 0.9;
+};
+
+struct JointDecision {
+  std::size_t index = 0;
+  JointPolicyPair policy{};
+  std::size_t safe_set_size = 0;
+  bool fell_back_to_s0 = false;
+};
+
+class JointEdgeBol {
+ public:
+  explicit JointEdgeBol(JointBolConfig config);
+
+  /// `joint_context` is MultiServiceTestbed::joint_context_features(),
+  /// captured once at the start of the period (before step()).
+  JointDecision select(const linalg::Vector& joint_context);
+  void update(const linalg::Vector& joint_context, std::size_t index,
+              const env::MultiMeasurement& measurement);
+
+  std::size_t num_candidates() const { return pairs_.size(); }
+  const JointPolicyPair& pair(std::size_t index) const;
+
+ private:
+  JointBolConfig cfg_;
+  std::vector<JointPolicyPair> pairs_;
+  double cost_scale_ = 1.0;
+  GenericSafeBol engine_;
+};
+
+}  // namespace edgebol::core

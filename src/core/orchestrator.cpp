@@ -1,0 +1,65 @@
+#include "core/orchestrator.hpp"
+
+#include "common/stats.hpp"
+
+namespace edgebol::core {
+
+Orchestrator::Orchestrator(EdgeBol& agent, OrchestratorOptions options)
+    : agent_(agent), options_(options) {}
+
+void Orchestrator::set_callback(std::function<void(const PeriodRecord&)> cb) {
+  callback_ = std::move(cb);
+}
+
+template <typename Env>
+RunSummary Orchestrator::run_impl(Env& env, int periods) {
+  RunningStats cost_all;
+  RunningStats cost_tail;
+  int violations = 0;
+  std::size_t last_safe = 0;
+  const int tail_start = periods - std::max(1, periods / 4);
+
+  for (int t = 0; t < periods; ++t) {
+    PeriodRecord rec;
+    rec.period = next_period_++;
+    rec.context = env.context();
+    rec.decision = agent_.select(rec.context);
+    rec.measurement = env.step(rec.decision.policy);
+    agent_.update(rec.context, rec.decision.policy_index, rec.measurement);
+
+    rec.cost = agent_.weights().cost(rec.measurement.server_power_w,
+                                     rec.measurement.bs_power_w);
+    const ConstraintSpec& cs = agent_.constraints();
+    rec.delay_violated =
+        rec.measurement.delay_s > cs.d_max_s * options_.delay_slack;
+    rec.map_violated =
+        rec.measurement.map < cs.map_min - options_.map_slack;
+
+    cost_all.add(rec.cost);
+    if (t >= tail_start) cost_tail.add(rec.cost);
+    violations += (rec.delay_violated || rec.map_violated);
+    last_safe = rec.decision.safe_set_size;
+
+    if (callback_) callback_(rec);
+    if (options_.keep_history) history_.push_back(rec);
+  }
+
+  RunSummary s;
+  s.periods = static_cast<std::size_t>(periods);
+  s.mean_cost = cost_all.mean();
+  s.tail_mean_cost = cost_tail.mean();
+  s.violation_rate =
+      periods > 0 ? static_cast<double>(violations) / periods : 0.0;
+  s.final_safe_set_size = last_safe;
+  return s;
+}
+
+RunSummary Orchestrator::run(env::Testbed& testbed, int periods) {
+  return run_impl(testbed, periods);
+}
+
+RunSummary Orchestrator::run(oran::OranManagedTestbed& testbed, int periods) {
+  return run_impl(testbed, periods);
+}
+
+}  // namespace edgebol::core

@@ -1,0 +1,75 @@
+// Production-style orchestration loop.
+//
+// Packages Algorithm 1's observe/select/act/update cycle — which every
+// example and bench otherwise re-implements — into a reusable runner with
+// KPI history, violation accounting, and optional per-period callbacks.
+// Works against any environment exposing context()/step() (env::Testbed,
+// oran::OranManagedTestbed).
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "core/edgebol.hpp"
+#include "env/testbed.hpp"
+#include "oran/oran_env.hpp"
+
+namespace edgebol::core {
+
+/// Everything recorded about one time period.
+struct PeriodRecord {
+  int period = 0;
+  env::Context context{};
+  Decision decision{};
+  env::Measurement measurement{};
+  double cost = 0.0;
+  bool delay_violated = false;
+  bool map_violated = false;
+};
+
+struct RunSummary {
+  std::size_t periods = 0;
+  double mean_cost = 0.0;
+  double tail_mean_cost = 0.0;        // mean over the last quarter
+  double violation_rate = 0.0;        // either constraint, with noise slack
+  std::size_t final_safe_set_size = 0;
+};
+
+/// Slack multipliers forgive pure observation noise when counting
+/// violations (the constraints are stochastic; the paper reports
+/// satisfaction "with very high probability").
+struct OrchestratorOptions {
+  double delay_slack = 1.05;
+  double map_slack = 0.03;
+  bool keep_history = true;
+};
+
+class Orchestrator {
+ public:
+  Orchestrator(EdgeBol& agent, OrchestratorOptions options = {});
+
+  /// Run `periods` periods against a direct testbed.
+  RunSummary run(env::Testbed& testbed, int periods);
+
+  /// Run through the O-RAN control plane instead.
+  RunSummary run(oran::OranManagedTestbed& testbed, int periods);
+
+  /// Optional per-period observer (called after update()).
+  void set_callback(std::function<void(const PeriodRecord&)> cb);
+
+  const std::vector<PeriodRecord>& history() const { return history_; }
+  void clear_history() { history_.clear(); }
+
+ private:
+  template <typename Env>
+  RunSummary run_impl(Env& env, int periods);
+
+  EdgeBol& agent_;
+  OrchestratorOptions options_;
+  std::function<void(const PeriodRecord&)> callback_;
+  std::vector<PeriodRecord> history_;
+  int next_period_ = 0;
+};
+
+}  // namespace edgebol::core

@@ -1,0 +1,56 @@
+#include "edge/gpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::edge {
+
+GpuModel::GpuModel(GpuParams params) : params_(params) {
+  if (params_.min_power_limit_w <= 0.0 ||
+      params_.max_power_limit_w <= params_.min_power_limit_w)
+    throw std::invalid_argument("GpuModel: bad power-limit range");
+  if (params_.base_infer_s <= 0.0)
+    throw std::invalid_argument("GpuModel: bad base inference time");
+  if (params_.speed_floor <= 0.0 || params_.speed_floor > 1.0)
+    throw std::invalid_argument("GpuModel: speed floor out of (0, 1]");
+  if (params_.lowres_penalty < 0.0)
+    throw std::invalid_argument("GpuModel: negative low-res penalty");
+}
+
+double GpuModel::power_limit_w(double gamma) const {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("GpuModel: gamma out of [0, 1]");
+  return params_.min_power_limit_w +
+         gamma * (params_.max_power_limit_w - params_.min_power_limit_w);
+}
+
+double GpuModel::speed_factor(double gamma) const {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("GpuModel: gamma out of [0, 1]");
+  // DVFS: speed rises sublinearly with the allowed power envelope across the
+  // whole configurable range (Fig. 3: 45% -> 100% GPU speed still shortens
+  // inference), even though the card's *draw* saturates at its peak.
+  return params_.speed_floor +
+         (1.0 - params_.speed_floor) * std::pow(gamma, params_.speed_exponent);
+}
+
+double GpuModel::infer_time_s(double eta, double gamma) const {
+  if (eta <= 0.0 || eta > 1.0)
+    throw std::invalid_argument("GpuModel: eta out of (0, 1]");
+  const double res_factor = 1.0 + params_.lowres_penalty * (1.0 - eta);
+  return params_.base_infer_s * res_factor / speed_factor(gamma);
+}
+
+double GpuModel::sample_infer_time_s(double eta, double gamma,
+                                     Rng& rng) const {
+  const double mean = infer_time_s(eta, gamma);
+  const double jitter = rng.normal(0.0, params_.infer_noise_frac * mean);
+  return std::max(0.25 * mean, mean + jitter);
+}
+
+double GpuModel::active_draw_w(double gamma) const {
+  return std::min(power_limit_w(gamma), params_.peak_draw_w);
+}
+
+}  // namespace edgebol::edge

@@ -1,0 +1,56 @@
+// GPU behaviour under the power-limit knob — Policy 3 (GPU speed).
+//
+// The paper configures the NVIDIA driver's power-management limit between
+// 100 W and 280 W on an RTX 2080 Ti; the limit throttles clocks, scaling
+// inference speed sublinearly (DVFS). Two measured effects are reproduced:
+//   * raising the GPU-speed policy cuts per-image inference time and raises
+//     the active power draw (Fig. 3 top);
+//   * counter-intuitively, *lower-resolution* images take *longer* on the
+//     Faster R-CNN engine (Fig. 3 bottom) — low-res frames produce noisier
+//     region proposals, so the detector works harder per frame.
+
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace edgebol::edge {
+
+struct GpuParams {
+  double min_power_limit_w = 100.0;  // gamma = 0
+  double max_power_limit_w = 280.0;  // gamma = 1
+  double peak_draw_w = 190.0;     // draw of the model at unconstrained clocks
+  double idle_draw_w = 35.0;      // GPU contribution to server idle
+  double base_infer_s = 0.105;    // full-res inference at full speed
+  double lowres_penalty = 0.30;   // relative slowdown at resolution -> 0
+  double speed_floor = 0.62;      // relative speed at the 100 W limit
+  double speed_exponent = 0.8;    // DVFS curvature of speed vs limit
+  double infer_noise_frac = 0.02; // jitter of the per-period mean GPU time
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuParams params = {});
+
+  /// Power limit (W) configured for a normalized GPU-speed policy in [0, 1].
+  double power_limit_w(double gamma) const;
+
+  /// Relative processing speed (<= 1) under a GPU-speed policy.
+  double speed_factor(double gamma) const;
+
+  /// Expected per-image inference time for resolution `eta` in (0, 1] under
+  /// GPU-speed policy `gamma`.
+  double infer_time_s(double eta, double gamma) const;
+
+  /// Noisy per-period observation of the mean inference time.
+  double sample_infer_time_s(double eta, double gamma, Rng& rng) const;
+
+  /// Power the GPU draws while actively processing, respecting the limit.
+  double active_draw_w(double gamma) const;
+
+  const GpuParams& params() const { return params_; }
+
+ private:
+  GpuParams params_;
+};
+
+}  // namespace edgebol::edge

@@ -1,0 +1,51 @@
+#include "edge/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgebol::edge {
+
+EdgeServer::EdgeServer(ServerParams params)
+    : params_(params), gpu_(params.gpu) {
+  if (params_.host_idle_w <= 0.0)
+    throw std::invalid_argument("EdgeServer: bad idle power");
+  if (params_.max_utilization <= 0.0 || params_.max_utilization >= 1.0)
+    throw std::invalid_argument("EdgeServer: max utilization out of (0, 1)");
+}
+
+void EdgeServer::set_gpu_policy(double gamma) {
+  if (gamma < 0.0 || gamma > 1.0)
+    throw std::invalid_argument("EdgeServer: gamma out of [0, 1]");
+  gamma_ = gamma;
+}
+
+ServerLoadReport EdgeServer::load_report(double arrival_rate_hz,
+                                         double eta) const {
+  if (arrival_rate_hz < 0.0)
+    throw std::invalid_argument("EdgeServer: negative arrival rate");
+  ServerLoadReport r;
+  r.service_time_s = gpu_.infer_time_s(eta, gamma_);
+  const double offered = arrival_rate_hz * r.service_time_s;
+  r.utilization = std::min(offered, params_.max_utilization);
+  // M/D/1 mean waiting time: W = rho * s / (2 (1 - rho)).
+  r.queue_wait_s = r.utilization * r.service_time_s /
+                   (2.0 * (1.0 - r.utilization));
+  return r;
+}
+
+double EdgeServer::mean_power_w(double utilization) const {
+  if (utilization < 0.0 || utilization > 1.0)
+    throw std::invalid_argument("EdgeServer: utilization out of [0, 1]");
+  const double gpu_dynamic =
+      utilization * (gpu_.active_draw_w(gamma_) - params_.gpu.idle_draw_w);
+  const double host_dynamic = utilization * params_.host_busy_coeff_w;
+  return params_.host_idle_w + gpu_dynamic + host_dynamic;
+}
+
+double EdgeServer::sample_power_w(double utilization, Rng& rng) const {
+  const double p =
+      mean_power_w(utilization) + rng.normal(0.0, params_.power_noise_stddev_w);
+  return std::max(0.9 * params_.host_idle_w, p);
+}
+
+}  // namespace edgebol::edge

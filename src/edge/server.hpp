@@ -1,0 +1,59 @@
+// The GPU-powered edge server — Performance Indicator 3 (server power).
+//
+// Requests from all users of the slice feed a single FIFO inference queue in
+// front of the GPU. The server reports (i) the queueing delay via an M/D/1
+// approximation (deterministic service, Poisson-ish arrivals from many
+// independent stop-and-wait loops), and (ii) power: a host idle floor plus
+// the GPU's active draw weighted by its duty cycle, which is what a wall
+// power meter on the chassis measures.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "edge/gpu_model.hpp"
+
+namespace edgebol::edge {
+
+struct ServerParams {
+  GpuParams gpu{};
+  double host_idle_w = 72.0;       // chassis + CPU idle, incl. GPU idle draw
+  double host_busy_coeff_w = 6.0;  // CPU work per unit GPU utilization
+  double power_noise_stddev_w = 1.5;
+  double max_utilization = 0.97;   // cap for the queueing formulas
+};
+
+/// Queue/GPU state for one time period.
+struct ServerLoadReport {
+  double utilization = 0.0;     // GPU duty cycle in [0, max_utilization]
+  double queue_wait_s = 0.0;    // mean wait before service (M/D/1)
+  double service_time_s = 0.0;  // per-image GPU time under the policy
+};
+
+class EdgeServer {
+ public:
+  explicit EdgeServer(ServerParams params = {});
+
+  /// Configure the GPU-speed policy (normalized power limit in [0, 1]).
+  void set_gpu_policy(double gamma);
+  double gpu_policy() const { return gamma_; }
+
+  /// Steady-state queue/GPU behaviour for an aggregate arrival rate of
+  /// `arrival_rate_hz` images of resolution `eta`.
+  ServerLoadReport load_report(double arrival_rate_hz, double eta) const;
+
+  /// Expected wall power for a given GPU utilization.
+  double mean_power_w(double utilization) const;
+
+  /// Noisy power-meter sample.
+  double sample_power_w(double utilization, Rng& rng) const;
+
+  const GpuModel& gpu() const { return gpu_; }
+  const ServerParams& params() const { return params_; }
+
+ private:
+  ServerParams params_;
+  GpuModel gpu_;
+  double gamma_ = 1.0;
+};
+
+}  // namespace edgebol::edge

@@ -1,0 +1,25 @@
+// The contextual-bandit context (paper §4.2):
+//   c_t = [ n_users, mean UL CQI, var UL CQI ]
+// Aggregating per-user channel state into two moments keeps the context
+// dimensionality constant in the number of users (§4.4), which is what makes
+// the GP data-efficient; §6.4 validates the design empirically.
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace edgebol::env {
+
+struct Context {
+  double n_users = 1.0;
+  double cqi_mean = 15.0;
+  double cqi_var = 0.0;
+
+  /// Normalized feature vector for the GP input space (3 entries in ~[0,1]).
+  linalg::Vector to_features() const;
+
+  /// Number of entries produced by to_features().
+  static constexpr std::size_t kFeatureDims = 3;
+};
+
+}  // namespace edgebol::env

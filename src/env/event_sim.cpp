@@ -1,0 +1,202 @@
+#include "env/event_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+#include "edge/gpu_model.hpp"
+#include "ran/cqi.hpp"
+#include "ran/mcs_tables.hpp"
+#include "service/image_source.hpp"
+
+namespace edgebol::env {
+
+namespace {
+
+enum class UserState {
+  kPreprocess,
+  kGrantWait,
+  kUplink,
+  kGpuQueue,
+  kGpuService,
+  kDownlink,
+};
+
+struct UserSim {
+  UserState state = UserState::kPreprocess;
+  double timer_s = 0.0;        // remaining time in timed states
+  double bits_left = 0.0;      // remaining uplink payload
+  int eff_mcs = 0;
+  double capture_time_s = 0.0;
+  double enqueue_time_s = 0.0;  // when the frame joined the GPU queue
+  // Statistics (measured window only).
+  double delay_sum_s = 0.0;
+  double frames = 0.0;
+};
+
+}  // namespace
+
+EventSimResult simulate_events(const TestbedConfig& cfg,
+                               const std::vector<double>& snrs_db,
+                               const ControlPolicy& policy,
+                               const EventSimConfig& sim) {
+  if (snrs_db.empty())
+    throw std::invalid_argument("simulate_events: no users");
+  if (sim.duration_s <= sim.warmup_s || sim.tick_s <= 0.0)
+    throw std::invalid_argument("simulate_events: bad timing config");
+  if (policy.resolution <= 0.0 || policy.resolution > 1.0 ||
+      policy.airtime <= 0.0 || policy.airtime > 1.0)
+    throw std::invalid_argument("simulate_events: bad policy");
+
+  const service::ImageSource image(cfg.image);
+  const edge::GpuModel gpu(cfg.server.gpu);
+
+  const double preprocess_s = image.preprocess_time_s(policy.resolution);
+  // Protocol overhead inflates the bits that must cross the air (the fluid
+  // model folds the same factor into the app-level rate).
+  const double wire_bits = image.image_bits(policy.resolution) /
+                           cfg.vbs.protocol_efficiency;
+  const double gpu_service_s =
+      gpu.infer_time_s(policy.resolution, policy.gpu_speed);
+  const double dl_time_s = image.response_bits() / cfg.downlink_rate_bps;
+
+  std::vector<UserSim> users(snrs_db.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    users[u].eff_mcs =
+        ran::effective_mcs(ran::snr_to_cqi(snrs_db[u]), policy.mcs_cap);
+    users[u].timer_s = preprocess_s;
+  }
+
+  std::deque<std::size_t> gpu_queue;
+  bool gpu_busy = false;
+  std::size_t gpu_current = 0;
+  double gpu_timer_s = 0.0;
+
+  double airtime_credit = 0.0;
+  std::size_t rr_next = 0;
+
+  // Measured-window accumulators.
+  long granted_subframes = 0;
+  long gpu_busy_ticks = 0;
+  long measured_ticks = 0;
+  double queue_len_ticks = 0.0;
+  double gpu_wait_sum_s = 0.0;
+  double gpu_wait_count = 0.0;
+
+  const long total_ticks = static_cast<long>(sim.duration_s / sim.tick_s);
+  for (long tick = 0; tick < total_ticks; ++tick) {
+    const double now = static_cast<double>(tick) * sim.tick_s;
+    const bool measuring = now >= sim.warmup_s;
+    if (measuring) {
+      ++measured_ticks;
+      queue_len_ticks += static_cast<double>(gpu_queue.size());
+    }
+
+    // ---- timed user states ----
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      UserSim& us = users[u];
+      switch (us.state) {
+        case UserState::kPreprocess:
+        case UserState::kGrantWait:
+        case UserState::kDownlink:
+          us.timer_s -= sim.tick_s;
+          if (us.timer_s <= 0.0) {
+            if (us.state == UserState::kPreprocess) {
+              us.state = UserState::kGrantWait;
+              us.timer_s += cfg.vbs.grant_latency_s;
+            } else if (us.state == UserState::kGrantWait) {
+              us.state = UserState::kUplink;
+              us.bits_left = wire_bits;
+            } else {  // downlink done: frame complete, capture the next one
+              if (measuring) {
+                us.delay_sum_s += now - us.capture_time_s;
+                us.frames += 1.0;
+              }
+              us.capture_time_s = now;
+              us.state = UserState::kPreprocess;
+              us.timer_s += preprocess_s;
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+
+    // ---- radio: one subframe, airtime-credit round robin (TDM). Credit
+    // accrues only while someone is backlogged: idle phases must not bank
+    // airtime, or the duty cycle would only hold averaged over whole frame
+    // cycles instead of every scheduling window. ----
+    std::size_t picked = users.size();
+    for (std::size_t probe = 0; probe < users.size(); ++probe) {
+      const std::size_t u = (rr_next + probe) % users.size();
+      if (users[u].state == UserState::kUplink) {
+        picked = u;
+        break;
+      }
+    }
+    if (picked != users.size()) {
+      airtime_credit += policy.airtime;
+      if (airtime_credit >= 1.0) {
+        airtime_credit -= 1.0;
+        if (measuring) ++granted_subframes;
+        rr_next = (picked + 1) % users.size();
+        UserSim& us = users[picked];
+        us.bits_left -= ran::tbs_bits(us.eff_mcs, cfg.vbs.nprb);
+        if (us.bits_left <= 0.0) {
+          us.state = UserState::kGpuQueue;
+          us.enqueue_time_s = now;
+          gpu_queue.push_back(picked);
+        }
+      }
+    }
+
+    // ---- GPU: FIFO service ----
+    if (gpu_busy) {
+      if (measuring) ++gpu_busy_ticks;
+      gpu_timer_s -= sim.tick_s;
+      if (gpu_timer_s <= 0.0) {
+        gpu_busy = false;
+        UserSim& us = users[gpu_current];
+        us.state = UserState::kDownlink;
+        us.timer_s = dl_time_s + gpu_timer_s;  // carry the remainder
+      }
+    }
+    if (!gpu_busy && !gpu_queue.empty()) {
+      gpu_current = gpu_queue.front();
+      gpu_queue.pop_front();
+      UserSim& us = users[gpu_current];
+      if (measuring) {
+        gpu_wait_sum_s += now - us.enqueue_time_s;
+        gpu_wait_count += 1.0;
+      }
+      us.state = UserState::kGpuService;
+      gpu_busy = true;
+      gpu_timer_s += gpu_service_s;
+    }
+  }
+
+  EventSimResult r;
+  const double window_s =
+      static_cast<double>(measured_ticks) * sim.tick_s;
+  r.mean_delay_s.resize(users.size());
+  r.frames_completed.resize(users.size());
+  r.frame_rate_hz.resize(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    r.frames_completed[u] = users[u].frames;
+    r.mean_delay_s[u] =
+        users[u].frames > 0.0 ? users[u].delay_sum_s / users[u].frames : 0.0;
+    r.frame_rate_hz[u] = users[u].frames / window_s;
+    r.total_frame_rate_hz += r.frame_rate_hz[u];
+  }
+  r.gpu_busy_fraction =
+      static_cast<double>(gpu_busy_ticks) / static_cast<double>(measured_ticks);
+  r.bs_busy_fraction = static_cast<double>(granted_subframes) /
+                       static_cast<double>(measured_ticks);
+  r.mean_gpu_wait_s =
+      gpu_wait_count > 0.0 ? gpu_wait_sum_s / gpu_wait_count : 0.0;
+  r.mean_queue_len = queue_len_ticks / static_cast<double>(measured_ticks);
+  return r;
+}
+
+}  // namespace edgebol::env

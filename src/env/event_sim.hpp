@@ -1,0 +1,48 @@
+// Discrete-event (per-subframe) simulator of the closed loop.
+//
+// The Testbed evaluates policies with a fluid fixed-point model
+// (service/pipeline.hpp) because the learning experiments need thousands of
+// cheap evaluations. This module is the ground truth that model is checked
+// against: it simulates the system at 1 ms granularity — every frame is an
+// entity moving through capture/preprocess -> grant -> uplink subframes
+// (airtime-credit round-robin scheduler) -> GPU FIFO queue -> inference ->
+// downlink — and reports the same aggregate quantities. Tests assert the
+// fluid model's delays, frame rates, duty cycles and utilizations agree
+// with this simulation across the policy space.
+
+#pragma once
+
+#include <vector>
+
+#include "env/policy.hpp"
+#include "env/testbed.hpp"
+
+namespace edgebol::env {
+
+struct EventSimConfig {
+  double duration_s = 40.0;    // simulated wall time
+  double warmup_s = 5.0;       // discarded from the statistics
+  double tick_s = 0.001;       // one LTE subframe
+};
+
+struct EventSimResult {
+  std::vector<double> mean_delay_s;      // per user, capture -> result
+  std::vector<double> frames_completed;  // per user
+  std::vector<double> frame_rate_hz;     // per user
+  double total_frame_rate_hz = 0.0;
+  double gpu_busy_fraction = 0.0;        // of the measured window
+  double mean_gpu_wait_s = 0.0;          // time in the inference queue
+  double bs_busy_fraction = 0.0;         // subframes granted to the slice
+  double mean_queue_len = 0.0;           // GPU queue length (time average)
+};
+
+/// Simulate `snrs_db.size()` users with static channels at the given SNRs
+/// under `policy`, on the platform described by `cfg`. Deterministic: noise
+/// sources are disabled so the result is comparable with
+/// Testbed::expected().
+EventSimResult simulate_events(const TestbedConfig& cfg,
+                               const std::vector<double>& snrs_db,
+                               const ControlPolicy& policy,
+                               const EventSimConfig& sim = {});
+
+}  // namespace edgebol::env

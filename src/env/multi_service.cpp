@@ -1,0 +1,208 @@
+#include "env/multi_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ran/cqi.hpp"
+
+namespace edgebol::env {
+
+MultiServiceTestbed::MultiServiceTestbed(TestbedConfig cfg,
+                                         std::vector<ran::UeChannel> users_a,
+                                         std::vector<ran::UeChannel> users_b)
+    : cfg_(cfg),
+      users_{std::move(users_a), std::move(users_b)},
+      vbs_(cfg.vbs),
+      server_(cfg.server),
+      image_(cfg.image),
+      map_(cfg.map),
+      rng_(cfg.seed) {
+  for (std::size_t s = 0; s < 2; ++s) {
+    if (users_[s].empty())
+      throw std::invalid_argument("MultiServiceTestbed: empty slice");
+    for (const ran::UeChannel& u : users_[s]) {
+      last_cqis_[s].push_back(
+          static_cast<double>(ran::snr_to_cqi(u.expected_snr_db())));
+    }
+  }
+}
+
+Context MultiServiceTestbed::context(std::size_t service) const {
+  if (service >= 2)
+    throw std::out_of_range("MultiServiceTestbed::context");
+  Context c;
+  c.n_users = static_cast<double>(users_[service].size());
+  c.cqi_mean = mean_of(last_cqis_[service]);
+  c.cqi_var = variance_of(last_cqis_[service]);
+  return c;
+}
+
+linalg::Vector MultiServiceTestbed::joint_context_features() const {
+  linalg::Vector out = context(0).to_features();
+  const linalg::Vector b = context(1).to_features();
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+std::size_t MultiServiceTestbed::num_users(std::size_t service) const {
+  if (service >= 2)
+    throw std::out_of_range("MultiServiceTestbed::num_users");
+  return users_[service].size();
+}
+
+MultiMeasurement MultiServiceTestbed::step(const ControlPolicy& policy_a,
+                                           const ControlPolicy& policy_b) {
+  std::array<std::vector<double>, 2> snrs;
+  for (std::size_t s = 0; s < 2; ++s) {
+    last_cqis_[s].clear();
+    for (ran::UeChannel& u : users_[s]) {
+      const double snr = u.next_snr_db(rng_);
+      snrs[s].push_back(snr);
+      last_cqis_[s].push_back(static_cast<double>(ran::snr_to_cqi(snr)));
+    }
+  }
+  return evaluate(policy_a, policy_b, snrs, /*noisy=*/true, &rng_);
+}
+
+MultiMeasurement MultiServiceTestbed::expected(
+    const ControlPolicy& policy_a, const ControlPolicy& policy_b) const {
+  std::array<std::vector<double>, 2> snrs;
+  for (std::size_t s = 0; s < 2; ++s) {
+    for (const ran::UeChannel& u : users_[s]) {
+      snrs[s].push_back(u.expected_snr_db());
+    }
+  }
+  return evaluate(policy_a, policy_b, snrs, /*noisy=*/false, nullptr);
+}
+
+MultiMeasurement MultiServiceTestbed::evaluate(
+    const ControlPolicy& pa, const ControlPolicy& pb,
+    const std::array<std::vector<double>, 2>& snrs, bool noisy,
+    Rng* rng) const {
+  const std::array<const ControlPolicy*, 2> policies{&pa, &pb};
+  if (pa.airtime + pb.airtime > 1.0 + 1e-9)
+    throw std::invalid_argument(
+        "MultiServiceTestbed: airtime split exceeds the carrier");
+
+  // Build each slice's pipeline inputs under its own radio/service policy.
+  std::array<service::PipelineInputs, 2> in;
+  for (std::size_t s = 0; s < 2; ++s) {
+    const ControlPolicy& p = *policies[s];
+    if (p.resolution <= 0.0 || p.resolution > 1.0)
+      throw std::invalid_argument("MultiServiceTestbed: bad resolution");
+    vbs_.set_policy({p.airtime, p.mcs_cap});
+    for (double snr : snrs[s]) {
+      const ran::UeRadioReport rep = vbs_.observe_ue(snr, 1);
+      service::PipelineUser u;
+      u.solo_app_rate_bps = rep.app_rate_bps;
+      u.solo_phy_rate_bps = rep.phy_rate_bps;
+      u.spectral_eff = ran::spectral_efficiency(rep.eff_mcs);
+      u.eff_mcs = static_cast<double>(rep.eff_mcs);
+      in[s].users.push_back(u);
+    }
+    in[s].image_bits = noisy ? image_.sample_image_bits(p.resolution, *rng)
+                             : image_.image_bits(p.resolution);
+    in[s].preprocess_s = image_.preprocess_time_s(p.resolution);
+    in[s].response_bits = image_.response_bits();
+    in[s].grant_latency_s = cfg_.vbs.grant_latency_s;
+    in[s].downlink_rate_bps = cfg_.downlink_rate_bps;
+    server_.set_gpu_policy(p.gpu_speed);
+    in[s].gpu_service_s =
+        noisy ? server_.gpu().sample_infer_time_s(p.resolution, p.gpu_speed,
+                                                  *rng)
+              : server_.gpu().infer_time_s(p.resolution, p.gpu_speed);
+    in[s].airtime = p.airtime;
+    in[s].max_gpu_utilization = cfg_.server.max_utilization;
+  }
+
+  // Couple the slices through the shared GPU: damped fixed point on the
+  // cross-tenant utilization.
+  std::array<service::PipelineResult, 2> out;
+  std::array<double, 2> external{0.0, 0.0};
+  for (int it = 0; it < 10; ++it) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      in[s].external_gpu_utilization = external[1 - s];
+      out[s] = service::solve_pipeline(in[s]);
+    }
+    for (std::size_t s = 0; s < 2; ++s) {
+      external[s] = 0.5 * external[s] + 0.5 * out[s].own_gpu_utilization;
+    }
+  }
+
+  MultiMeasurement m;
+  // Shared server power: each slice's GPU duty draws at its own power
+  // limit; host overhead scales with total utilization.
+  double util_total = out[0].own_gpu_utilization + out[1].own_gpu_utilization;
+  const double cap = cfg_.server.max_utilization;
+  const double scale = util_total > cap ? cap / util_total : 1.0;
+  util_total = std::min(util_total, cap);
+  double server_power = cfg_.server.host_idle_w +
+                        util_total * cfg_.server.host_busy_coeff_w;
+  for (std::size_t s = 0; s < 2; ++s) {
+    server_power += scale * out[s].own_gpu_utilization *
+                    (server_.gpu().active_draw_w(policies[s]->gpu_speed) -
+                     cfg_.server.gpu.idle_draw_w);
+  }
+  if (noisy) {
+    server_power += rng->normal(0.0, cfg_.server.power_noise_stddev_w);
+  }
+  m.server_power_w = std::max(0.9 * cfg_.server.host_idle_w, server_power);
+
+  // Shared BS power: duties add; spectral efficiency weighted by duty.
+  const double duty_total = std::min(1.0, out[0].bs_duty + out[1].bs_duty);
+  const double eff =
+      duty_total > 0.0
+          ? (out[0].bs_duty * out[0].mean_spectral_eff +
+             out[1].bs_duty * out[1].mean_spectral_eff) /
+                std::max(1e-9, out[0].bs_duty + out[1].bs_duty)
+          : 0.0;
+  m.bs_power_w = noisy ? vbs_.sample_power_w(duty_total, eff, *rng)
+                       : vbs_.mean_power_w(duty_total, eff);
+
+  for (std::size_t s = 0; s < 2; ++s) {
+    Measurement& ms = m.service[s];
+    ms.delay_s =
+        *std::max_element(out[s].delay_s.begin(), out[s].delay_s.end());
+    if (noisy) {
+      ms.delay_s = std::max(
+          0.2 * ms.delay_s,
+          ms.delay_s + rng->normal(0.0, cfg_.delay_noise_frac * ms.delay_s));
+      double worst = 1.0;
+      for (std::size_t u = 0; u < snrs[s].size(); ++u) {
+        worst = std::min(worst,
+                         map_.sample_map(policies[s]->resolution, *rng));
+      }
+      ms.map = worst;
+    } else {
+      ms.map = map_.mean_map(policies[s]->resolution);
+    }
+    ms.server_power_w = m.server_power_w;
+    ms.bs_power_w = m.bs_power_w;
+    ms.gpu_delay_s = out[s].gpu_delay_s;
+    ms.mean_mcs = out[s].mean_eff_mcs;
+    ms.total_frame_rate_hz = out[s].total_frame_rate_hz;
+    ms.gpu_utilization = out[s].gpu_utilization;
+    ms.bs_duty = out[s].bs_duty;
+    ms.mean_snr_db = mean_of(snrs[s]);
+  }
+  return m;
+}
+
+MultiServiceTestbed make_two_service_testbed(std::size_t n_a, double snr_a_db,
+                                             std::size_t n_b, double snr_b_db,
+                                             TestbedConfig cfg) {
+  auto slice = [&](std::size_t n, double snr) {
+    std::vector<ran::UeChannel> users;
+    for (std::size_t i = 0; i < n; ++i) {
+      users.emplace_back(std::make_unique<ran::ConstantSnr>(snr),
+                         cfg.fading_sigma_db, cfg.fading_rho);
+    }
+    return users;
+  };
+  return MultiServiceTestbed(cfg, slice(n_a, snr_a_db), slice(n_b, snr_b_db));
+}
+
+}  // namespace edgebol::env

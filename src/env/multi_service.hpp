@@ -1,0 +1,73 @@
+// Two AI services sharing one vBS and one GPU edge server (§4.4).
+//
+// The paper discusses extending EdgeBOL to jointly optimize S services:
+// expand the context to the union of the slices' contexts, the action space
+// to 4S dimensions, add each service's KPI constraints, and couple the
+// shared resources (total airtime <= 1, shared GPU). It then argues this
+// scales poorly — the data needed grows exponentially with dimension — and
+// settles on per-slice instances. This testbed makes the coupled system
+// real so bench_multi_service can quantify that trade-off.
+
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "env/testbed.hpp"
+
+namespace edgebol::env {
+
+/// Joint measurement for one period: per-service KPIs plus the shared
+/// platform powers (which cannot be attributed to a single slice).
+struct MultiMeasurement {
+  std::array<Measurement, 2> service{};  // delay/map are per-service
+  double server_power_w = 0.0;
+  double bs_power_w = 0.0;
+};
+
+class MultiServiceTestbed {
+ public:
+  /// Both slices run on one platform described by `cfg`; each has its own
+  /// user population. The per-service ControlPolicies passed to step() must
+  /// satisfy the coupling constraint airtime_a + airtime_b <= 1 (throws
+  /// otherwise — the slice manager would never admit such a split).
+  MultiServiceTestbed(TestbedConfig cfg,
+                      std::vector<ran::UeChannel> users_a,
+                      std::vector<ran::UeChannel> users_b);
+
+  /// Context of one service's slice (0 or 1).
+  Context context(std::size_t service) const;
+
+  /// Joint context feature vector [c_a, c_b] for a joint orchestrator.
+  linalg::Vector joint_context_features() const;
+
+  MultiMeasurement step(const ControlPolicy& policy_a,
+                        const ControlPolicy& policy_b);
+
+  /// Noise-free expectation for oracle search.
+  MultiMeasurement expected(const ControlPolicy& policy_a,
+                            const ControlPolicy& policy_b) const;
+
+  std::size_t num_users(std::size_t service) const;
+
+ private:
+  MultiMeasurement evaluate(const ControlPolicy& pa, const ControlPolicy& pb,
+                            const std::array<std::vector<double>, 2>& snrs,
+                            bool noisy, Rng* rng) const;
+
+  TestbedConfig cfg_;
+  std::array<std::vector<ran::UeChannel>, 2> users_;
+  mutable ran::Vbs vbs_;
+  mutable edge::EdgeServer server_;
+  service::ImageSource image_;
+  service::MapModel map_;
+  Rng rng_;
+  std::array<std::vector<double>, 2> last_cqis_;
+};
+
+/// Builder: two slices with n_a/n_b users at the given mean SNRs.
+MultiServiceTestbed make_two_service_testbed(std::size_t n_a, double snr_a_db,
+                                             std::size_t n_b, double snr_b_db,
+                                             TestbedConfig cfg = {});
+
+}  // namespace edgebol::env

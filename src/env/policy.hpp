@@ -1,0 +1,32 @@
+// The joint control policy (paper §4.2):
+//   x_t = [ image resolution eta, radio airtime a, GPU speed gamma, MCS cap m ]
+// covering the user device (Policy 1), the vBS MAC (Policies 2 and 4), and
+// the edge server's GPU driver (Policy 3).
+
+#pragma once
+
+#include "env/context.hpp"
+#include "linalg/matrix.hpp"
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::env {
+
+struct ControlPolicy {
+  double resolution = 1.0;        // eta in (0, 1]: fraction of full pixels
+  double airtime = 1.0;           // a in (0, 1]: uplink duty-cycle cap
+  double gpu_speed = 1.0;         // gamma in [0, 1]: normalized power limit
+  int mcs_cap = ran::kMaxUlMcs;   // m in [0, kMaxUlMcs]
+
+  /// Normalized feature vector for the GP input space (4 entries in [0,1]).
+  linalg::Vector to_features() const;
+
+  static constexpr std::size_t kFeatureDims = 4;
+
+  bool operator==(const ControlPolicy&) const = default;
+};
+
+/// Concatenated [context, control] feature vector: the GP input z in
+/// Z = C x X (7 dimensions).
+linalg::Vector joint_features(const Context&, const ControlPolicy&);
+
+}  // namespace edgebol::env

@@ -1,0 +1,53 @@
+#include "env/scenarios.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace edgebol::env {
+
+namespace {
+
+ran::UeChannel constant_ue(double mean_snr_db, const TestbedConfig& cfg) {
+  return ran::UeChannel(std::make_unique<ran::ConstantSnr>(mean_snr_db),
+                        cfg.fading_sigma_db, cfg.fading_rho);
+}
+
+}  // namespace
+
+Testbed make_static_testbed(double mean_snr_db, TestbedConfig cfg) {
+  std::vector<ran::UeChannel> users;
+  users.push_back(constant_ue(mean_snr_db, cfg));
+  return Testbed(cfg, std::move(users));
+}
+
+Testbed make_heterogeneous_testbed(std::size_t n_users, double base_snr_db,
+                                   double snr_decay, TestbedConfig cfg) {
+  if (n_users == 0)
+    throw std::invalid_argument("make_heterogeneous_testbed: no users");
+  if (snr_decay < 0.0 || snr_decay >= 1.0)
+    throw std::invalid_argument("make_heterogeneous_testbed: bad decay");
+  std::vector<ran::UeChannel> users;
+  double snr = base_snr_db;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    users.push_back(constant_ue(snr, cfg));
+    snr *= (1.0 - snr_decay);
+  }
+  return Testbed(cfg, std::move(users));
+}
+
+Testbed make_dynamic_testbed(double lo_db, double hi_db, std::size_t levels,
+                             std::size_t hold, TestbedConfig cfg) {
+  std::vector<ran::UeChannel> users;
+  users.emplace_back(std::make_unique<ran::TraceSnr>(
+                         ran::stepped_snr_trace(lo_db, hi_db, levels, hold)),
+                     cfg.fading_sigma_db, cfg.fading_rho);
+  return Testbed(cfg, std::move(users));
+}
+
+TestbedConfig high_load_config(double multiplier, TestbedConfig cfg) {
+  cfg.bs_load_multiplier = multiplier;
+  return cfg;
+}
+
+}  // namespace edgebol::env

@@ -1,0 +1,31 @@
+// Scenario builders matching the paper's evaluation setups (§6).
+
+#pragma once
+
+#include <cstddef>
+
+#include "env/testbed.hpp"
+
+namespace edgebol::env {
+
+/// §6.2/§6.3: a single user at a steady mean SNR (35 dB = good conditions).
+Testbed make_static_testbed(double mean_snr_db = 35.0, TestbedConfig cfg = {});
+
+/// §6.4: N heterogeneous users. User 1 has `base_snr_db` (30 dB); every
+/// additional user has 20% lower SNR than the previous one.
+Testbed make_heterogeneous_testbed(std::size_t n_users,
+                                   double base_snr_db = 30.0,
+                                   double snr_decay = 0.20,
+                                   TestbedConfig cfg = {});
+
+/// §6.5 (Fig. 13): a single user whose mean SNR follows a stepped trace
+/// quickly sweeping between `lo_db` and `hi_db`.
+Testbed make_dynamic_testbed(double lo_db = 5.0, double hi_db = 38.0,
+                             std::size_t levels = 6, std::size_t hold = 4,
+                             TestbedConfig cfg = {});
+
+/// Fig. 6: the same platform carrying 10x the offered load at the BS.
+TestbedConfig high_load_config(double multiplier = 10.0,
+                               TestbedConfig cfg = {});
+
+}  // namespace edgebol::env

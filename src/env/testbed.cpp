@@ -1,0 +1,156 @@
+#include "env/testbed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ran/cqi.hpp"
+
+namespace edgebol::env {
+
+Testbed::Testbed(TestbedConfig cfg, std::vector<ran::UeChannel> users)
+    : cfg_(cfg),
+      users_(std::move(users)),
+      vbs_(cfg.vbs),
+      server_(cfg.server),
+      image_(cfg.image),
+      map_(cfg.map),
+      confidence_(cfg.map, cfg.confidence),
+      meter_(cfg.power_meter),
+      rng_(cfg.seed) {
+  if (users_.empty()) throw std::invalid_argument("Testbed: no users");
+  if (cfg_.bs_load_multiplier < 1.0)
+    throw std::invalid_argument("Testbed: load multiplier < 1");
+  // Before the first period the context reflects the expected channel state.
+  last_cqis_.reserve(users_.size());
+  for (const ran::UeChannel& u : users_) {
+    last_cqis_.push_back(
+        static_cast<double>(ran::snr_to_cqi(u.expected_snr_db())));
+  }
+}
+
+Context Testbed::context() const {
+  Context c;
+  c.n_users = static_cast<double>(users_.size());
+  c.cqi_mean = mean_of(last_cqis_);
+  c.cqi_var = variance_of(last_cqis_);
+  return c;
+}
+
+void Testbed::set_bs_load_multiplier(double multiplier) {
+  if (multiplier < 1.0)
+    throw std::invalid_argument("Testbed: load multiplier < 1");
+  cfg_.bs_load_multiplier = multiplier;
+}
+
+Measurement Testbed::step(const ControlPolicy& policy) {
+  std::vector<double> snrs;
+  snrs.reserve(users_.size());
+  for (ran::UeChannel& u : users_) snrs.push_back(u.next_snr_db(rng_));
+
+  last_cqis_.clear();
+  for (double s : snrs) {
+    last_cqis_.push_back(static_cast<double>(ran::snr_to_cqi(s)));
+  }
+  return evaluate(policy, snrs, /*noisy=*/true, &rng_);
+}
+
+Measurement Testbed::expected(const ControlPolicy& policy) const {
+  std::vector<double> snrs;
+  snrs.reserve(users_.size());
+  for (const ran::UeChannel& u : users_) snrs.push_back(u.expected_snr_db());
+  return evaluate(policy, snrs, /*noisy=*/false, nullptr);
+}
+
+Measurement Testbed::evaluate(const ControlPolicy& policy,
+                              const std::vector<double>& snrs_db, bool noisy,
+                              Rng* rng) const {
+  if (policy.resolution <= 0.0 || policy.resolution > 1.0)
+    throw std::invalid_argument("Testbed: resolution out of (0, 1]");
+
+  vbs_.set_policy({policy.airtime, policy.mcs_cap});
+  server_.set_gpu_policy(policy.gpu_speed);
+
+  service::PipelineInputs in;
+  in.users.reserve(snrs_db.size());
+  double bulk_phy_sum = 0.0;
+  for (double snr : snrs_db) {
+    const ran::UeRadioReport rep = vbs_.observe_ue(snr, /*n_active=*/1);
+    service::PipelineUser u;
+    u.solo_app_rate_bps = rep.app_rate_bps;
+    u.solo_phy_rate_bps = rep.phy_rate_bps;
+    u.spectral_eff = ran::spectral_efficiency(rep.eff_mcs);
+    u.eff_mcs = static_cast<double>(rep.eff_mcs);
+    in.users.push_back(u);
+    bulk_phy_sum += ran::peak_rate_bps(rep.eff_mcs, cfg_.vbs.nprb);
+  }
+
+  in.image_bits = noisy
+                      ? image_.sample_image_bits(policy.resolution, *rng)
+                      : image_.image_bits(policy.resolution);
+  in.preprocess_s = image_.preprocess_time_s(policy.resolution);
+  in.response_bits = image_.response_bits();
+  in.grant_latency_s = cfg_.vbs.grant_latency_s;
+  in.downlink_rate_bps = cfg_.downlink_rate_bps;
+  in.gpu_service_s =
+      noisy ? server_.gpu().sample_infer_time_s(policy.resolution,
+                                                policy.gpu_speed, *rng)
+            : server_.gpu().infer_time_s(policy.resolution, policy.gpu_speed);
+  in.airtime = policy.airtime;
+  in.max_gpu_utilization = cfg_.server.max_utilization;
+  in.bs_load_multiplier = cfg_.bs_load_multiplier;
+  in.bulk_efficiency = cfg_.bulk_efficiency;
+  in.bulk_phy_rate_bps = bulk_phy_sum / static_cast<double>(snrs_db.size());
+
+  const service::PipelineResult pipe = service::solve_pipeline(in);
+
+  Measurement m;
+  m.delay_s = *std::max_element(pipe.delay_s.begin(), pipe.delay_s.end());
+  if (noisy) {
+    m.delay_s = std::max(
+        0.2 * m.delay_s,
+        m.delay_s + rng->normal(0.0, cfg_.delay_noise_frac * m.delay_s));
+  }
+
+  // Worst precision across users (each user's batch draws differently),
+  // observed either as labelled mAP or as the label-free confidence-
+  // calibrated estimate (§4.2).
+  if (noisy) {
+    double worst = 1.0;
+    for (std::size_t u = 0; u < snrs_db.size(); ++u) {
+      const double sample =
+          cfg_.precision_metric == PrecisionMetric::kConfidenceEstimate
+              ? confidence_.estimate_map(policy.resolution, *rng)
+              : map_.sample_map(policy.resolution, *rng);
+      worst = std::min(worst, sample);
+    }
+    m.map = worst;
+  } else {
+    m.map = map_.mean_map(policy.resolution);
+  }
+
+  // Power KPIs: platform fluctuation (sample_*) observed through the bench
+  // meter's accuracy/quantization model.
+  m.server_power_w =
+      noisy ? meter_.reading_w(server_.sample_power_w(pipe.gpu_utilization,
+                                                      *rng),
+                               *rng)
+            : server_.mean_power_w(pipe.gpu_utilization);
+  m.bs_power_w =
+      noisy ? meter_.reading_w(
+                  vbs_.sample_power_w(pipe.bs_duty, pipe.mean_spectral_eff,
+                                      *rng),
+                  *rng)
+            : vbs_.mean_power_w(pipe.bs_duty, pipe.mean_spectral_eff);
+
+  m.gpu_delay_s = pipe.gpu_delay_s;
+  m.mean_mcs = pipe.mean_eff_mcs;
+  m.total_frame_rate_hz = pipe.total_frame_rate_hz;
+  m.gpu_utilization = pipe.gpu_utilization;
+  m.bs_duty = pipe.bs_duty;
+  m.mean_snr_db = mean_of(snrs_db);
+  return m;
+}
+
+}  // namespace edgebol::env

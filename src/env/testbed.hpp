@@ -1,0 +1,113 @@
+// The experimental platform of §6.1, as a calibrated simulator.
+//
+// Composes the vBS (srsRAN substitute), the GPU edge server, the MVA
+// service models, and per-user channels into the closed loop of Fig. 8.
+// One `step()` is one orchestration time period (seconds-level, per O-RAN's
+// non-RT RIC): channels advance, the policy is enforced, the closed-loop
+// pipeline reaches steady state, and noisy KPI samples are returned — the
+// same feedback the paper's learning agent receives. `expected()` gives the
+// noise-free ground truth used by the offline oracle benchmarks.
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "edge/server.hpp"
+#include "env/context.hpp"
+#include "env/policy.hpp"
+#include "ran/channel.hpp"
+#include "ran/vbs.hpp"
+#include "service/confidence_model.hpp"
+#include "telemetry/power_meter.hpp"
+#include "service/image_source.hpp"
+#include "service/map_model.hpp"
+#include "service/pipeline.hpp"
+
+namespace edgebol::env {
+
+/// How the per-period precision observation is produced (§4.2): labelled
+/// mAP over the period's images (pre-production), or the label-free
+/// confidence-calibrated estimate (noisier, deployable in production).
+enum class PrecisionMetric {
+  kLabeledMap,
+  kConfidenceEstimate,
+};
+
+struct TestbedConfig {
+  ran::VbsConfig vbs{};
+  edge::ServerParams server{};
+  service::ImageParams image{};
+  service::MapParams map{};
+  double fading_sigma_db = 1.0;   // per-period shadow fading
+  double fading_rho = 0.6;        // fading correlation across periods
+  double bs_load_multiplier = 1.0;  // 10 for the Fig. 6 scenario
+  double bulk_efficiency = 0.5;     // background traffic protocol efficiency
+  double downlink_rate_bps = 4e6;
+  double delay_noise_frac = 0.02;   // residual jitter of 150-image averages
+  PrecisionMetric precision_metric = PrecisionMetric::kLabeledMap;
+  service::ConfidenceParams confidence{};
+  /// Power KPIs pass through the bench-meter model (accuracy + display
+  /// quantization), as on the prototype's GPM-8213.
+  telemetry::PowerMeterSpec power_meter{};
+  std::uint64_t seed = 1;
+};
+
+/// One period's noisy KPI observations (what the learning agent sees), plus
+/// noise-free diagnostics used by the measurement-study benchmarks.
+struct Measurement {
+  // Observed performance indicators (paper notation).
+  double delay_s = 0.0;         // d_t: max service delay across users
+  double map = 0.0;             // rho_t: min mAP across users
+  double server_power_w = 0.0;  // p^s_t
+  double bs_power_w = 0.0;      // p^b_t
+
+  // Diagnostics.
+  double gpu_delay_s = 0.0;        // queue wait + inference (Fig. 3 bottom)
+  double mean_mcs = 0.0;           // mean effective MCS (Fig. 5/6 x-axis)
+  double total_frame_rate_hz = 0.0;
+  double gpu_utilization = 0.0;
+  double bs_duty = 0.0;
+  double mean_snr_db = 0.0;
+};
+
+class Testbed {
+ public:
+  Testbed(TestbedConfig cfg, std::vector<ran::UeChannel> users);
+
+  std::size_t num_users() const { return users_.size(); }
+  const TestbedConfig& config() const { return cfg_; }
+
+  /// Context observed at the start of the current period: user count plus
+  /// mean/variance of the previous period's uplink CQIs (paper §4.2).
+  Context context() const;
+
+  /// Run one time period under `policy`; advances channels and returns the
+  /// noisy end-of-period measurement.
+  Measurement step(const ControlPolicy& policy);
+
+  /// Noise-free steady-state outcome at the current expected SNRs. This is
+  /// the ground truth an offline oracle can exhaustively search.
+  Measurement expected(const ControlPolicy& policy) const;
+
+  /// Replace the BS load multiplier at runtime (Fig. 6 sweeps).
+  void set_bs_load_multiplier(double multiplier);
+
+ private:
+  Measurement evaluate(const ControlPolicy& policy,
+                       const std::vector<double>& snrs_db, bool noisy,
+                       Rng* rng) const;
+
+  TestbedConfig cfg_;
+  std::vector<ran::UeChannel> users_;
+  mutable ran::Vbs vbs_;
+  mutable edge::EdgeServer server_;
+  service::ImageSource image_;
+  service::MapModel map_;
+  service::ConfidencePrecision confidence_;
+  telemetry::PowerMeter meter_;
+  Rng rng_;
+  std::vector<double> last_cqis_;
+};
+
+}  // namespace edgebol::env

@@ -1,0 +1,147 @@
+#include "gp/gp_regressor.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace edgebol::gp {
+
+double Prediction::stddev() const {
+  return std::sqrt(std::max(0.0, variance));
+}
+
+GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, double noise_variance)
+    : kernel_(std::move(kernel)), noise_var_(noise_variance) {
+  if (!kernel_) throw std::invalid_argument("GpRegressor: null kernel");
+  if (!(noise_var_ > 0.0))
+    throw std::invalid_argument("GpRegressor: noise variance must be > 0");
+}
+
+GpRegressor::GpRegressor(const GpRegressor& other)
+    : kernel_(other.kernel_->clone()),
+      noise_var_(other.noise_var_),
+      z_(other.z_),
+      y_(other.y_),
+      chol_(other.chol_),
+      w_(other.w_),
+      cands_(other.cands_),
+      acol_(other.acol_),
+      tracked_mean_(other.tracked_mean_),
+      tracked_var_(other.tracked_var_) {}
+
+GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
+  if (this == &other) return *this;
+  GpRegressor tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+void GpRegressor::add(const Vector& z, double y) {
+  if (z.size() != kernel_->dims())
+    throw std::invalid_argument("GpRegressor::add: input dimension mismatch");
+  const std::size_t n = y_.size();
+
+  Vector kvec(n);
+  for (std::size_t i = 0; i < n; ++i) kvec[i] = (*kernel_)(z_[i], z);
+  const double kzz = (*kernel_)(z, z) + noise_var_;
+
+  chol_.extend(kvec, kzz);
+  const Matrix& l = chol_.lower();
+  const double pivot = l(n, n);
+
+  // Extend w = L^{-1} y by forward substitution on the new row.
+  double s = y;
+  for (std::size_t i = 0; i < n; ++i) s -= l(n, i) * w_[i];
+  const double w_new = s / pivot;
+  w_.push_back(w_new);
+
+  // Extend the tracked-candidate cache with the new row of A = L^{-1} K_tc
+  // and fold it into the cached posterior moments.
+  for (std::size_t j = 0; j < cands_.size(); ++j) {
+    double v = (*kernel_)(z, cands_[j]);
+    const Vector& aj = acol_[j];
+    for (std::size_t i = 0; i < n; ++i) v -= l(n, i) * aj[i];
+    const double a_new = v / pivot;
+    acol_[j].push_back(a_new);
+    tracked_mean_[j] += a_new * w_new;
+    tracked_var_[j] -= a_new * a_new;
+  }
+
+  z_.push_back(z);
+  y_.push_back(y);
+}
+
+Prediction GpRegressor::predict(const Vector& z) const {
+  if (z.size() != kernel_->dims())
+    throw std::invalid_argument(
+        "GpRegressor::predict: input dimension mismatch");
+  const std::size_t n = y_.size();
+  const double prior = (*kernel_)(z, z);
+  if (n == 0) return Prediction{0.0, prior};
+
+  Vector kvec(n);
+  for (std::size_t i = 0; i < n; ++i) kvec[i] = (*kernel_)(z_[i], z);
+  const Vector v = chol_.solve_lower(kvec);
+  const double mean = linalg::dot(v, w_);
+  const double var = std::max(0.0, prior - linalg::dot(v, v));
+  return Prediction{mean, var};
+}
+
+double GpRegressor::log_marginal_likelihood() const {
+  const auto n = static_cast<double>(y_.size());
+  if (y_.empty()) return 0.0;
+  return -0.5 * linalg::dot(w_, w_) - 0.5 * chol_.log_det() -
+         0.5 * n * std::log(2.0 * std::numbers::pi);
+}
+
+void GpRegressor::track_candidates(std::vector<Vector> candidates) {
+  for (const Vector& c : candidates) {
+    if (c.size() != kernel_->dims())
+      throw std::invalid_argument(
+          "GpRegressor::track_candidates: dimension mismatch");
+  }
+  cands_ = std::move(candidates);
+  rebuild_tracked_cache();
+}
+
+void GpRegressor::clear_tracked_candidates() {
+  cands_.clear();
+  acol_.clear();
+  tracked_mean_.clear();
+  tracked_var_.clear();
+}
+
+double GpRegressor::tracked_variance(std::size_t j) const {
+  return std::max(0.0, tracked_var_[j]);
+}
+
+Prediction GpRegressor::tracked_prediction(std::size_t j) const {
+  return Prediction{tracked_mean_[j], tracked_variance(j)};
+}
+
+void GpRegressor::rebuild_tracked_cache() {
+  const std::size_t m = cands_.size();
+  const std::size_t n = y_.size();
+  tracked_mean_.assign(m, 0.0);
+  tracked_var_.assign(m, 0.0);
+  acol_.assign(m, Vector{});
+  if (m == 0) return;
+
+  const Matrix& l = chol_.lower();
+  for (std::size_t j = 0; j < m; ++j) {
+    const Vector& cj = cands_[j];
+    tracked_var_[j] = (*kernel_)(cj, cj);
+    Vector& aj = acol_[j];
+    aj.resize(n);
+    // Forward substitution: a_j = L^{-1} k(train, c_j).
+    for (std::size_t i = 0; i < n; ++i) {
+      double v = (*kernel_)(z_[i], cj);
+      for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * aj[k];
+      aj[i] = v / l(i, i);
+      tracked_mean_[j] += aj[i] * w_[i];
+      tracked_var_[j] -= aj[i] * aj[i];
+    }
+  }
+}
+
+}  // namespace edgebol::gp

@@ -1,0 +1,92 @@
+// Gaussian-process regression with exact online updates.
+//
+// Implements the posterior of paper eqs. (3)-(4):
+//   mu_T(z)  = k_T(z)^T (K_T + zeta^2 I)^{-1} y_T
+//   k_T(z,z') = k(z,z') - k_T(z)^T (K_T + zeta^2 I)^{-1} k_T(z')
+//
+// maintained through an incrementally extended Cholesky factor, so that
+// adding the T-th observation costs O(T^2) and a single prediction costs
+// O(T^2). Because EdgeBOL must score the *entire* control grid (|X| = 11^4)
+// at every time period, the regressor can additionally "track" a fixed
+// candidate matrix: their posterior means/variances are cached and updated
+// in O(T |X|) per new observation instead of O(T^2 |X|) from scratch.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gp/kernel.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace edgebol::gp {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+/// Posterior marginal at a single point.
+struct Prediction {
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev() const;
+};
+
+class GpRegressor {
+ public:
+  /// `noise_variance` is the observation noise zeta^2 (must be > 0: it also
+  /// regularizes the kernel matrix).
+  GpRegressor(std::unique_ptr<Kernel> kernel, double noise_variance);
+
+  GpRegressor(const GpRegressor& other);
+  GpRegressor& operator=(const GpRegressor& other);
+  GpRegressor(GpRegressor&&) noexcept = default;
+  GpRegressor& operator=(GpRegressor&&) noexcept = default;
+
+  /// Condition on one observation y at input z. O(T^2) plus O(T m) for m
+  /// tracked candidates.
+  void add(const Vector& z, double y);
+
+  /// Posterior mean/variance at z. O(T^2). With no data this returns the
+  /// prior (mean 0, variance k(z,z)).
+  Prediction predict(const Vector& z) const;
+
+  /// Log marginal likelihood of the observed data under the current kernel
+  /// and noise level. Used for hyperparameter fitting.
+  double log_marginal_likelihood() const;
+
+  std::size_t num_observations() const { return y_.size(); }
+  const std::vector<Vector>& inputs() const { return z_; }
+  const Vector& targets() const { return y_; }
+  const Kernel& kernel() const { return *kernel_; }
+  double noise_variance() const { return noise_var_; }
+
+  /// Register candidate points whose posterior is kept up to date across
+  /// add() calls. Replaces any previous tracking.
+  /// Cost: O(T^2 m) once, then O(T m) per add().
+  void track_candidates(std::vector<Vector> candidates);
+  void clear_tracked_candidates();
+  bool has_tracked_candidates() const { return !cands_.empty(); }
+  std::size_t num_tracked() const { return cands_.size(); }
+  double tracked_mean(std::size_t j) const { return tracked_mean_[j]; }
+  double tracked_variance(std::size_t j) const;
+  Prediction tracked_prediction(std::size_t j) const;
+
+ private:
+  void rebuild_tracked_cache();
+
+  std::unique_ptr<Kernel> kernel_;
+  double noise_var_;
+
+  std::vector<Vector> z_;        // T training inputs
+  Vector y_;                     // T training targets
+  linalg::CholeskyFactor chol_;  // factor of K + zeta^2 I
+  Vector w_;                     // L^{-1} y, extended per observation
+
+  std::vector<Vector> cands_;    // m tracked candidates
+  std::vector<Vector> acol_;     // acol_[j][i] = (L^{-1} K(train, cand))_ij
+  Vector tracked_mean_;          // m
+  Vector tracked_var_;           // m (clamped at >= 0 on read)
+};
+
+}  // namespace edgebol::gp

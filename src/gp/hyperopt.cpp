@@ -1,0 +1,107 @@
+#include "gp/hyperopt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace edgebol::gp {
+
+std::unique_ptr<Kernel> GpHyperparams::make_kernel() const {
+  switch (family) {
+    case KernelFamily::kRbf:
+      return std::make_unique<RbfKernel>(lengthscales, amplitude);
+    case KernelFamily::kMatern32:
+      break;
+  }
+  return std::make_unique<Matern32Kernel>(lengthscales, amplitude);
+}
+
+double log_marginal_likelihood(const GpHyperparams& hp,
+                               const std::vector<Vector>& z, const Vector& y) {
+  GpRegressor gp(hp.make_kernel(), hp.noise_variance);
+  for (std::size_t i = 0; i < z.size(); ++i) gp.add(z[i], y[i]);
+  return gp.log_marginal_likelihood();
+}
+
+namespace {
+
+double safe_lml(const GpHyperparams& hp, const std::vector<Vector>& z,
+                const Vector& y) {
+  try {
+    return log_marginal_likelihood(hp, z, y);
+  } catch (const std::runtime_error&) {
+    // Numerically non-SPD corner of the hyperparameter space.
+    return -std::numeric_limits<double>::infinity();
+  }
+}
+
+double log_uniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
+                                  const Vector& y, Rng& rng,
+                                  const HyperoptOptions& opts) {
+  if (z.empty() || z.size() != y.size())
+    throw std::invalid_argument("fit_hyperparameters: bad dataset");
+  const std::size_t dims = z.front().size();
+  for (const Vector& row : z) {
+    if (row.size() != dims)
+      throw std::invalid_argument("fit_hyperparameters: ragged dataset");
+  }
+
+  GpHyperparams best;
+  best.lengthscales.assign(dims, 1.0);
+  double best_lml = safe_lml(best, z, y);
+
+  // Phase 1: log-uniform random probing of the whole box.
+  for (int s = 0; s < opts.num_random_starts; ++s) {
+    GpHyperparams hp;
+    hp.lengthscales.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      hp.lengthscales[d] =
+          log_uniform(rng, opts.lengthscale_min, opts.lengthscale_max);
+    }
+    hp.amplitude = log_uniform(rng, opts.amplitude_min, opts.amplitude_max);
+    hp.noise_variance = log_uniform(rng, opts.noise_min, opts.noise_max);
+    const double lml = safe_lml(hp, z, y);
+    if (lml > best_lml) {
+      best_lml = lml;
+      best = hp;
+    }
+  }
+
+  // Phase 2: coordinate-wise multiplicative refinement with a shrinking
+  // step. Each coordinate is probed up/down in log-space and moved greedily.
+  double step = 2.0;
+  for (int round = 0; round < opts.refine_rounds; ++round) {
+    for (std::size_t coord = 0; coord < dims + 2; ++coord) {
+      for (double factor : {step, 1.0 / step}) {
+        GpHyperparams hp = best;
+        if (coord < dims) {
+          hp.lengthscales[coord] =
+              std::clamp(hp.lengthscales[coord] * factor,
+                         opts.lengthscale_min, opts.lengthscale_max);
+        } else if (coord == dims) {
+          hp.amplitude = std::clamp(hp.amplitude * factor, opts.amplitude_min,
+                                    opts.amplitude_max);
+        } else {
+          hp.noise_variance = std::clamp(hp.noise_variance * factor,
+                                         opts.noise_min, opts.noise_max);
+        }
+        const double lml = safe_lml(hp, z, y);
+        if (lml > best_lml) {
+          best_lml = lml;
+          best = hp;
+        }
+      }
+    }
+    step = std::sqrt(step);
+  }
+  return best;
+}
+
+}  // namespace edgebol::gp

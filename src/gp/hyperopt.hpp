@@ -1,0 +1,55 @@
+// Kernel hyperparameter fitting by maximizing the log marginal likelihood
+// over prior data (paper §5: hyperparameters are optimized *before* running
+// the algorithm and held constant during execution, to keep the confidence
+// intervals honest).
+//
+// The optimizer is derivative-free: multi-start random search in log-space
+// followed by coordinate-wise multiplicative refinement. With the small
+// pre-production datasets the paper assumes, this is both robust and fast.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "gp/gp_regressor.hpp"
+
+namespace edgebol::gp {
+
+enum class KernelFamily {
+  kMatern32,  // the paper's choice (eq. 6)
+  kRbf,       // squared-exponential, for ablations
+};
+
+/// The hyperparameters of an anisotropic GP prior plus the observation-noise
+/// variance zeta^2 of eqs. (3)-(4).
+struct GpHyperparams {
+  Vector lengthscales;      // one per input dimension, > 0
+  double amplitude = 1.0;   // signal variance k(z, z)
+  double noise_variance = 1e-2;
+  KernelFamily family = KernelFamily::kMatern32;
+
+  /// Builds the kernel these hyperparameters describe.
+  std::unique_ptr<Kernel> make_kernel() const;
+};
+
+struct HyperoptOptions {
+  int num_random_starts = 64;  // log-uniform random probes
+  int refine_rounds = 4;       // coordinate-descent sweeps on the best probe
+  double lengthscale_min = 0.02;
+  double lengthscale_max = 20.0;
+  double amplitude_min = 0.05;
+  double amplitude_max = 10.0;
+  double noise_min = 1e-5;
+  double noise_max = 1.0;
+};
+
+/// Log marginal likelihood of (z, y) under the given hyperparameters.
+double log_marginal_likelihood(const GpHyperparams& hp,
+                               const std::vector<Vector>& z, const Vector& y);
+
+/// Fit hyperparameters to prior data by LML maximization.
+/// `z` must be non-empty and rectangular; throws otherwise.
+GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
+                                  const Vector& y, Rng& rng,
+                                  const HyperoptOptions& opts = {});
+
+}  // namespace edgebol::gp

@@ -1,0 +1,68 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::gp {
+
+namespace {
+
+void check_lengthscales(const Vector& ls) {
+  if (ls.empty())
+    throw std::invalid_argument("Kernel: empty length-scale vector");
+  for (double l : ls) {
+    if (!(l > 0.0))
+      throw std::invalid_argument("Kernel: length-scales must be > 0");
+  }
+}
+
+void check_amplitude(double a) {
+  if (!(a > 0.0)) throw std::invalid_argument("Kernel: amplitude must be > 0");
+}
+
+}  // namespace
+
+double anisotropic_distance(const Vector& a, const Vector& b,
+                            const Vector& lengthscales) {
+  if (a.size() != b.size() || a.size() != lengthscales.size())
+    throw std::invalid_argument("anisotropic_distance: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = (a[i] - b[i]) / lengthscales[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+Matern32Kernel::Matern32Kernel(Vector lengthscales, double amplitude)
+    : lengthscales_(std::move(lengthscales)), amplitude_(amplitude) {
+  check_lengthscales(lengthscales_);
+  check_amplitude(amplitude_);
+}
+
+double Matern32Kernel::operator()(const Vector& a, const Vector& b) const {
+  const double d = anisotropic_distance(a, b, lengthscales_);
+  const double s3d = std::sqrt(3.0) * d;
+  return amplitude_ * (1.0 + s3d) * std::exp(-s3d);
+}
+
+std::unique_ptr<Kernel> Matern32Kernel::clone() const {
+  return std::make_unique<Matern32Kernel>(*this);
+}
+
+RbfKernel::RbfKernel(Vector lengthscales, double amplitude)
+    : lengthscales_(std::move(lengthscales)), amplitude_(amplitude) {
+  check_lengthscales(lengthscales_);
+  check_amplitude(amplitude_);
+}
+
+double RbfKernel::operator()(const Vector& a, const Vector& b) const {
+  const double d = anisotropic_distance(a, b, lengthscales_);
+  return amplitude_ * std::exp(-0.5 * d * d);
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(*this);
+}
+
+}  // namespace edgebol::gp

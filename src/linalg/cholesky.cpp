@@ -1,0 +1,97 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::linalg {
+
+namespace {
+constexpr double kPivotFloor = 1e-12;
+}  // namespace
+
+Vector forward_solve(const Matrix& lower, const Vector& b) {
+  const std::size_t n = lower.rows();
+  if (lower.cols() != n || b.size() != n)
+    throw std::invalid_argument("forward_solve: dimension mismatch");
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= lower(i, j) * y[j];
+    y[i] = s / lower(i, i);
+  }
+  return y;
+}
+
+Vector backward_solve_transposed(const Matrix& lower, const Vector& y) {
+  const std::size_t n = lower.rows();
+  if (lower.cols() != n || y.size() != n)
+    throw std::invalid_argument("backward_solve: dimension mismatch");
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= lower(j, i) * x[j];
+    x[i] = s / lower(i, i);
+  }
+  return x;
+}
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("CholeskyFactor: matrix not square");
+  l_ = Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      if (i == j) {
+        if (s <= kPivotFloor)
+          throw std::runtime_error("CholeskyFactor: matrix not SPD");
+        l_(i, i) = std::sqrt(s);
+      } else {
+        l_(i, j) = s / l_(j, j);
+      }
+    }
+  }
+}
+
+void CholeskyFactor::extend(const Vector& off_diag, double diag) {
+  const std::size_t n = size();
+  if (off_diag.size() != n)
+    throw std::invalid_argument("CholeskyFactor::extend: length mismatch");
+
+  // New row of L: l = L^{-1} off_diag, new pivot = sqrt(diag - l.l).
+  Vector l = n > 0 ? forward_solve(l_, off_diag) : Vector{};
+  const double pivot2 = diag - dot(l, l);
+  if (pivot2 <= kPivotFloor)
+    throw std::runtime_error("CholeskyFactor::extend: matrix not SPD");
+
+  Matrix grown(n + 1, n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
+  }
+  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
+  grown(n, n) = std::sqrt(pivot2);
+  l_ = std::move(grown);
+}
+
+Vector CholeskyFactor::solve(const Vector& b) const {
+  return backward_solve_transposed(l_, forward_solve(l_, b));
+}
+
+Vector CholeskyFactor::solve_lower(const Vector& b) const {
+  return forward_solve(l_, b);
+}
+
+double CholeskyFactor::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector spd_solve(const Matrix& a, const Vector& b) {
+  return CholeskyFactor(a).solve(b);
+}
+
+}  // namespace edgebol::linalg

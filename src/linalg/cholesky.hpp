@@ -1,0 +1,59 @@
+// Cholesky factorization for symmetric positive-definite systems, with the
+// incremental row/column extension that makes the online GP update cheap:
+// when a new observation arrives, the kernel matrix grows by one row/column
+// and the factor can be extended in O(n^2) instead of refactored in O(n^3).
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace edgebol::linalg {
+
+/// Solve L y = b where L is lower triangular (forward substitution).
+Vector forward_solve(const Matrix& lower, const Vector& b);
+
+/// Solve L^T x = y where L is lower triangular (backward substitution).
+Vector backward_solve_transposed(const Matrix& lower, const Vector& y);
+
+/// Maintains the lower-triangular Cholesky factor L of a growing SPD matrix
+/// A = L L^T.
+///
+/// Two usage patterns:
+///   * batch: CholeskyFactor f(A);
+///   * online: start empty, then extend(a_col, a_diag) once per new row,
+///     where a_col holds A(0..n-1, n) and a_diag is A(n, n).
+///
+/// Throws std::runtime_error if the matrix is not numerically positive
+/// definite (pivot <= jitter floor).
+class CholeskyFactor {
+ public:
+  CholeskyFactor() = default;
+
+  /// Batch factorization of an SPD matrix.
+  explicit CholeskyFactor(const Matrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+  const Matrix& lower() const { return l_; }
+
+  /// Extend the factor for A grown by one row/column.
+  /// `off_diag` is the new column above the diagonal (length == size()),
+  /// `diag` is the new diagonal entry.
+  void extend(const Vector& off_diag, double diag);
+
+  /// Solve A x = b via the factor (two triangular solves).
+  Vector solve(const Vector& b) const;
+
+  /// Solve L y = b only (used to form predictive variances).
+  Vector solve_lower(const Vector& b) const;
+
+  /// log(det(A)) = 2 * sum(log(diag(L))). Useful for GP marginal likelihood.
+  double log_det() const;
+
+ private:
+  Matrix l_;
+};
+
+/// One-shot SPD solve: factor + solve. Throws on non-SPD input.
+Vector spd_solve(const Matrix& a, const Vector& b);
+
+}  // namespace edgebol::linalg

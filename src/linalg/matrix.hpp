@@ -1,0 +1,76 @@
+// Minimal dense linear algebra for the Gaussian-process layer.
+//
+// The GP posterior (paper eqs. 3-4) needs symmetric positive-definite solves
+// and little else, so this is a deliberately small row-major matrix plus the
+// handful of BLAS-1/2 style helpers the library uses. No expression
+// templates, no views — clarity over generality.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace edgebol::linalg {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Appends a row (must match the column count; an empty matrix adopts it).
+  void append_row(const Vector& row);
+
+  Vector row(std::size_t r) const;
+  Vector col(std::size_t c) const;
+
+  Matrix transpose() const;
+
+  /// Frobenius norm of (this - other). Dimensions must match.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x
+Vector matvec(const Matrix& a, const Vector& x);
+
+/// C = A B
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Dot product. Sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v);
+
+/// a + s * b (element-wise); sizes must match.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+/// Element-wise scale.
+Vector scaled(const Vector& v, double s);
+
+/// Max |a_i - b_i|; sizes must match.
+double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace edgebol::linalg

@@ -1,0 +1,46 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::nn {
+
+Adam::Adam(Mlp& net, AdamConfig cfg) : net_(net), cfg_(cfg) {
+  if (cfg_.learning_rate <= 0.0)
+    throw std::invalid_argument("Adam: learning rate must be > 0");
+  if (cfg_.beta1 < 0.0 || cfg_.beta1 >= 1.0 || cfg_.beta2 < 0.0 ||
+      cfg_.beta2 >= 1.0)
+    throw std::invalid_argument("Adam: betas must be in [0, 1)");
+  for (const Mlp::Block& b : net_.blocks()) {
+    m_.emplace_back(b.values->size(), 0.0);
+    v_.emplace_back(b.values->size(), 0.0);
+  }
+}
+
+void Adam::step(double grad_scale) {
+  if (grad_scale <= 0.0)
+    throw std::invalid_argument("Adam: grad scale must be > 0");
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+
+  std::vector<Mlp::Block> blocks = net_.blocks();
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    std::vector<double>& values = *blocks[bi].values;
+    std::vector<double>& grads = *blocks[bi].grads;
+    std::vector<double>& m = m_[bi];
+    std::vector<double>& v = v_[bi];
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const double g = grads[i] / grad_scale;
+      m[i] = cfg_.beta1 * m[i] + (1.0 - cfg_.beta1) * g;
+      v[i] = cfg_.beta2 * v[i] + (1.0 - cfg_.beta2) * g * g;
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      values[i] -=
+          cfg_.learning_rate * mhat / (std::sqrt(vhat) + cfg_.epsilon);
+      grads[i] = 0.0;
+    }
+  }
+}
+
+}  // namespace edgebol::nn

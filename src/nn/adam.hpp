@@ -1,0 +1,38 @@
+// Adam optimizer (Kingma & Ba) over an Mlp's parameter blocks.
+
+#pragma once
+
+#include <vector>
+
+#include "nn/mlp.hpp"
+
+namespace edgebol::nn {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class Adam {
+ public:
+  /// Binds to one network; moment buffers match its parameter layout.
+  Adam(Mlp& net, AdamConfig cfg = {});
+
+  /// Apply one update from the network's accumulated gradients, then clear
+  /// them. `grad_scale` divides gradients (e.g. 1/batch for mean loss).
+  void step(double grad_scale = 1.0);
+
+  const AdamConfig& config() const { return cfg_; }
+  long iterations() const { return t_; }
+
+ private:
+  Mlp& net_;
+  AdamConfig cfg_;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+  long t_ = 0;
+};
+
+}  // namespace edgebol::nn

@@ -1,0 +1,163 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::nn {
+
+double activate(Activation act, double pre) {
+  switch (act) {
+    case Activation::kIdentity:
+      return pre;
+    case Activation::kRelu:
+      return pre > 0.0 ? pre : 0.0;
+    case Activation::kTanh:
+      return std::tanh(pre);
+    case Activation::kSigmoid:
+      return 1.0 / (1.0 + std::exp(-pre));
+  }
+  throw std::logic_error("activate: unknown activation");
+}
+
+double activate_grad(Activation act, double pre) {
+  switch (act) {
+    case Activation::kIdentity:
+      return 1.0;
+    case Activation::kRelu:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::kTanh: {
+      const double t = std::tanh(pre);
+      return 1.0 - t * t;
+    }
+    case Activation::kSigmoid: {
+      const double s = 1.0 / (1.0 + std::exp(-pre));
+      return s * (1.0 - s);
+    }
+  }
+  throw std::logic_error("activate_grad: unknown activation");
+}
+
+Mlp::Mlp(std::vector<std::size_t> sizes, std::vector<Activation> acts,
+         Rng& rng) {
+  if (sizes.size() < 2)
+    throw std::invalid_argument("Mlp: need at least input and output sizes");
+  if (acts.size() != sizes.size() - 1)
+    throw std::invalid_argument("Mlp: one activation per layer required");
+  for (std::size_t s : sizes) {
+    if (s == 0) throw std::invalid_argument("Mlp: zero-width layer");
+  }
+
+  layers_.resize(sizes.size() - 1);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    layer.act = acts[l];
+    layer.w.resize(layer.out * layer.in);
+    layer.b.assign(layer.out, 0.0);
+    layer.gw.assign(layer.w.size(), 0.0);
+    layer.gb.assign(layer.out, 0.0);
+    const double scale =
+        std::sqrt(2.0 / static_cast<double>(layer.in + layer.out));
+    for (double& w : layer.w) w = rng.normal(0.0, scale);
+  }
+}
+
+std::size_t Mlp::input_dims() const { return layers_.front().in; }
+
+std::size_t Mlp::output_dims() const { return layers_.back().out; }
+
+std::size_t Mlp::num_parameters() const {
+  std::size_t n = 0;
+  for (const Layer& l : layers_) n += l.w.size() + l.b.size();
+  return n;
+}
+
+Vector Mlp::forward(const Vector& x) {
+  if (x.size() != input_dims())
+    throw std::invalid_argument("Mlp::forward: input size mismatch");
+  Vector cur = x;
+  for (Layer& layer : layers_) {
+    layer.input_cache = cur;
+    Vector pre(layer.out, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double s = layer.b[o];
+      const double* wrow = &layer.w[o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) s += wrow[i] * cur[i];
+      pre[o] = s;
+    }
+    layer.preact_cache = pre;
+    Vector out(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o)
+      out[o] = activate(layer.act, pre[o]);
+    cur = std::move(out);
+  }
+  return cur;
+}
+
+Vector Mlp::backward(const Vector& grad_output) {
+  if (grad_output.size() != output_dims())
+    throw std::invalid_argument("Mlp::backward: gradient size mismatch");
+  if (layers_.front().input_cache.empty())
+    throw std::logic_error("Mlp::backward: call forward() first");
+
+  Vector grad = grad_output;
+  for (std::size_t li = layers_.size(); li > 0; --li) {
+    Layer& layer = layers_[li - 1];
+    // delta = dL/d pre-activation
+    Vector delta(layer.out);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      delta[o] = grad[o] * activate_grad(layer.act, layer.preact_cache[o]);
+    }
+    // Parameter gradients.
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      double* gwrow = &layer.gw[o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        gwrow[i] += delta[o] * layer.input_cache[i];
+      }
+      layer.gb[o] += delta[o];
+    }
+    // Input gradient for the previous layer.
+    Vector grad_in(layer.in, 0.0);
+    for (std::size_t o = 0; o < layer.out; ++o) {
+      const double* wrow = &layer.w[o * layer.in];
+      for (std::size_t i = 0; i < layer.in; ++i) {
+        grad_in[i] += wrow[i] * delta[o];
+      }
+    }
+    grad = std::move(grad_in);
+  }
+  return grad;
+}
+
+void Mlp::zero_grad() {
+  for (Layer& layer : layers_) {
+    std::fill(layer.gw.begin(), layer.gw.end(), 0.0);
+    std::fill(layer.gb.begin(), layer.gb.end(), 0.0);
+  }
+}
+
+std::vector<Mlp::Block> Mlp::blocks() {
+  std::vector<Block> out;
+  out.reserve(layers_.size() * 2);
+  for (Layer& layer : layers_) {
+    out.push_back(Block{&layer.w, &layer.gw});
+    out.push_back(Block{&layer.b, &layer.gb});
+  }
+  return out;
+}
+
+void Mlp::copy_parameters_from(const Mlp& other) {
+  if (layers_.size() != other.layers_.size())
+    throw std::invalid_argument("Mlp::copy_parameters_from: shape mismatch");
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    if (layers_[l].w.size() != other.layers_[l].w.size() ||
+        layers_[l].b.size() != other.layers_[l].b.size())
+      throw std::invalid_argument("Mlp::copy_parameters_from: shape mismatch");
+    layers_[l].w = other.layers_[l].w;
+    layers_[l].b = other.layers_[l].b;
+  }
+}
+
+}  // namespace edgebol::nn

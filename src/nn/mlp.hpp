@@ -1,0 +1,70 @@
+// Minimal feed-forward neural network with manual backpropagation.
+//
+// This exists to reproduce the paper's benchmark: a DDPG-style actor-critic
+// (after vrAIn [4]) adapted to the contextual-bandit setting. Only what that
+// needs is implemented: dense layers, four activations, gradient accumulation,
+// and input gradients (the actor update differentiates the critic w.r.t.
+// the action part of its input).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "linalg/matrix.hpp"
+
+namespace edgebol::nn {
+
+using linalg::Vector;
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid };
+
+double activate(Activation act, double pre);
+double activate_grad(Activation act, double pre);
+
+class Mlp {
+ public:
+  /// `sizes` = {in, h1, ..., out}; `acts` has sizes.size()-1 entries.
+  /// Weights use He/Xavier-style scaled normal initialization.
+  Mlp(std::vector<std::size_t> sizes, std::vector<Activation> acts, Rng& rng);
+
+  std::size_t input_dims() const;
+  std::size_t output_dims() const;
+  std::size_t num_parameters() const;
+
+  /// Forward pass; caches per-layer inputs/pre-activations for backward().
+  Vector forward(const Vector& x);
+
+  /// Backpropagate dLoss/dOutput through the cached forward pass.
+  /// Accumulates parameter gradients and returns dLoss/dInput.
+  Vector backward(const Vector& grad_output);
+
+  void zero_grad();
+
+  /// Parameter/gradient blocks for optimizers (one weight + one bias block
+  /// per layer, in order).
+  struct Block {
+    std::vector<double>* values;
+    std::vector<double>* grads;
+  };
+  std::vector<Block> blocks();
+
+  void copy_parameters_from(const Mlp& other);
+
+ private:
+  struct Layer {
+    std::size_t in = 0;
+    std::size_t out = 0;
+    Activation act = Activation::kIdentity;
+    std::vector<double> w;   // out x in, row-major
+    std::vector<double> b;   // out
+    std::vector<double> gw;  // accumulated gradients
+    std::vector<double> gb;
+    Vector input_cache;      // x fed to this layer
+    Vector preact_cache;     // w x + b
+  };
+  std::vector<Layer> layers_;
+};
+
+}  // namespace edgebol::nn

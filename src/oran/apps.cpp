@@ -1,0 +1,17 @@
+#include "oran/apps.hpp"
+
+#include <stdexcept>
+
+namespace edgebol::oran {
+
+void ServiceController::apply(const ServicePolicyRequest& request) {
+  if (request.resolution <= 0.0 || request.resolution > 1.0)
+    throw std::invalid_argument("ServiceController: resolution out of (0, 1]");
+  if (request.gpu_speed < 0.0 || request.gpu_speed > 1.0)
+    throw std::invalid_argument("ServiceController: gpu speed out of [0, 1]");
+  resolution_ = request.resolution;
+  gpu_speed_ = request.gpu_speed;
+  ++handled_;
+}
+
+}  // namespace edgebol::oran

@@ -1,0 +1,28 @@
+// Edge-side applications of Fig. 7 outside the RICs: the service controller
+// that enforces service policies (image resolution toward the user app, GPU
+// power limit toward the NVIDIA driver) over the custom interface.
+
+#pragma once
+
+#include <cstddef>
+
+#include "oran/messages.hpp"
+
+namespace edgebol::oran {
+
+class ServiceController {
+ public:
+  /// Apply a service policy request (validated; throws on out-of-range).
+  void apply(const ServicePolicyRequest& request);
+
+  double resolution() const { return resolution_; }
+  double gpu_speed() const { return gpu_speed_; }
+  std::size_t requests_handled() const { return handled_; }
+
+ private:
+  double resolution_ = 1.0;
+  double gpu_speed_ = 1.0;
+  std::size_t handled_ = 0;
+};
+
+}  // namespace edgebol::oran

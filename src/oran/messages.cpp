@@ -1,0 +1,185 @@
+#include "oran/messages.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace edgebol::oran {
+
+namespace {
+
+// Minimal flat-JSON helpers: the messages are single-level objects of
+// numbers/booleans, so a full JSON library is not warranted.
+
+std::string json_object(
+    std::initializer_list<std::pair<const char*, std::string>> fields) {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (const auto& [key, value] : fields) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << key << "\":" << value;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string num(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string num(std::int64_t v) { return std::to_string(v); }
+
+std::string boolean(bool v) { return v ? "true" : "false"; }
+
+/// Finds `"key":` in a flat JSON object and returns the raw value token.
+std::string raw_value(const std::string& json, const std::string& key) {
+  const std::string needle = '"' + key + '"';
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos)
+    throw std::invalid_argument("json: missing key '" + key + "'");
+  pos += needle.size();
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  if (pos >= json.size() || json[pos] != ':')
+    throw std::invalid_argument("json: malformed value for '" + key + "'");
+  ++pos;
+  while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos])))
+    ++pos;
+  std::size_t end = pos;
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  if (end == json.size())
+    throw std::invalid_argument("json: unterminated value for '" + key + "'");
+  std::string token = json.substr(pos, end - pos);
+  while (!token.empty() &&
+         std::isspace(static_cast<unsigned char>(token.back())))
+    token.pop_back();
+  if (token.empty())
+    throw std::invalid_argument("json: empty value for '" + key + "'");
+  return token;
+}
+
+double get_double(const std::string& json, const std::string& key) {
+  const std::string token = raw_value(json, key);
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("json: non-numeric value for '" + key + "'");
+  }
+  if (used != token.size())
+    throw std::invalid_argument("json: trailing junk in '" + key + "'");
+  return v;
+}
+
+std::int64_t get_int(const std::string& json, const std::string& key) {
+  const double v = get_double(json, key);
+  if (std::floor(v) != v)
+    throw std::invalid_argument("json: non-integer value for '" + key + "'");
+  return static_cast<std::int64_t>(v);
+}
+
+bool get_bool(const std::string& json, const std::string& key) {
+  const std::string token = raw_value(json, key);
+  if (token == "true") return true;
+  if (token == "false") return false;
+  throw std::invalid_argument("json: non-boolean value for '" + key + "'");
+}
+
+}  // namespace
+
+std::string to_json(const A1PolicySetup& m) {
+  return json_object({{"policy_id", num(m.policy_id)},
+                      {"airtime", num(m.airtime)},
+                      {"mcs_cap", num(static_cast<std::int64_t>(m.mcs_cap))}});
+}
+
+std::string to_json(const A1PolicyAck& m) {
+  return json_object(
+      {{"policy_id", num(m.policy_id)}, {"accepted", boolean(m.accepted)}});
+}
+
+std::string to_json(const E2ControlRequest& m) {
+  return json_object({{"request_id", num(m.request_id)},
+                      {"airtime", num(m.airtime)},
+                      {"mcs_cap", num(static_cast<std::int64_t>(m.mcs_cap))}});
+}
+
+std::string to_json(const E2ControlAck& m) {
+  return json_object(
+      {{"request_id", num(m.request_id)}, {"success", boolean(m.success)}});
+}
+
+std::string to_json(const E2KpiIndication& m) {
+  return json_object(
+      {{"sequence", num(m.sequence)}, {"bs_power_w", num(m.bs_power_w)}});
+}
+
+std::string to_json(const O1KpiReport& m) {
+  return json_object(
+      {{"sequence", num(m.sequence)}, {"bs_power_w", num(m.bs_power_w)}});
+}
+
+std::string to_json(const ServicePolicyRequest& m) {
+  return json_object(
+      {{"resolution", num(m.resolution)}, {"gpu_speed", num(m.gpu_speed)}});
+}
+
+A1PolicySetup a1_policy_setup_from_json(const std::string& j) {
+  A1PolicySetup m;
+  m.policy_id = get_int(j, "policy_id");
+  m.airtime = get_double(j, "airtime");
+  m.mcs_cap = static_cast<int>(get_int(j, "mcs_cap"));
+  return m;
+}
+
+A1PolicyAck a1_policy_ack_from_json(const std::string& j) {
+  A1PolicyAck m;
+  m.policy_id = get_int(j, "policy_id");
+  m.accepted = get_bool(j, "accepted");
+  return m;
+}
+
+E2ControlRequest e2_control_request_from_json(const std::string& j) {
+  E2ControlRequest m;
+  m.request_id = get_int(j, "request_id");
+  m.airtime = get_double(j, "airtime");
+  m.mcs_cap = static_cast<int>(get_int(j, "mcs_cap"));
+  return m;
+}
+
+E2ControlAck e2_control_ack_from_json(const std::string& j) {
+  E2ControlAck m;
+  m.request_id = get_int(j, "request_id");
+  m.success = get_bool(j, "success");
+  return m;
+}
+
+E2KpiIndication e2_kpi_indication_from_json(const std::string& j) {
+  E2KpiIndication m;
+  m.sequence = get_int(j, "sequence");
+  m.bs_power_w = get_double(j, "bs_power_w");
+  return m;
+}
+
+O1KpiReport o1_kpi_report_from_json(const std::string& j) {
+  O1KpiReport m;
+  m.sequence = get_int(j, "sequence");
+  m.bs_power_w = get_double(j, "bs_power_w");
+  return m;
+}
+
+ServicePolicyRequest service_policy_request_from_json(const std::string& j) {
+  ServicePolicyRequest m;
+  m.resolution = get_double(j, "resolution");
+  m.gpu_speed = get_double(j, "gpu_speed");
+  return m;
+}
+
+}  // namespace edgebol::oran

@@ -1,0 +1,84 @@
+// O-RAN interface messages used by the EdgeBOL control path (Fig. 7).
+//
+// Three interfaces are modeled after the specifications the paper cites:
+//   * A1-P (Policy Management Service, O-RAN.WG2.A1AP): the non-RT RIC's
+//     rApp pushes radio policies (airtime, MCS cap) to the near-RT RIC.
+//   * E2 (O-RAN.WG3.E2GAP): the near-RT RIC's xApp forwards control to the
+//     O-eNB and receives KPI indications (BS power samples) back.
+//   * O1: KPIs flow from the near-RT RIC up to the non-RT RIC / SMO.
+// A1-P is JSON-over-REST in the specs, so these structs carry flat JSON
+// codecs; E2AP is binary (ASN.1) in reality, but we reuse the same codec
+// for wire-fidelity logging.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edgebol::oran {
+
+/// A1-P policy creation request (rApp -> near-RT RIC).
+struct A1PolicySetup {
+  std::int64_t policy_id = 0;
+  double airtime = 1.0;
+  int mcs_cap = 0;
+};
+
+/// A1-P response.
+struct A1PolicyAck {
+  std::int64_t policy_id = 0;
+  bool accepted = false;
+};
+
+/// E2 RIC Control Request (xApp -> O-eNB).
+struct E2ControlRequest {
+  std::int64_t request_id = 0;
+  double airtime = 1.0;
+  int mcs_cap = 0;
+};
+
+/// E2 RIC Control Acknowledge.
+struct E2ControlAck {
+  std::int64_t request_id = 0;
+  bool success = false;
+};
+
+/// E2 RIC Indication carrying a vBS KPI sample (BS power, in our study).
+struct E2KpiIndication {
+  std::int64_t sequence = 0;
+  double bs_power_w = 0.0;
+};
+
+/// O1 performance report (near-RT RIC -> non-RT RIC / SMO).
+struct O1KpiReport {
+  std::int64_t sequence = 0;
+  double bs_power_w = 0.0;
+};
+
+/// Service-controller request over the custom interface of Fig. 7 (image
+/// resolution to the user app, GPU power limit to the NVIDIA driver).
+struct ServicePolicyRequest {
+  double resolution = 1.0;
+  double gpu_speed = 1.0;
+};
+
+// Flat-JSON codecs. to_json emits {"key":value,...}; the from_json parsers
+// accept the corresponding object (whitespace-tolerant, order-insensitive)
+// and throw std::invalid_argument on missing keys or malformed input.
+std::string to_json(const A1PolicySetup&);
+std::string to_json(const A1PolicyAck&);
+std::string to_json(const E2ControlRequest&);
+std::string to_json(const E2ControlAck&);
+std::string to_json(const E2KpiIndication&);
+std::string to_json(const O1KpiReport&);
+std::string to_json(const ServicePolicyRequest&);
+
+A1PolicySetup a1_policy_setup_from_json(const std::string&);
+A1PolicyAck a1_policy_ack_from_json(const std::string&);
+E2ControlRequest e2_control_request_from_json(const std::string&);
+E2ControlAck e2_control_ack_from_json(const std::string&);
+E2KpiIndication e2_kpi_indication_from_json(const std::string&);
+O1KpiReport o1_kpi_report_from_json(const std::string&);
+ServicePolicyRequest service_policy_request_from_json(const std::string&);
+
+}  // namespace edgebol::oran

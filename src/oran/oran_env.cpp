@@ -1,0 +1,61 @@
+#include "oran/oran_env.hpp"
+
+#include <stdexcept>
+
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::oran {
+
+OranManagedTestbed::OranManagedTestbed(env::Testbed& testbed)
+    : testbed_(testbed), non_rt_(near_rt_) {
+  near_rt_.attach_e2_node(this);
+  radio_mcs_cap_ = ran::kMaxUlMcs;
+}
+
+env::Measurement OranManagedTestbed::step(const env::ControlPolicy& policy) {
+  // Radio policies: rApp -> A1-P -> xApp -> E2 -> this E2 node.
+  const A1PolicyAck ack =
+      non_rt_.deploy_radio_policy(policy.airtime, policy.mcs_cap);
+  if (!ack.accepted)
+    throw std::runtime_error("OranManagedTestbed: A1 policy rejected");
+
+  // Service policies over the custom interface (serialized round trip, as
+  // the service controller runs beside the GPU server).
+  ServicePolicyRequest svc;
+  svc.resolution = policy.resolution;
+  svc.gpu_speed = policy.gpu_speed;
+  service_.apply(service_policy_request_from_json(to_json(svc)));
+
+  // Run the period with the policies the data plane actually received.
+  env::ControlPolicy enforced;
+  enforced.airtime = radio_airtime_;
+  enforced.mcs_cap = radio_mcs_cap_;
+  enforced.resolution = service_.resolution();
+  enforced.gpu_speed = service_.gpu_speed();
+  env::Measurement m = testbed_.step(enforced);
+
+  // KPI path: E2 indication -> database xApp -> O1 -> data-collector rApp.
+  E2KpiIndication ind;
+  ind.sequence = kpi_sequence_++;
+  ind.bs_power_w = m.bs_power_w;
+  near_rt_.handle_e2_indication(ind);
+  m.bs_power_w = non_rt_.latest_kpi().bs_power_w;
+  return m;
+}
+
+E2ControlAck OranManagedTestbed::handle_control(
+    const E2ControlRequest& request) {
+  E2ControlAck ack;
+  ack.request_id = request.request_id;
+  if (request.airtime <= 0.0 || request.airtime > 1.0 ||
+      request.mcs_cap < 0 || request.mcs_cap > ran::kMaxUlMcs) {
+    ack.success = false;
+    return ack;
+  }
+  radio_airtime_ = request.airtime;
+  radio_mcs_cap_ = request.mcs_cap;
+  ack.success = true;
+  return ack;
+}
+
+}  // namespace edgebol::oran

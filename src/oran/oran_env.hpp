@@ -1,0 +1,51 @@
+// The O-RAN-mediated environment: the learning agent's only view of the
+// platform. Radio policies travel rApp -> A1-P -> xApp -> E2 -> O-eNB;
+// service policies travel over the custom interface to the service
+// controller; the BS power KPI returns O-eNB -> E2 -> xApp -> O1 -> rApp.
+// Functionally equivalent to driving env::Testbed directly (tests assert
+// this), but every control/feedback signal takes the standardized path.
+
+#pragma once
+
+#include <cstdint>
+
+#include "env/testbed.hpp"
+#include "oran/apps.hpp"
+#include "oran/ric.hpp"
+
+namespace edgebol::oran {
+
+class OranManagedTestbed final : public E2Node {
+ public:
+  /// Wraps (does not own) a testbed; wires up both RICs and the service
+  /// controller, and registers itself as the E2 node.
+  explicit OranManagedTestbed(env::Testbed& testbed);
+
+  OranManagedTestbed(const OranManagedTestbed&) = delete;
+  OranManagedTestbed& operator=(const OranManagedTestbed&) = delete;
+
+  env::Context context() const { return testbed_.context(); }
+
+  /// One orchestration period: deploy all four policies through the control
+  /// plane, run the period, and deliver KPIs back through E2/O1.
+  /// Throws std::runtime_error if the A1 policy is rejected.
+  env::Measurement step(const env::ControlPolicy& policy);
+
+  // E2Node
+  E2ControlAck handle_control(const E2ControlRequest& request) override;
+
+  NonRtRic& non_rt_ric() { return non_rt_; }
+  NearRtRic& near_rt_ric() { return near_rt_; }
+  const ServiceController& service_controller() const { return service_; }
+
+ private:
+  env::Testbed& testbed_;
+  NearRtRic near_rt_;
+  NonRtRic non_rt_;
+  ServiceController service_;
+  double radio_airtime_ = 1.0;
+  int radio_mcs_cap_ = 0;
+  std::int64_t kpi_sequence_ = 1;
+};
+
+}  // namespace edgebol::oran

@@ -1,0 +1,113 @@
+#include "oran/ric.hpp"
+
+#include <stdexcept>
+
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::oran {
+
+InterfaceFabric::InterfaceFabric(std::string name, std::size_t max_log)
+    : name_(std::move(name)), max_log_(max_log) {}
+
+void InterfaceFabric::record(const std::string& frame) {
+  ++carried_;
+  if (log_.size() >= max_log_) log_.erase(log_.begin());
+  log_.push_back(frame);
+}
+
+NearRtRic::NearRtRic() = default;
+
+void NearRtRic::attach_e2_node(E2Node* node) { node_ = node; }
+
+A1PolicyAck NearRtRic::handle_a1_policy(const A1PolicySetup& setup) {
+  A1PolicyAck ack;
+  ack.policy_id = setup.policy_id;
+  if (node_ == nullptr || setup.airtime <= 0.0 || setup.airtime > 1.0 ||
+      setup.mcs_cap < 0 || setup.mcs_cap > ran::kMaxUlMcs) {
+    ack.accepted = false;
+    return ack;
+  }
+
+  // Policy-service xApp: translate the A1 policy into an E2 control request
+  // and push it to the O-eNB. The round trip through the codec stands in
+  // for the wire.
+  E2ControlRequest req;
+  req.request_id = next_request_id_++;
+  req.airtime = setup.airtime;
+  req.mcs_cap = setup.mcs_cap;
+  const std::string frame = to_json(req);
+  e2_.record(frame);
+  const E2ControlAck e2ack =
+      node_->handle_control(e2_control_request_from_json(frame));
+  e2_.record(to_json(e2ack));
+
+  ack.accepted = e2ack.success;
+  if (ack.accepted) policies_[setup.policy_id] = setup;
+  return ack;
+}
+
+bool NearRtRic::handle_a1_delete(std::int64_t policy_id) {
+  return policies_.erase(policy_id) > 0;
+}
+
+std::optional<A1PolicySetup> NearRtRic::handle_a1_query(
+    std::int64_t policy_id) const {
+  const auto it = policies_.find(policy_id);
+  if (it == policies_.end()) return std::nullopt;
+  return it->second;
+}
+
+void NearRtRic::handle_e2_indication(const E2KpiIndication& ind) {
+  e2_.record(to_json(ind));
+  if (!o1_sink_) return;
+  // Database xApp: persist + forward northbound over O1.
+  O1KpiReport report;
+  report.sequence = ind.sequence;
+  report.bs_power_w = ind.bs_power_w;
+  const std::string frame = to_json(report);
+  o1_.record(frame);
+  o1_sink_(o1_kpi_report_from_json(frame));
+}
+
+void NearRtRic::set_o1_sink(std::function<void(const O1KpiReport&)> sink) {
+  o1_sink_ = std::move(sink);
+}
+
+NonRtRic::NonRtRic(NearRtRic& near_rt) : near_rt_(near_rt) {
+  near_rt_.set_o1_sink([this](const O1KpiReport& r) { on_o1_report(r); });
+}
+
+A1PolicyAck NonRtRic::deploy_radio_policy(double airtime, int mcs_cap) {
+  A1PolicySetup setup;
+  setup.policy_id = next_policy_id_++;
+  setup.airtime = airtime;
+  setup.mcs_cap = mcs_cap;
+  const std::string frame = to_json(setup);
+  a1_.record(frame);
+  const A1PolicyAck ack =
+      near_rt_.handle_a1_policy(a1_policy_setup_from_json(frame));
+  a1_.record(to_json(ack));
+  return ack;
+}
+
+bool NonRtRic::delete_radio_policy(std::int64_t policy_id) {
+  a1_.record("{\"delete_policy_id\":" + std::to_string(policy_id) + "}");
+  return near_rt_.handle_a1_delete(policy_id);
+}
+
+std::optional<A1PolicySetup> NonRtRic::query_radio_policy(
+    std::int64_t policy_id) {
+  a1_.record("{\"query_policy_id\":" + std::to_string(policy_id) + "}");
+  return near_rt_.handle_a1_query(policy_id);
+}
+
+const O1KpiReport& NonRtRic::latest_kpi() const {
+  if (kpis_.empty()) throw std::logic_error("NonRtRic: no KPI received yet");
+  return kpis_.back();
+}
+
+void NonRtRic::on_o1_report(const O1KpiReport& report) {
+  kpis_.push_back(report);
+}
+
+}  // namespace edgebol::oran

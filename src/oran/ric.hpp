@@ -1,0 +1,117 @@
+// Proof-of-concept RAN Intelligent Controllers and interface fabrics.
+//
+// Mirrors the paper's Fig. 7: the learning agent talks to rApps inside the
+// Non-RT RIC; policies descend over A1-P to the Near-RT RIC's policy-service
+// xApp, then over E2 to the O-eNB; vBS KPIs ascend over E2 to a database
+// xApp and over O1 to a data-collector rApp. Every hop serializes the
+// message through its JSON codec, so the plumbing carries exactly what a
+// wire would (and tests can assert on it).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oran/messages.hpp"
+
+namespace edgebol::oran {
+
+/// Implemented by the E2 node (the O-eNB / vBS adapter).
+class E2Node {
+ public:
+  virtual ~E2Node() = default;
+  virtual E2ControlAck handle_control(const E2ControlRequest&) = 0;
+};
+
+/// Transport-ish fabric for one interface: counts messages and keeps an
+/// optional bounded log of serialized frames for inspection.
+class InterfaceFabric {
+ public:
+  explicit InterfaceFabric(std::string name, std::size_t max_log = 64);
+
+  void record(const std::string& frame);
+  std::size_t messages_carried() const { return carried_; }
+  const std::vector<std::string>& frame_log() const { return log_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::size_t max_log_;
+  std::size_t carried_ = 0;
+  std::vector<std::string> log_;
+};
+
+/// Near-RT RIC: hosts the policy-service xApp (A1 southbound -> E2) and the
+/// database xApp (E2 indications -> O1 reports).
+class NearRtRic {
+ public:
+  NearRtRic();
+
+  void attach_e2_node(E2Node* node);
+  bool has_e2_node() const { return node_ != nullptr; }
+
+  /// A1-P policy create/update: validates, stores, forwards over E2, acks.
+  A1PolicyAck handle_a1_policy(const A1PolicySetup& setup);
+
+  /// A1-P policy delete: removes the stored instance. Returns false for an
+  /// unknown id.
+  bool handle_a1_delete(std::int64_t policy_id);
+
+  /// A1-P policy query: the stored instance, if any.
+  std::optional<A1PolicySetup> handle_a1_query(std::int64_t policy_id) const;
+
+  std::size_t active_policy_count() const { return policies_.size(); }
+
+  /// E2 indication from the vBS (KPI sample); forwarded over O1.
+  void handle_e2_indication(const E2KpiIndication& ind);
+
+  void set_o1_sink(std::function<void(const O1KpiReport&)> sink);
+
+  const InterfaceFabric& e2() const { return e2_; }
+  const InterfaceFabric& o1() const { return o1_; }
+
+ private:
+  E2Node* node_ = nullptr;
+  std::map<std::int64_t, A1PolicySetup> policies_;
+  std::function<void(const O1KpiReport&)> o1_sink_;
+  InterfaceFabric e2_{"E2"};
+  InterfaceFabric o1_{"O1"};
+  std::int64_t next_request_id_ = 1;
+};
+
+/// Non-RT RIC: hosts the policy-service rApp (A1 northbound client) and the
+/// data-collector rApp that feeds KPIs to the learning agent.
+class NonRtRic {
+ public:
+  explicit NonRtRic(NearRtRic& near_rt);
+
+  /// rApp (policy service): deploy the radio policy through A1-P. Returns
+  /// the ack; the policy id used is retrievable via last_policy_id().
+  A1PolicyAck deploy_radio_policy(double airtime, int mcs_cap);
+
+  /// rApp: delete / query a previously deployed policy instance over A1-P.
+  bool delete_radio_policy(std::int64_t policy_id);
+  std::optional<A1PolicySetup> query_radio_policy(std::int64_t policy_id);
+  std::int64_t last_policy_id() const { return next_policy_id_ - 1; }
+
+  /// rApp (data collector): KPI samples that arrived over O1.
+  bool has_kpi() const { return !kpis_.empty(); }
+  const O1KpiReport& latest_kpi() const;
+  std::size_t kpi_count() const { return kpis_.size(); }
+
+  const InterfaceFabric& a1() const { return a1_; }
+
+ private:
+  void on_o1_report(const O1KpiReport& report);
+
+  NearRtRic& near_rt_;
+  InterfaceFabric a1_{"A1-P"};
+  std::vector<O1KpiReport> kpis_;
+  std::int64_t next_policy_id_ = 1;
+};
+
+}  // namespace edgebol::oran

@@ -1,0 +1,36 @@
+#include "ran/bs_power_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+
+BsPowerModel::BsPowerModel(BsPowerParams params) : params_(params) {
+  if (params_.idle_w <= 0.0 || params_.duty_coeff_w < 0.0 ||
+      params_.mcs_coeff_w < 0.0 || params_.noise_stddev_w < 0.0)
+    throw std::invalid_argument("BsPowerModel: invalid parameters");
+}
+
+double BsPowerModel::mean_power_w(double duty, double spectral_eff) const {
+  if (duty < 0.0 || duty > 1.0)
+    throw std::invalid_argument("BsPowerModel: duty out of [0, 1]");
+  if (spectral_eff < 0.0)
+    throw std::invalid_argument("BsPowerModel: negative spectral efficiency");
+  return params_.idle_w +
+         duty * (params_.duty_coeff_w + params_.mcs_coeff_w * spectral_eff);
+}
+
+double BsPowerModel::sample_power_w(double duty, double spectral_eff,
+                                    Rng& rng) const {
+  const double p =
+      mean_power_w(duty, spectral_eff) + rng.normal(0.0, params_.noise_stddev_w);
+  return std::max(params_.idle_w * 0.9, p);
+}
+
+double BsPowerModel::max_power_w() const {
+  return mean_power_w(1.0, spectral_efficiency(kMaxUlMcs));
+}
+
+}  // namespace edgebol::ran

@@ -1,0 +1,89 @@
+#include "ran/channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::ran {
+
+ConstantSnr::ConstantSnr(double mean_snr_db) : mean_db_(mean_snr_db) {}
+
+double ConstantSnr::next_mean_snr_db() { return mean_db_; }
+
+std::unique_ptr<SnrProcess> ConstantSnr::clone() const {
+  return std::make_unique<ConstantSnr>(*this);
+}
+
+TraceSnr::TraceSnr(std::vector<double> trace) : trace_(std::move(trace)) {
+  if (trace_.empty()) throw std::invalid_argument("TraceSnr: empty trace");
+}
+
+double TraceSnr::next_mean_snr_db() {
+  const double v = trace_[pos_];
+  pos_ = (pos_ + 1) % trace_.size();
+  return v;
+}
+
+double TraceSnr::current_mean_snr_db() const { return trace_[pos_]; }
+
+std::unique_ptr<SnrProcess> TraceSnr::clone() const {
+  return std::make_unique<TraceSnr>(*this);
+}
+
+std::vector<double> stepped_snr_trace(double lo_db, double hi_db,
+                                      std::size_t levels, std::size_t hold) {
+  if (levels < 2) throw std::invalid_argument("stepped_snr_trace: levels < 2");
+  if (hold == 0) throw std::invalid_argument("stepped_snr_trace: hold == 0");
+  std::vector<double> trace;
+  const double step = (hi_db - lo_db) / static_cast<double>(levels - 1);
+  // Up sweep then down sweep -> a triangle wave of stepped levels, which is
+  // the quick alternation between good and poor conditions used in Fig. 13.
+  for (std::size_t i = 0; i < levels; ++i) {
+    for (std::size_t h = 0; h < hold; ++h)
+      trace.push_back(hi_db - step * static_cast<double>(i));
+  }
+  for (std::size_t i = 1; i + 1 < levels; ++i) {
+    for (std::size_t h = 0; h < hold; ++h)
+      trace.push_back(lo_db + step * static_cast<double>(i));
+  }
+  return trace;
+}
+
+ShadowFading::ShadowFading(double sigma_db, double rho)
+    : sigma_db_(sigma_db), rho_(rho) {
+  if (sigma_db < 0.0)
+    throw std::invalid_argument("ShadowFading: sigma must be >= 0");
+  if (rho < 0.0 || rho >= 1.0)
+    throw std::invalid_argument("ShadowFading: rho must be in [0, 1)");
+}
+
+double ShadowFading::next_offset_db(Rng& rng) {
+  state_db_ = rho_ * state_db_ +
+              std::sqrt(1.0 - rho_ * rho_) * rng.normal(0.0, sigma_db_);
+  return state_db_;
+}
+
+UeChannel::UeChannel(std::unique_ptr<SnrProcess> mean_process,
+                     double fading_sigma_db, double fading_rho)
+    : mean_(std::move(mean_process)), fading_(fading_sigma_db, fading_rho) {
+  if (!mean_) throw std::invalid_argument("UeChannel: null mean process");
+}
+
+UeChannel::UeChannel(const UeChannel& other)
+    : mean_(other.mean_->clone()), fading_(other.fading_) {}
+
+UeChannel& UeChannel::operator=(const UeChannel& other) {
+  if (this == &other) return *this;
+  mean_ = other.mean_->clone();
+  fading_ = other.fading_;
+  return *this;
+}
+
+double UeChannel::next_snr_db(Rng& rng) {
+  return mean_->next_mean_snr_db() + fading_.next_offset_db(rng);
+}
+
+double UeChannel::expected_snr_db() const {
+  return mean_->current_mean_snr_db();
+}
+
+}  // namespace edgebol::ran

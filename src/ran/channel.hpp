@@ -1,0 +1,102 @@
+// Per-user uplink channel models.
+//
+// The prototype attenuates the SMA-cabled link to set different SNR
+// operating points (§6.1); dynamics in §6.5 come from rapidly re-tuning the
+// RF gain. We model a user's channel as a mean-SNR process plus AR(1)
+// shadow-fading jitter; the mean process is either constant (static
+// scenarios), a stepped trace (Fig. 13), or anything a caller supplies.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edgebol::ran {
+
+/// A discrete-time process producing one mean-SNR value per time period.
+class SnrProcess {
+ public:
+  virtual ~SnrProcess() = default;
+
+  /// Mean SNR (dB) for the next time period; advances internal state.
+  virtual double next_mean_snr_db() = 0;
+
+  /// Mean SNR of the *current* period without advancing (for oracles).
+  virtual double current_mean_snr_db() const = 0;
+
+  virtual std::unique_ptr<SnrProcess> clone() const = 0;
+};
+
+/// Constant mean SNR.
+class ConstantSnr final : public SnrProcess {
+ public:
+  explicit ConstantSnr(double mean_snr_db);
+  double next_mean_snr_db() override;
+  double current_mean_snr_db() const override { return mean_db_; }
+  std::unique_ptr<SnrProcess> clone() const override;
+
+ private:
+  double mean_db_;
+};
+
+/// Mean SNR follows a repeating per-period trace.
+class TraceSnr final : public SnrProcess {
+ public:
+  /// `trace` holds one mean-SNR value per time period and repeats cyclically.
+  explicit TraceSnr(std::vector<double> trace);
+  double next_mean_snr_db() override;
+  double current_mean_snr_db() const override;
+  std::unique_ptr<SnrProcess> clone() const override;
+
+ private:
+  std::vector<double> trace_;
+  std::size_t pos_ = 0;
+};
+
+/// Builds the Fig. 13-style dynamic trace: a square-ish wave sweeping mean
+/// SNR between `lo_db` and `hi_db`, holding each level for `hold` periods,
+/// with `levels` intermediate steps.
+std::vector<double> stepped_snr_trace(double lo_db, double hi_db,
+                                      std::size_t levels, std::size_t hold);
+
+/// AR(1) shadow-fading jitter added on top of the mean-SNR process:
+///   x_t = rho * x_{t-1} + sqrt(1 - rho^2) * N(0, sigma^2).
+class ShadowFading {
+ public:
+  ShadowFading(double sigma_db, double rho);
+
+  double next_offset_db(Rng& rng);
+  double sigma_db() const { return sigma_db_; }
+
+ private:
+  double sigma_db_;
+  double rho_;
+  double state_db_ = 0.0;
+};
+
+/// A user's channel: mean process + fading. Produces the per-period SNR the
+/// BS measures (and quantizes into a CQI report).
+class UeChannel {
+ public:
+  UeChannel(std::unique_ptr<SnrProcess> mean_process, double fading_sigma_db,
+            double fading_rho);
+
+  UeChannel(const UeChannel& other);
+  UeChannel& operator=(const UeChannel& other);
+  UeChannel(UeChannel&&) noexcept = default;
+  UeChannel& operator=(UeChannel&&) noexcept = default;
+
+  /// SNR realized over the next time period.
+  double next_snr_db(Rng& rng);
+
+  /// Expected SNR of the current period (no fading), for oracle evaluation.
+  double expected_snr_db() const;
+
+ private:
+  std::unique_ptr<SnrProcess> mean_;
+  ShadowFading fading_;
+};
+
+}  // namespace edgebol::ran

@@ -1,0 +1,47 @@
+#include "ran/cqi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+
+namespace {
+
+constexpr double kCqi1SnrDb = -6.0;
+constexpr double kSnrPerCqiDb = 2.05;
+
+// CQI 1..15 -> highest supportable uplink MCS.
+constexpr std::array<int, kMaxCqi + 1> kCqiToMcs = {
+    /*unused cqi 0*/ 0, 0, 1, 3, 5, 7, 9, 11, 12, 13, 15, 16, 17, 18, 19, 20};
+
+}  // namespace
+
+int snr_to_cqi(double snr_db) {
+  const double raw = (snr_db - kCqi1SnrDb) / kSnrPerCqiDb + 1.0;
+  const int cqi = static_cast<int>(std::floor(raw));
+  return std::clamp(cqi, kMinCqi, kMaxCqi);
+}
+
+double cqi_to_snr_db(int cqi) {
+  if (cqi < kMinCqi || cqi > kMaxCqi)
+    throw std::out_of_range("cqi out of [1, 15]");
+  return kCqi1SnrDb + (static_cast<double>(cqi) - 0.5) * kSnrPerCqiDb;
+}
+
+int cqi_to_max_mcs(int cqi) {
+  if (cqi < kMinCqi || cqi > kMaxCqi)
+    throw std::out_of_range("cqi out of [1, 15]");
+  return kCqiToMcs[static_cast<std::size_t>(cqi)];
+}
+
+int effective_mcs(int cqi, int mcs_policy_cap) {
+  if (mcs_policy_cap < 0 || mcs_policy_cap > kMaxUlMcs)
+    throw std::out_of_range("mcs policy cap out of [0, kMaxUlMcs]");
+  return std::min(mcs_policy_cap, cqi_to_max_mcs(cqi));
+}
+
+}  // namespace edgebol::ran

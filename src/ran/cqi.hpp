@@ -1,0 +1,30 @@
+// CQI <-> SNR <-> MCS link adaptation maps.
+//
+// The paper's context is the (mean, variance) of the uplink CQI across the
+// slice's users; the MAC selects, per user, the highest MCS its CQI supports,
+// upper-bounded by the MCS policy (Policy 4). These maps implement that
+// chain: an SNR-to-CQI quantizer with the usual ~2 dB spacing, and a
+// CQI-to-max-MCS table in the spirit of srsRAN's link adaptation.
+
+#pragma once
+
+namespace edgebol::ran {
+
+inline constexpr int kMinCqi = 1;
+inline constexpr int kMaxCqi = 15;
+
+/// Quantize an uplink SNR estimate to a CQI in [1, 15].
+/// Roughly: CQI 1 at -6 dB, one step every ~2 dB, CQI 15 from ~22 dB up.
+int snr_to_cqi(double snr_db);
+
+/// Center SNR (dB) of a CQI bin — inverse of snr_to_cqi up to quantization.
+double cqi_to_snr_db(int cqi);
+
+/// Highest uplink MCS the MAC will select for a user reporting `cqi`.
+/// Monotone, reaching kMaxUlMcs at CQI 15.
+int cqi_to_max_mcs(int cqi);
+
+/// MCS actually used by a user: min(policy cap, CQI-supported MCS).
+int effective_mcs(int cqi, int mcs_policy_cap);
+
+}  // namespace edgebol::ran

@@ -1,0 +1,72 @@
+#include "ran/harq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ran/cqi.hpp"
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+
+namespace {
+
+void check(const HarqParams& p) {
+  if (p.max_transmissions < 1)
+    throw std::invalid_argument("HarqParams: max_transmissions < 1");
+  if (p.bler_slope_db <= 0.0)
+    throw std::invalid_argument("HarqParams: non-positive slope");
+  if (p.target_bler <= 0.0 || p.target_bler >= 1.0)
+    throw std::invalid_argument("HarqParams: target BLER out of (0, 1)");
+  if (p.combining_gain_db < 0.0 || p.rtt_s < 0.0)
+    throw std::invalid_argument("HarqParams: negative gain or rtt");
+}
+
+/// The smallest CQI whose link adaptation admits `mcs`.
+int min_cqi_for_mcs(int mcs) {
+  for (int cqi = kMinCqi; cqi <= kMaxCqi; ++cqi) {
+    if (cqi_to_max_mcs(cqi) >= mcs) return cqi;
+  }
+  return kMaxCqi;
+}
+
+}  // namespace
+
+double required_snr_db(int mcs, const HarqParams& params) {
+  check(params);
+  if (mcs < 0 || mcs > kMaxUlMcs)
+    throw std::out_of_range("required_snr_db: mcs out of range");
+  // Link adaptation admits `mcs` from some CQI upward; the center SNR of
+  // that CQI bin is where the target BLER is met.
+  return cqi_to_snr_db(min_cqi_for_mcs(mcs));
+}
+
+double bler(int mcs, double snr_db, const HarqParams& params) {
+  const double req = required_snr_db(mcs, params);
+  // Logistic anchored so that bler(req) == target_bler.
+  const double anchor =
+      std::log(params.target_bler / (1.0 - params.target_bler));
+  const double x = anchor - (snr_db - req) / params.bler_slope_db;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+HarqOutcome evaluate_harq(int mcs, double snr_db, const HarqParams& params) {
+  check(params);
+  HarqOutcome out;
+  double p_all_failed = 1.0;  // probability all attempts so far failed
+  double expected_tx = 0.0;
+  for (int attempt = 0; attempt < params.max_transmissions; ++attempt) {
+    expected_tx += p_all_failed;  // this attempt happens iff all prior failed
+    const double eff_snr =
+        snr_db + params.combining_gain_db * static_cast<double>(attempt);
+    p_all_failed *= bler(mcs, eff_snr, params);
+  }
+  out.expected_transmissions = expected_tx;
+  out.residual_error = p_all_failed;
+  // A block delivers its bits with prob (1 - residual) at the cost of
+  // expected_tx subframes.
+  out.goodput_factor = (1.0 - p_all_failed) / expected_tx;
+  out.added_latency_s = (expected_tx - 1.0) * params.rtt_s;
+  return out;
+}
+
+}  // namespace edgebol::ran

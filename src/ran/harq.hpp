@@ -1,0 +1,45 @@
+// HARQ / BLER link-layer model.
+//
+// The MAC's link adaptation (cqi.hpp) targets the usual ~10% first
+// -transmission block-error rate; HARQ retransmissions with chase combining
+// then clean up the residue. This module models that: a per-MCS SNR
+// requirement, a logistic BLER curve around it, soft-combining gain per
+// retransmission, and the resulting expected transmission count / goodput
+// factor / added latency. The vBS applies it optionally
+// (VbsConfig::model_harq): the figure benches keep it off to match the
+// calibrated delay distribution, while tests and the realism-minded user
+// can turn it on.
+
+#pragma once
+
+namespace edgebol::ran {
+
+struct HarqParams {
+  int max_transmissions = 4;       // 1 initial + 3 retransmissions
+  double bler_slope_db = 0.8;      // logistic steepness of the BLER curve
+  double target_bler = 0.10;       // link-adaptation operating point
+  double combining_gain_db = 2.5;  // effective SNR gain per retransmission
+  double rtt_s = 0.008;            // HARQ round-trip (LTE FDD: 8 ms)
+};
+
+/// SNR (dB) at which `mcs` hits the target first-transmission BLER.
+/// Monotone in the MCS index.
+double required_snr_db(int mcs, const HarqParams& params = {});
+
+/// First-transmission BLER of `mcs` at `snr_db` (logistic around the
+/// requirement; equals target_bler exactly at required_snr_db).
+double bler(int mcs, double snr_db, const HarqParams& params = {});
+
+/// Outcome of the HARQ process for one transport block.
+struct HarqOutcome {
+  double expected_transmissions = 1.0;  // >= 1
+  double residual_error = 0.0;          // prob. of failure after all attempts
+  double goodput_factor = 1.0;          // <= 1: rate multiplier vs error-free
+  double added_latency_s = 0.0;         // E[extra RTTs] * rtt
+};
+
+/// Evaluate the HARQ chain for `mcs` at `snr_db`.
+HarqOutcome evaluate_harq(int mcs, double snr_db,
+                          const HarqParams& params = {});
+
+}  // namespace edgebol::ran

@@ -1,0 +1,56 @@
+#include "ran/mcs_tables.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace edgebol::ran {
+
+namespace {
+
+// Information bits per resource element for uplink MCS 0..20 — a compressed
+// 0..20 scale (matching the paper's "Mean MCS" axis) spanning QPSK, 16QAM
+// and 64QAM operating points. Peak: 3.90 b/RE ->
+// 3.90 * 144 * 100 PRB / 1 ms = 56 Mb/s, i.e. the "around 50 Mb/s" SISO
+// capacity quoted in the paper (§3).
+constexpr std::array<double, kMaxUlMcs + 1> kEfficiency = {
+    0.15, 0.23, 0.38, 0.60, 0.88, 1.18, 1.48, 1.70, 1.91, 2.16, 2.41,
+    2.57, 2.73, 2.90, 3.06, 3.24, 3.43, 3.58, 3.70, 3.81, 3.90};
+
+void check_mcs(int mcs) {
+  if (mcs < 0 || mcs > kMaxUlMcs)
+    throw std::out_of_range("mcs out of [0, kMaxUlMcs]");
+}
+
+void check_nprb(int nprb) {
+  if (nprb < 1 || nprb > kPrbs20MHz)
+    throw std::out_of_range("nprb out of [1, 100]");
+}
+
+}  // namespace
+
+int modulation_bits(int mcs) {
+  check_mcs(mcs);
+  if (mcs <= 6) return 2;   // QPSK: efficiency up to 1.48 b/RE
+  if (mcs <= 14) return 4;  // 16QAM: up to 3.06 b/RE
+  return 6;                 // 64QAM: up to 3.90 b/RE (UE category cap)
+}
+
+double spectral_efficiency(int mcs) {
+  check_mcs(mcs);
+  return kEfficiency[static_cast<std::size_t>(mcs)];
+}
+
+double code_rate(int mcs) {
+  return spectral_efficiency(mcs) / modulation_bits(mcs);
+}
+
+double tbs_bits(int mcs, int nprb) {
+  check_nprb(nprb);
+  return spectral_efficiency(mcs) * kDataResPerPrb * nprb;
+}
+
+double peak_rate_bps(int mcs, int nprb) {
+  return tbs_bits(mcs, nprb) * 1000.0;  // one TB per 1 ms subframe
+}
+
+}  // namespace edgebol::ran

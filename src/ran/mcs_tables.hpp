@@ -1,0 +1,44 @@
+// LTE uplink MCS / transport-block-size abstractions.
+//
+// The testbed in the paper is a 3GPP R10 LTE SISO link at 20 MHz (100 PRBs)
+// built on srsRAN, whose uplink tops out around 50 Mb/s (16QAM-capped UE
+// category). We model the PUSCH link-rate with a per-MCS spectral-efficiency
+// table in the spirit of TS 36.213: QPSK for MCS 0-10, 16QAM for MCS 11-20.
+// Absolute TBS values are an approximation (the full 36.213 tables are not
+// reproduced), but monotonicity, modulation switch points, and the ~50 Mb/s
+// peak — the properties the paper's evaluation depends on — hold.
+
+#pragma once
+
+#include <cstddef>
+
+namespace edgebol::ran {
+
+/// Highest uplink MCS index supported by the emulated UE category
+/// (16QAM cap, matching the paper's "Mean MCS" axis of 0..20).
+inline constexpr int kMaxUlMcs = 20;
+
+/// PRBs available in a 20 MHz LTE carrier.
+inline constexpr int kPrbs20MHz = 100;
+
+/// Data resource elements per PRB-pair on PUSCH (168 minus DMRS overhead).
+inline constexpr int kDataResPerPrb = 144;
+
+/// Modulation order in bits/symbol for an uplink MCS (2 = QPSK, 4 = 16QAM,
+/// 6 = 64QAM). Throws std::out_of_range for mcs outside [0, kMaxUlMcs].
+int modulation_bits(int mcs);
+
+/// Spectral efficiency in information bits per resource element,
+/// monotonically increasing in the MCS index.
+double spectral_efficiency(int mcs);
+
+/// Effective code rate (efficiency / modulation order).
+double code_rate(int mcs);
+
+/// Transport block size in bits for one 1 ms subframe over `nprb` PRBs.
+double tbs_bits(int mcs, int nprb);
+
+/// Peak physical-layer rate in bit/s when scheduled every subframe.
+double peak_rate_bps(int mcs, int nprb);
+
+}  // namespace edgebol::ran

@@ -1,0 +1,126 @@
+#include "ran/scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgebol::ran {
+
+SchedulerReport simulate_round_robin(std::vector<UlUserState> users,
+                                     const RadioPolicy& policy,
+                                     int num_subframes, int nprb) {
+  if (policy.airtime < 0.0 || policy.airtime > 1.0)
+    throw std::invalid_argument("scheduler: airtime out of [0, 1]");
+  if (policy.mcs_cap < 0 || policy.mcs_cap > kMaxUlMcs)
+    throw std::invalid_argument("scheduler: mcs cap out of range");
+  if (num_subframes <= 0)
+    throw std::invalid_argument("scheduler: num_subframes must be > 0");
+
+  SchedulerReport report;
+  report.served_bits.assign(users.size(), 0.0);
+
+  double credit = 0.0;
+  std::size_t rr_next = 0;
+  int granted = 0;
+  double mcs_sum = 0.0;
+
+  for (int sf = 0; sf < num_subframes; ++sf) {
+    credit += policy.airtime;
+    if (credit < 1.0) continue;
+
+    // Find the next backlogged user in round-robin order.
+    std::size_t picked = users.size();
+    for (std::size_t probe = 0; probe < users.size(); ++probe) {
+      const std::size_t u = (rr_next + probe) % users.size();
+      if (users[u].backlog_bits > 0.0) {
+        picked = u;
+        break;
+      }
+    }
+    if (picked == users.size()) continue;  // nothing to send: keep credit
+
+    credit -= 1.0;
+    rr_next = (picked + 1) % users.size();
+
+    const int mcs = std::min(users[picked].eff_mcs, policy.mcs_cap);
+    const double tb = tbs_bits(mcs, nprb);
+    const double sent = std::min(tb, users[picked].backlog_bits);
+    users[picked].backlog_bits -= sent;
+    report.served_bits[picked] += sent;
+    report.total_served_bits += sent;
+    ++granted;
+    mcs_sum += static_cast<double>(mcs);
+  }
+
+  report.slice_subframe_fraction =
+      static_cast<double>(granted) / static_cast<double>(num_subframes);
+  report.mean_scheduled_mcs =
+      granted > 0 ? mcs_sum / static_cast<double>(granted) : 0.0;
+  return report;
+}
+
+SchedulerReport simulate_prb_fair(std::vector<UlUserState> users,
+                                  const RadioPolicy& policy,
+                                  int num_subframes, int nprb) {
+  if (policy.airtime < 0.0 || policy.airtime > 1.0)
+    throw std::invalid_argument("scheduler: airtime out of [0, 1]");
+  if (policy.mcs_cap < 0 || policy.mcs_cap > kMaxUlMcs)
+    throw std::invalid_argument("scheduler: mcs cap out of range");
+  if (num_subframes <= 0)
+    throw std::invalid_argument("scheduler: num_subframes must be > 0");
+
+  SchedulerReport report;
+  report.served_bits.assign(users.size(), 0.0);
+
+  double credit = 0.0;
+  int granted = 0;
+  double mcs_sum = 0.0;
+
+  for (int sf = 0; sf < num_subframes; ++sf) {
+    credit += policy.airtime;
+    if (credit < 1.0) continue;
+
+    std::vector<std::size_t> active;
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      if (users[u].backlog_bits > 0.0) active.push_back(u);
+    }
+    if (active.empty()) continue;  // keep the credit
+
+    credit -= 1.0;
+    ++granted;
+    // Even PRB split, remainder to the earliest users.
+    const int base = nprb / static_cast<int>(active.size());
+    int remainder = nprb % static_cast<int>(active.size());
+    double subframe_mcs = 0.0;
+    for (std::size_t u : active) {
+      const int share = base + (remainder > 0 ? 1 : 0);
+      if (remainder > 0) --remainder;
+      if (share == 0) continue;
+      const int mcs = std::min(users[u].eff_mcs, policy.mcs_cap);
+      const double tb = tbs_bits(mcs, share);
+      const double sent = std::min(tb, users[u].backlog_bits);
+      users[u].backlog_bits -= sent;
+      report.served_bits[u] += sent;
+      report.total_served_bits += sent;
+      subframe_mcs += static_cast<double>(mcs);
+    }
+    mcs_sum += subframe_mcs / static_cast<double>(active.size());
+  }
+
+  report.slice_subframe_fraction =
+      static_cast<double>(granted) / static_cast<double>(num_subframes);
+  report.mean_scheduled_mcs =
+      granted > 0 ? mcs_sum / static_cast<double>(granted) : 0.0;
+  return report;
+}
+
+double fair_share_rate_bps(int eff_mcs, double airtime, std::size_t n_active,
+                           int nprb) {
+  if (n_active == 0)
+    throw std::invalid_argument("fair_share_rate_bps: no active users");
+  if (airtime < 0.0 || airtime > 1.0)
+    throw std::invalid_argument("fair_share_rate_bps: airtime out of [0, 1]");
+  return airtime * peak_rate_bps(eff_mcs, nprb) /
+         static_cast<double>(n_active);
+}
+
+}  // namespace edgebol::ran

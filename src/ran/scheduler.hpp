@@ -1,0 +1,68 @@
+// Uplink MAC scheduler enforcing the paper's two radio policies.
+//
+// Policy 2 (Radio airtime): the slice may use at most a fraction `airtime`
+// of subframes (a duty cycle enforced with a credit accumulator).
+// Policy 4 (Radio MCS): per-user MCS = min(policy cap, CQI-supported MCS).
+//
+// Scheduling within the slice is round-robin across backlogged users, one
+// user per granted subframe over the full PRB allocation — the simple
+// low-level controller adopted in §6.4. This subframe-level simulator is
+// used by tests and by the vBS to derive per-user goodput; the closed-loop
+// pipeline (src/service) then consumes those rates.
+
+#pragma once
+
+#include <vector>
+
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+
+/// The radio control policies an orchestrator sets at second-level
+/// timescale (enforced here at millisecond granularity).
+struct RadioPolicy {
+  double airtime = 1.0;     // fraction of subframes usable by the slice
+  int mcs_cap = kMaxUlMcs;  // maximum eligible MCS
+};
+
+/// Per-user input to the scheduler for one simulation window.
+struct UlUserState {
+  int eff_mcs = 0;            // min(policy cap, CQI-supported) — see cqi.hpp
+  double backlog_bits = 0.0;  // data waiting in the UL buffer
+};
+
+/// Aggregate outcome of a scheduling window.
+struct SchedulerReport {
+  std::vector<double> served_bits;  // per user
+  double slice_subframe_fraction = 0.0;  // granted subframes / window
+  double mean_scheduled_mcs = 0.0;       // mean MCS over granted subframes
+  double total_served_bits = 0.0;
+};
+
+/// Simulate `num_subframes` 1 ms subframes of round-robin uplink scheduling
+/// under the given policy. Users with zero backlog are skipped; a subframe
+/// with no backlogged user is not granted (and does not consume airtime
+/// credit).
+SchedulerReport simulate_round_robin(std::vector<UlUserState> users,
+                                     const RadioPolicy& policy,
+                                     int num_subframes, int nprb = kPrbs20MHz);
+
+/// Frequency-multiplexed variant: within each granted subframe the PRBs are
+/// split evenly among all backlogged users (each transmitting at its own
+/// MCS), instead of TDM-ing whole subframes. Same airtime/MCS policy
+/// enforcement and reporting as simulate_round_robin. In the fluid limit
+/// both schedulers give each user the same goodput; the PRB-split version
+/// has lower per-user latency jitter at the price of per-user PRB
+/// fragmentation.
+SchedulerReport simulate_prb_fair(std::vector<UlUserState> users,
+                                  const RadioPolicy& policy,
+                                  int num_subframes, int nprb = kPrbs20MHz);
+
+/// Long-run fair-share goodput (bit/s) of one user among `n_active`
+/// backlogged users under an airtime-capped round-robin scheduler. This is
+/// the fluid limit of simulate_round_robin and is what the closed-loop
+/// pipeline uses.
+double fair_share_rate_bps(int eff_mcs, double airtime, std::size_t n_active,
+                           int nprb = kPrbs20MHz);
+
+}  // namespace edgebol::ran

@@ -1,0 +1,48 @@
+#include "ran/vbs.hpp"
+
+#include <stdexcept>
+
+namespace edgebol::ran {
+
+Vbs::Vbs(VbsConfig cfg) : cfg_(cfg), power_model_(cfg.power) {
+  if (cfg_.nprb < 1 || cfg_.nprb > kPrbs20MHz)
+    throw std::invalid_argument("Vbs: nprb out of range");
+  if (cfg_.protocol_efficiency <= 0.0 || cfg_.protocol_efficiency > 1.0)
+    throw std::invalid_argument("Vbs: protocol efficiency out of (0, 1]");
+  if (cfg_.grant_latency_s < 0.0)
+    throw std::invalid_argument("Vbs: negative grant latency");
+}
+
+void Vbs::set_policy(const RadioPolicy& policy) {
+  if (policy.airtime <= 0.0 || policy.airtime > 1.0)
+    throw std::invalid_argument("Vbs: airtime out of (0, 1]");
+  if (policy.mcs_cap < 0 || policy.mcs_cap > kMaxUlMcs)
+    throw std::invalid_argument("Vbs: mcs cap out of range");
+  policy_ = policy;
+}
+
+UeRadioReport Vbs::observe_ue(double snr_db, std::size_t n_active) const {
+  UeRadioReport r;
+  r.snr_db = snr_db;
+  r.cqi = snr_to_cqi(snr_db);
+  r.eff_mcs = effective_mcs(r.cqi, policy_.mcs_cap);
+  r.phy_rate_bps =
+      fair_share_rate_bps(r.eff_mcs, policy_.airtime, n_active, cfg_.nprb);
+  r.app_rate_bps = r.phy_rate_bps * cfg_.protocol_efficiency;
+  if (cfg_.model_harq) {
+    r.harq = evaluate_harq(r.eff_mcs, snr_db, cfg_.harq);
+    r.phy_rate_bps *= r.harq.goodput_factor;
+    r.app_rate_bps *= r.harq.goodput_factor;
+  }
+  return r;
+}
+
+double Vbs::mean_power_w(double duty, double spectral_eff) const {
+  return power_model_.mean_power_w(duty, spectral_eff);
+}
+
+double Vbs::sample_power_w(double duty, double spectral_eff, Rng& rng) const {
+  return power_model_.sample_power_w(duty, spectral_eff, rng);
+}
+
+}  // namespace edgebol::ran

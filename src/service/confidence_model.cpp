@@ -1,0 +1,40 @@
+#include "service/confidence_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace edgebol::service {
+
+ConfidencePrecision::ConfidencePrecision(MapParams map_params,
+                                         ConfidenceParams params)
+    : map_(map_params), params_(params) {
+  if (params_.confidence_floor < 0.0 || params_.confidence_span <= 0.0 ||
+      params_.confidence_floor + params_.confidence_span > 1.0)
+    throw std::invalid_argument("ConfidencePrecision: bad confidence range");
+  if (params_.confidence_noise < 0.0)
+    throw std::invalid_argument("ConfidencePrecision: negative noise");
+}
+
+double ConfidencePrecision::mean_confidence(double eta) const {
+  const double precision_frac =
+      map_.mean_map(eta) / map_.params().max_map;  // in [0, 1]
+  return params_.confidence_floor + params_.confidence_span * precision_frac;
+}
+
+double ConfidencePrecision::sample_confidence(double eta, Rng& rng) const {
+  const double c =
+      mean_confidence(eta) + rng.normal(0.0, params_.confidence_noise);
+  return std::clamp(c, 0.0, 1.0);
+}
+
+double ConfidencePrecision::calibrate(double confidence) const {
+  const double frac =
+      (confidence - params_.confidence_floor) / params_.confidence_span;
+  return std::clamp(frac, 0.0, 1.0) * map_.params().max_map;
+}
+
+double ConfidencePrecision::estimate_map(double eta, Rng& rng) const {
+  return calibrate(sample_confidence(eta, rng));
+}
+
+}  // namespace edgebol::service

@@ -1,0 +1,51 @@
+// Label-free precision estimation from detector confidence (§4.2).
+//
+// The paper assumes a pre-production phase with labelled images for the mAP
+// observations, and notes that "we can easily integrate other real-time
+// precision metrics that consider the confidence output of the object
+// recognition algorithms [22]". This module models that alternative: the
+// detector's mean softmax confidence tracks the true precision (higher-res
+// frames produce sharper score distributions), and a calibration curve
+// fitted during pre-production inverts confidence back into an mAP
+// estimate. The estimate is unbiased by construction of the calibration but
+// noisier than a labelled 150-image mAP — the price of going label-free.
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "service/map_model.hpp"
+
+namespace edgebol::service {
+
+struct ConfidenceParams {
+  double confidence_floor = 0.45;  // mean score when the detector guesses
+  double confidence_span = 0.45;   // additional score at perfect precision
+  double confidence_noise = 0.02;  // batch-to-batch spread of mean confidence
+};
+
+class ConfidencePrecision {
+ public:
+  ConfidencePrecision(MapParams map_params = {}, ConfidenceParams params = {});
+
+  /// Mean detector confidence for frames at resolution eta in (0, 1].
+  double mean_confidence(double eta) const;
+
+  /// One batch's sampled mean confidence.
+  double sample_confidence(double eta, Rng& rng) const;
+
+  /// The pre-production calibration curve: confidence -> mAP estimate.
+  /// Clamped to [0, max achievable mAP].
+  double calibrate(double confidence) const;
+
+  /// End-to-end label-free precision estimate for one period's batch.
+  double estimate_map(double eta, Rng& rng) const;
+
+  const ConfidenceParams& params() const { return params_; }
+  const MapModel& map_model() const { return map_; }
+
+ private:
+  MapModel map_;
+  ConfidenceParams params_;
+};
+
+}  // namespace edgebol::service

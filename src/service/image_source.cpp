@@ -1,0 +1,42 @@
+#include "service/image_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::service {
+
+namespace {
+void check_eta(double eta) {
+  if (eta <= 0.0 || eta > 1.0)
+    throw std::invalid_argument("ImageSource: eta out of (0, 1]");
+}
+}  // namespace
+
+ImageSource::ImageSource(ImageParams params) : params_(params) {
+  if (params_.full_res_bits <= 0.0)
+    throw std::invalid_argument("ImageSource: bad full-res size");
+  if (params_.min_size_frac < 0.0 || params_.min_size_frac >= 1.0)
+    throw std::invalid_argument("ImageSource: bad size floor");
+}
+
+double ImageSource::image_bits(double eta) const {
+  check_eta(eta);
+  const double frac = params_.min_size_frac +
+                      (1.0 - params_.min_size_frac) *
+                          std::pow(eta, params_.size_exponent);
+  return params_.full_res_bits * frac;
+}
+
+double ImageSource::sample_image_bits(double eta, Rng& rng) const {
+  const double mean = image_bits(eta);
+  const double s = mean + rng.normal(0.0, params_.size_noise_frac * mean);
+  return std::max(0.3 * mean, s);
+}
+
+double ImageSource::preprocess_time_s(double eta) const {
+  check_eta(eta);
+  return params_.preprocess_base_s + params_.preprocess_per_res_s * eta;
+}
+
+}  // namespace edgebol::service

@@ -1,0 +1,47 @@
+// The user-side image path — Policy 1 (image resolution).
+//
+// Users capture frames at up to 640x480 (the paper's 100% resolution),
+// resize/encode them with OpenCV, and ship JPEGs over the LTE uplink. The
+// resolution policy eta in (0, 1] scales the *pixel count*; compressed size
+// scales roughly linearly with pixels, and client-side preprocessing
+// (resize + encode on the Intel NUC) grows with the encoded size.
+
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace edgebol::service {
+
+struct ImageParams {
+  double full_res_bits = 0.72e6;   // ~90 KB JPEG at 640x480 (COCO average)
+  double min_size_frac = 0.06;     // container/header floor at tiny eta
+  double size_exponent = 1.3;      // JPEG compresses small images less well
+  double size_noise_frac = 0.03;   // spread of per-period mean size
+  double preprocess_base_s = 0.012;
+  double preprocess_per_res_s = 0.025;
+  double response_bits = 24e3;     // bounding boxes + labels back to the UE
+};
+
+class ImageSource {
+ public:
+  explicit ImageSource(ImageParams params = {});
+
+  /// Mean encoded image size (bits) at resolution eta in (0, 1].
+  double image_bits(double eta) const;
+
+  /// Per-image sampled size (content varies across the dataset).
+  double sample_image_bits(double eta, Rng& rng) const;
+
+  /// Client-side resize + encode time.
+  double preprocess_time_s(double eta) const;
+
+  /// Size of the service response (boxes + labels).
+  double response_bits() const { return params_.response_bits; }
+
+  const ImageParams& params() const { return params_; }
+
+ private:
+  ImageParams params_;
+};
+
+}  // namespace edgebol::service

@@ -1,0 +1,38 @@
+#include "service/map_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::service {
+
+MapModel::MapModel(MapParams params) : params_(params) {
+  if (params_.max_map <= 0.0 || params_.max_map > 1.0)
+    throw std::invalid_argument("MapModel: max map out of (0, 1]");
+  if (params_.steepness <= 0.0)
+    throw std::invalid_argument("MapModel: steepness must be > 0");
+  if (params_.noise_stddev < 0.0)
+    throw std::invalid_argument("MapModel: negative noise");
+}
+
+double MapModel::mean_map(double eta) const {
+  if (eta <= 0.0 || eta > 1.0)
+    throw std::invalid_argument("MapModel: eta out of (0, 1]");
+  return params_.max_map /
+         (1.0 + std::exp(-(eta - params_.midpoint) / params_.steepness));
+}
+
+double MapModel::sample_map(double eta, Rng& rng) const {
+  const double m = mean_map(eta) + rng.normal(0.0, params_.noise_stddev);
+  return std::clamp(m, 0.0, 1.0);
+}
+
+double MapModel::min_eta_for_map(double target) const {
+  for (int i = 1; i <= 1000; ++i) {
+    const double eta = static_cast<double>(i) / 1000.0;
+    if (mean_map(eta) >= target) return eta;
+  }
+  return 1.0;
+}
+
+}  // namespace edgebol::service

@@ -1,0 +1,43 @@
+// Object-recognition precision model — Performance Indicator 2 (mAP).
+//
+// The paper measures mean average precision (IoU 0.5) of Detectron2's
+// Faster R-CNN (ResNet-101) over COCO images re-encoded at each resolution
+// policy. The measured curve (Fig. 1) is concave and saturating: roughly
+// 0.2 at 25% resolution, 0.45 at 50%, 0.55 at 75% and 0.65 at 100%. We fit
+// it with a logistic in eta plus per-measurement noise (each observation in
+// the paper averages 150 images; content still varies batch to batch).
+
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace edgebol::service {
+
+struct MapParams {
+  double max_map = 0.75;       // asymptotic precision of the detector
+  double midpoint = 0.50;      // resolution at half of max
+  double steepness = 0.22;     // logistic slope
+  double noise_stddev = 0.022; // batch-to-batch spread of 150-image averages
+};
+
+class MapModel {
+ public:
+  explicit MapModel(MapParams params = {});
+
+  /// Expected mAP at resolution eta in (0, 1].
+  double mean_map(double eta) const;
+
+  /// Noisy per-period observation (one 150-image batch).
+  double sample_map(double eta, Rng& rng) const;
+
+  /// Smallest eta whose *expected* mAP reaches `target` (1.0 if none on the
+  /// grid of 1e-3 steps). Handy for tests and for seeding safe sets.
+  double min_eta_for_map(double target) const;
+
+  const MapParams& params() const { return params_; }
+
+ private:
+  MapParams params_;
+};
+
+}  // namespace edgebol::service

@@ -1,0 +1,150 @@
+#include "service/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::service {
+
+namespace {
+
+void validate(const PipelineInputs& in) {
+  if (in.users.empty())
+    throw std::invalid_argument("solve_pipeline: no users");
+  if (in.image_bits <= 0.0 || in.gpu_service_s <= 0.0 ||
+      in.downlink_rate_bps <= 0.0)
+    throw std::invalid_argument("solve_pipeline: non-positive sizes/times");
+  if (in.airtime <= 0.0 || in.airtime > 1.0)
+    throw std::invalid_argument("solve_pipeline: airtime out of (0, 1]");
+  if (in.bs_load_multiplier < 1.0)
+    throw std::invalid_argument("solve_pipeline: load multiplier < 1");
+  if (in.external_gpu_utilization < 0.0)
+    throw std::invalid_argument("solve_pipeline: negative external load");
+  for (const PipelineUser& u : in.users) {
+    if (u.solo_app_rate_bps <= 0.0 || u.solo_phy_rate_bps <= 0.0)
+      throw std::invalid_argument("solve_pipeline: non-positive user rate");
+  }
+}
+
+}  // namespace
+
+PipelineResult solve_pipeline(const PipelineInputs& in) {
+  validate(in);
+  const std::size_t n = in.users.size();
+  const double g = in.gpu_service_s;
+  const double dl_time = in.response_bits / in.downlink_rate_bps;
+
+  PipelineResult r;
+  r.delay_s.assign(n, 0.0);
+  r.frame_rate_hz.assign(n, 0.0);
+  r.tx_time_s.assign(n, 0.0);
+
+  // Initial guess: no contention, no queueing.
+  for (std::size_t u = 0; u < n; ++u) {
+    r.tx_time_s[u] = in.image_bits / in.users[u].solo_app_rate_bps;
+    r.delay_s[u] = in.preprocess_s + in.grant_latency_s + r.tx_time_s[u] + g +
+                   dl_time;
+  }
+
+  constexpr int kIters = 60;
+  constexpr double kDamping = 0.5;
+  double sharing = 1.0;  // effective number of concurrently active senders
+
+  for (int it = 0; it < kIters; ++it) {
+    // Frame rates from the stop-and-wait loops.
+    double phi_sum = 0.0;  // expected number of users transmitting at once
+    double lambda_sum = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      r.frame_rate_hz[u] = 1.0 / r.delay_s[u];
+      phi_sum += r.frame_rate_hz[u] * r.tx_time_s[u];
+      lambda_sum += r.frame_rate_hz[u];
+    }
+
+    // Radio contention: when several stop-and-wait loops overlap, the
+    // round-robin scheduler splits airtime among the concurrently
+    // backlogged users. The effective sharing factor is the expected
+    // overlap, at least 1.
+    const double target_sharing = std::max(1.0, phi_sum);
+    sharing += kDamping * (target_sharing - sharing);
+
+    // GPU queueing: M/D/1 wait from the *other* arrivals (a user's own
+    // next frame is only captured after its previous result returns);
+    // other tenants' load counts fully.
+    const double rho = std::min(lambda_sum * g + in.external_gpu_utilization,
+                                in.max_gpu_utilization);
+    r.gpu_utilization = rho;
+
+    double max_delay_changed = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      const double rho_others =
+          std::min(std::max(0.0, (lambda_sum - r.frame_rate_hz[u]) * g +
+                                     in.external_gpu_utilization),
+                   in.max_gpu_utilization);
+      const double wait = rho_others * g / (2.0 * (1.0 - rho));
+      const double tx =
+          in.image_bits * sharing / in.users[u].solo_app_rate_bps;
+      const double d = in.preprocess_s + in.grant_latency_s + tx + wait + g +
+                       dl_time;
+      max_delay_changed =
+          std::max(max_delay_changed, std::abs(d - r.delay_s[u]));
+      r.tx_time_s[u] = tx;
+      r.delay_s[u] += kDamping * (d - r.delay_s[u]);
+    }
+    if (max_delay_changed < 1e-9) break;
+  }
+
+  // Final aggregates.
+  double lambda_sum = 0.0;
+  double queue_wait_max = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    r.frame_rate_hz[u] = 1.0 / r.delay_s[u];
+    lambda_sum += r.frame_rate_hz[u];
+  }
+  r.total_frame_rate_hz = lambda_sum;
+  r.own_gpu_utilization = std::min(lambda_sum * g, in.max_gpu_utilization);
+  r.gpu_utilization = std::min(lambda_sum * g + in.external_gpu_utilization,
+                               in.max_gpu_utilization);
+  for (std::size_t u = 0; u < n; ++u) {
+    const double rho_others =
+        std::min(std::max(0.0, (lambda_sum - r.frame_rate_hz[u]) * g +
+                                   in.external_gpu_utilization),
+                 in.max_gpu_utilization);
+    queue_wait_max = std::max(
+        queue_wait_max, rho_others * g / (2.0 * (1.0 - r.gpu_utilization)));
+  }
+  r.queue_wait_s = queue_wait_max;
+  r.gpu_delay_s = queue_wait_max + g;
+  r.radio_congestion = sharing;
+
+  // BBU duty: subframes busy with the AI service's uplink ...
+  double ai_duty = 0.0;
+  double eff_weighted = 0.0;
+  double mcs_sum = 0.0;
+  double ai_bits_per_s = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    // The slice transmits this user's frames for a fraction
+    // lambda_u * tx_solo_u of the time, occupying subframes at duty
+    // `airtime` within those windows. Protocol inefficiency (SR cycles,
+    // partially-filled grants) is already inside solo_app_rate.
+    const double tx_solo = in.image_bits / in.users[u].solo_app_rate_bps;
+    ai_duty += r.frame_rate_hz[u] * tx_solo * in.airtime;
+    eff_weighted += in.users[u].spectral_eff;
+    mcs_sum += in.users[u].eff_mcs;
+    ai_bits_per_s += r.frame_rate_hz[u] * in.image_bits;
+  }
+  r.mean_spectral_eff = eff_weighted / static_cast<double>(n);
+  r.mean_eff_mcs = mcs_sum / static_cast<double>(n);
+
+  // ... plus background bulk traffic sharing the BBU (the 10x-load
+  // scenario): (multiplier - 1) times the service's bit rate, moved with
+  // bulk protocol efficiency at the same MCS policy.
+  double bg_duty = 0.0;
+  if (in.bs_load_multiplier > 1.0 && in.bulk_phy_rate_bps > 0.0) {
+    const double bg_bits = (in.bs_load_multiplier - 1.0) * ai_bits_per_s;
+    bg_duty = bg_bits / (in.bulk_efficiency * in.bulk_phy_rate_bps);
+  }
+  r.bs_duty = std::min(1.0, std::min(ai_duty, in.airtime) + bg_duty);
+  return r;
+}
+
+}  // namespace edgebol::service

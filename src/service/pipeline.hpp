@@ -1,0 +1,75 @@
+// Closed-loop MVA pipeline solver.
+//
+// Each user runs a stop-and-wait loop: capture + preprocess a frame, ship it
+// uplink, wait for the inference result, repeat. Hence a user's frame rate
+// is 1/delay, which couples everything: more airtime -> faster uplink ->
+// shorter delay -> *more* frames per second -> more GPU load and more busy
+// subframes at the BS — exactly the feedback the paper measures (Figs. 2,
+// 5). This module solves the resulting fixed point with damped iteration.
+//
+// Radio contention across users and GPU queueing are modeled in the fluid
+// limit: users transmitting a fraction phi_u = lambda_u * tx_u of the time
+// share the scheduler only when overlapping, and the GPU queue follows an
+// M/D/1 approximation where a user's own frame does not queue behind itself
+// (with one user there is no queueing at all in a stop-and-wait loop).
+
+#pragma once
+
+#include <vector>
+
+namespace edgebol::service {
+
+/// Per-user radio inputs (from ran::Vbs::observe_ue with n_active = 1; the
+/// solver applies contention itself).
+struct PipelineUser {
+  double solo_app_rate_bps = 0.0;   // app-level uplink goodput if alone
+  double solo_phy_rate_bps = 0.0;   // PHY-level peak rate if alone (for duty)
+  double spectral_eff = 0.0;        // of the user's effective MCS
+  double eff_mcs = 0.0;             // for "mean MCS" reporting
+};
+
+struct PipelineInputs {
+  std::vector<PipelineUser> users;
+  double image_bits = 0.0;       // mean encoded image size at the policy eta
+  double preprocess_s = 0.0;     // client-side encode time
+  double response_bits = 0.0;    // downlink result size
+  double grant_latency_s = 0.0;  // fixed uplink access latency per frame
+  double downlink_rate_bps = 4e6;  // DL is uncontended for this service
+  double gpu_service_s = 0.0;    // per-image inference time under the policy
+  double airtime = 1.0;          // radio airtime policy (duty budget)
+  double max_gpu_utilization = 0.97;
+  /// GPU utilization contributed by other tenants of the same server
+  /// (multi-service coupling, env/multi_service.hpp). Their jobs lengthen
+  /// this service's queue wait and count toward the utilization cap.
+  double external_gpu_utilization = 0.0;
+  /// Total offered load on the BS relative to the AI service's own load
+  /// (1 = just the service; 10 = the paper's "10x load" scenario, the extra
+  /// 9x being background bulk traffic processed by the same BBU).
+  double bs_load_multiplier = 1.0;
+  /// Protocol efficiency of background bulk traffic (long flows keep the
+  /// pipe full, so much higher than the request/response service's).
+  double bulk_efficiency = 0.5;
+  /// Mean PHY peak rate used by background traffic (same MCS policy).
+  double bulk_phy_rate_bps = 0.0;
+};
+
+struct PipelineResult {
+  std::vector<double> delay_s;         // per-user end-to-end service delay
+  std::vector<double> frame_rate_hz;   // per-user closed-loop frame rate
+  std::vector<double> tx_time_s;       // per-user uplink transfer time
+  double total_frame_rate_hz = 0.0;
+  double gpu_utilization = 0.0;        // total at the GPU (incl. external)
+  double own_gpu_utilization = 0.0;    // this service's contribution only
+  double gpu_delay_s = 0.0;            // queue wait + service (max over users)
+  double queue_wait_s = 0.0;
+  double bs_duty = 0.0;                // busy-subframe fraction at the BBU
+  double mean_spectral_eff = 0.0;      // over processed subframes
+  double mean_eff_mcs = 0.0;           // over users (paper's "Mean MCS" axis)
+  double radio_congestion = 1.0;       // effective sharing factor (>= 1)
+};
+
+/// Solve the closed-loop fixed point. Throws std::invalid_argument on empty
+/// user lists or non-positive rates/times.
+PipelineResult solve_pipeline(const PipelineInputs& in);
+
+}  // namespace edgebol::service

@@ -1,0 +1,63 @@
+#include "telemetry/power_meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace edgebol::telemetry {
+
+PowerMeter::PowerMeter(PowerMeterSpec spec) : spec_(std::move(spec)) {
+  if (spec_.ranges_w.empty())
+    throw std::invalid_argument("PowerMeter: no ranges");
+  if (!std::is_sorted(spec_.ranges_w.begin(), spec_.ranges_w.end()))
+    throw std::invalid_argument("PowerMeter: ranges must be ascending");
+  for (double r : spec_.ranges_w) {
+    if (r <= 0.0) throw std::invalid_argument("PowerMeter: bad range");
+  }
+  if (spec_.reading_accuracy_frac < 0.0 || spec_.range_accuracy_frac < 0.0)
+    throw std::invalid_argument("PowerMeter: negative accuracy");
+  if (spec_.counts_per_range <= 0.0 || spec_.sample_rate_hz <= 0.0)
+    throw std::invalid_argument("PowerMeter: bad counts/sample rate");
+}
+
+double PowerMeter::select_range_w(double power_w) const {
+  for (double r : spec_.ranges_w) {
+    if (power_w <= r) return r;
+  }
+  return spec_.ranges_w.back();
+}
+
+double PowerMeter::resolution_w(double power_w) const {
+  return select_range_w(power_w) / spec_.counts_per_range;
+}
+
+double PowerMeter::reading_w(double true_power_w, Rng& rng) const {
+  if (true_power_w < 0.0)
+    throw std::invalid_argument("PowerMeter: negative power");
+  const double range = select_range_w(true_power_w);
+  // Accuracy specs quote worst-case bounds; model the error as a Gaussian
+  // with the bound at ~2 sigma.
+  const double sigma = (spec_.reading_accuracy_frac * true_power_w +
+                        spec_.range_accuracy_frac * range) /
+                       2.0;
+  const double noisy = true_power_w + rng.normal(0.0, sigma);
+  const double lsb = range / spec_.counts_per_range;
+  return std::max(0.0, std::round(noisy / lsb) * lsb);
+}
+
+double PowerMeter::integrate_w(const std::function<double(double)>& signal,
+                               double duration_s, Rng& rng) const {
+  if (duration_s <= 0.0)
+    throw std::invalid_argument("PowerMeter: non-positive duration");
+  const int samples = std::max(
+      1, static_cast<int>(std::floor(duration_s * spec_.sample_rate_hz)));
+  double acc = 0.0;
+  for (int i = 0; i < samples; ++i) {
+    const double t =
+        (static_cast<double>(i) + 0.5) / spec_.sample_rate_hz;
+    acc += reading_w(std::max(0.0, signal(t)), rng);
+  }
+  return acc / static_cast<double>(samples);
+}
+
+}  // namespace edgebol::telemetry

@@ -1,0 +1,53 @@
+// Digital power meter model — the GW-Instek GPM-8213 + GPM-001 adapter of
+// the prototype (§6.1, Fig. 8).
+//
+// Bench meters are not oracles: a reading carries +/-(reading-accuracy x
+// value + range-accuracy x range) error, is quantized to the instrument's
+// display resolution, and an "integrated" measurement averages a finite
+// number of samples over the observation window. The testbed routes every
+// power KPI through this model, so the learning agent sees exactly what a
+// meter-fed xApp would report.
+
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace edgebol::telemetry {
+
+struct PowerMeterSpec {
+  double reading_accuracy_frac = 0.001;  // +/-0.1% of the reading
+  double range_accuracy_frac = 0.0005;   // +/-0.05% of the selected range
+  std::vector<double> ranges_w = {3.0, 30.0, 300.0, 3000.0};  // auto-range
+  double counts_per_range = 30000.0;     // 4.5-digit class display
+  double sample_rate_hz = 10.0;          // readings per second
+};
+
+class PowerMeter {
+ public:
+  explicit PowerMeter(PowerMeterSpec spec = {});
+
+  /// Smallest range that covers `power_w` (the largest range if none does).
+  double select_range_w(double power_w) const;
+
+  /// Display resolution on the range covering `power_w`.
+  double resolution_w(double power_w) const;
+
+  /// One instantaneous reading: accuracy error + quantization.
+  double reading_w(double true_power_w, Rng& rng) const;
+
+  /// Average of the readings taken over `duration_s` while the true power
+  /// follows `signal(t)`. This is the per-period KPI sample an xApp
+  /// collects.
+  double integrate_w(const std::function<double(double)>& signal,
+                     double duration_s, Rng& rng) const;
+
+  const PowerMeterSpec& spec() const { return spec_; }
+
+ private:
+  PowerMeterSpec spec_;
+};
+
+}  // namespace edgebol::telemetry

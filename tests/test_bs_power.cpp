@@ -1,0 +1,90 @@
+#include "ran/bs_power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+namespace {
+
+TEST(BsPower, IdleAtZeroDuty) {
+  const BsPowerModel m;
+  EXPECT_DOUBLE_EQ(m.mean_power_w(0.0, 0.0), m.params().idle_w);
+  EXPECT_DOUBLE_EQ(m.mean_power_w(0.0, spectral_efficiency(kMaxUlMcs)),
+                   m.params().idle_w);
+}
+
+TEST(BsPower, MonotoneInDuty) {
+  const BsPowerModel m;
+  const double eff = spectral_efficiency(10);
+  double prev = 0.0;
+  for (double duty : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const double p = m.mean_power_w(duty, eff);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(BsPower, MonotoneInSpectralEfficiencyAtFixedDuty) {
+  const BsPowerModel m;
+  EXPECT_GT(m.mean_power_w(0.5, spectral_efficiency(20)),
+            m.mean_power_w(0.5, spectral_efficiency(0)));
+}
+
+TEST(BsPower, RangeMatchesPrototypeScale) {
+  // The paper's vBS BBU spans roughly 4.6 W idle to ~7.25 W max.
+  const BsPowerModel m;
+  EXPECT_NEAR(m.params().idle_w, 4.6, 0.5);
+  EXPECT_GT(m.max_power_w(), 6.0);
+  EXPECT_LT(m.max_power_w(), 8.0);
+}
+
+TEST(BsPower, FasterProcessingWinsAtFixedLoad) {
+  // Fixed offered load: duty scales inversely with spectral efficiency.
+  // Higher-MCS subframes cost more each, but far fewer are needed — the
+  // Fig. 5 effect.
+  const BsPowerModel m;
+  const double load_eff_units = 0.4;  // duty * efficiency is fixed
+  const double e_low = spectral_efficiency(5);
+  const double e_high = spectral_efficiency(20);
+  const double p_low = m.mean_power_w(load_eff_units / e_low, e_low);
+  const double p_high = m.mean_power_w(load_eff_units / e_high, e_high);
+  EXPECT_LT(p_high, p_low);
+}
+
+TEST(BsPower, HigherMcsCostsMoreWhenSaturated) {
+  // Duty pinned at the airtime cap (the Fig. 6 regime): only the
+  // per-subframe decoding term differentiates MCS.
+  const BsPowerModel m;
+  EXPECT_GT(m.mean_power_w(1.0, spectral_efficiency(20)),
+            m.mean_power_w(1.0, spectral_efficiency(5)));
+}
+
+TEST(BsPower, SampleIsUnbiasedAndBounded) {
+  const BsPowerModel m;
+  Rng rng(3);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double p = m.sample_power_w(0.5, 2.0, rng);
+    EXPECT_GE(p, 0.9 * m.params().idle_w);
+    stats.add(p);
+  }
+  EXPECT_NEAR(stats.mean(), m.mean_power_w(0.5, 2.0), 0.01);
+  EXPECT_NEAR(stats.stddev(), m.params().noise_stddev_w, 0.01);
+}
+
+TEST(BsPower, InvalidInputsThrow) {
+  const BsPowerModel m;
+  EXPECT_THROW(m.mean_power_w(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.mean_power_w(1.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.mean_power_w(0.5, -1.0), std::invalid_argument);
+  BsPowerParams bad;
+  bad.idle_w = -1.0;
+  EXPECT_THROW(BsPowerModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::ran

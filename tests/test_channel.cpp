@@ -1,0 +1,117 @@
+#include "ran/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace edgebol::ran {
+namespace {
+
+TEST(ConstantSnr, AlwaysReturnsMean) {
+  ConstantSnr s(25.0);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(s.next_mean_snr_db(), 25.0);
+  EXPECT_DOUBLE_EQ(s.current_mean_snr_db(), 25.0);
+}
+
+TEST(TraceSnr, CyclesThroughTrace) {
+  TraceSnr s({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.current_mean_snr_db(), 1.0);
+  EXPECT_DOUBLE_EQ(s.next_mean_snr_db(), 1.0);
+  EXPECT_DOUBLE_EQ(s.next_mean_snr_db(), 2.0);
+  EXPECT_DOUBLE_EQ(s.next_mean_snr_db(), 3.0);
+  EXPECT_DOUBLE_EQ(s.next_mean_snr_db(), 1.0);  // wraps
+}
+
+TEST(TraceSnr, EmptyTraceThrows) {
+  EXPECT_THROW(TraceSnr({}), std::invalid_argument);
+}
+
+TEST(TraceSnr, CloneContinuesIndependently) {
+  TraceSnr s({1.0, 2.0});
+  s.next_mean_snr_db();
+  const auto c = s.clone();
+  EXPECT_DOUBLE_EQ(c->current_mean_snr_db(), s.current_mean_snr_db());
+  s.next_mean_snr_db();
+  EXPECT_NE(c->current_mean_snr_db(), s.current_mean_snr_db());
+}
+
+TEST(SteppedTrace, CoversRangeAndHold) {
+  const auto trace = stepped_snr_trace(5.0, 38.0, 6, 4);
+  EXPECT_EQ(trace.size(), (6u + 4u) * 4u);  // up levels + interior down
+  EXPECT_DOUBLE_EQ(*std::max_element(trace.begin(), trace.end()), 38.0);
+  EXPECT_DOUBLE_EQ(*std::min_element(trace.begin(), trace.end()), 5.0);
+  // First level held for `hold` periods.
+  EXPECT_DOUBLE_EQ(trace[0], trace[3]);
+}
+
+TEST(SteppedTrace, InvalidArgsThrow) {
+  EXPECT_THROW(stepped_snr_trace(5.0, 38.0, 1, 4), std::invalid_argument);
+  EXPECT_THROW(stepped_snr_trace(5.0, 38.0, 6, 0), std::invalid_argument);
+}
+
+TEST(ShadowFading, StationaryStdMatchesSigma) {
+  Rng rng(3);
+  ShadowFading f(2.0, 0.7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(f.next_offset_db(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.15);
+}
+
+TEST(ShadowFading, ZeroSigmaIsSilent) {
+  Rng rng(5);
+  ShadowFading f(0.0, 0.5);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(f.next_offset_db(rng), 0.0);
+}
+
+TEST(ShadowFading, CorrelationIncreasesWithRho) {
+  auto lag1_corr = [](double rho) {
+    Rng rng(7);
+    ShadowFading f(1.0, rho);
+    double prev = f.next_offset_db(rng);
+    double num = 0.0, den = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+      const double cur = f.next_offset_db(rng);
+      num += prev * cur;
+      den += prev * prev;
+      prev = cur;
+    }
+    return num / den;
+  };
+  EXPECT_NEAR(lag1_corr(0.9), 0.9, 0.05);
+  EXPECT_NEAR(lag1_corr(0.0), 0.0, 0.05);
+}
+
+TEST(ShadowFading, InvalidParamsThrow) {
+  EXPECT_THROW(ShadowFading(-1.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(ShadowFading(1.0, 1.0), std::invalid_argument);
+}
+
+TEST(UeChannel, SnrAroundMeanProcess) {
+  Rng rng(11);
+  UeChannel ue(std::make_unique<ConstantSnr>(20.0), 1.0, 0.5);
+  RunningStats stats;
+  for (int i = 0; i < 5000; ++i) stats.add(ue.next_snr_db(rng));
+  EXPECT_NEAR(stats.mean(), 20.0, 0.2);
+  EXPECT_DOUBLE_EQ(ue.expected_snr_db(), 20.0);
+}
+
+TEST(UeChannel, CopySemantics) {
+  UeChannel a(std::make_unique<ConstantSnr>(10.0), 0.0, 0.5);
+  UeChannel b = a;
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(b.next_snr_db(rng), 10.0);
+  b = a;
+  EXPECT_DOUBLE_EQ(b.expected_snr_db(), 10.0);
+}
+
+TEST(UeChannel, NullProcessThrows) {
+  EXPECT_THROW(UeChannel(nullptr, 1.0, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::ran

@@ -1,0 +1,145 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace edgebol::linalg {
+namespace {
+
+Matrix random_spd(std::size_t n, Rng& rng) {
+  // A = B B^T + n * I is SPD with probability 1.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.normal();
+  Matrix a = matmul(b, b.transpose());
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, KnownFactorization) {
+  // A = [[4, 2], [2, 3]] -> L = [[2, 0], [1, sqrt(2)]].
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const CholeskyFactor f(a);
+  EXPECT_NEAR(f.lower()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(f.lower()(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(f.lower()(1, 1), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(f.lower()(0, 1), 0.0, 1e-12);
+}
+
+TEST(Cholesky, ReconstructsMatrix) {
+  Rng rng(3);
+  const Matrix a = random_spd(8, rng);
+  const CholeskyFactor f(a);
+  const Matrix rec = matmul(f.lower(), f.lower().transpose());
+  EXPECT_LT(rec.max_abs_diff(a), 1e-9);
+}
+
+TEST(Cholesky, SolveResidualIsTiny) {
+  Rng rng(5);
+  const Matrix a = random_spd(10, rng);
+  Vector b(10);
+  for (double& v : b) v = rng.normal();
+  const Vector x = spd_solve(a, b);
+  const Vector ax = matvec(a, x);
+  EXPECT_LT(max_abs_diff(ax, b), 1e-8);
+}
+
+TEST(Cholesky, ForwardAndBackwardSolves) {
+  Matrix l(2, 2);
+  l(0, 0) = 2;
+  l(1, 0) = 1;
+  l(1, 1) = 3;
+  const Vector y = forward_solve(l, {4.0, 11.0});
+  EXPECT_NEAR(y[0], 2.0, 1e-12);
+  EXPECT_NEAR(y[1], 3.0, 1e-12);
+  // L^T x = y.
+  const Vector x = backward_solve_transposed(l, y);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+  EXPECT_NEAR(x[0], 0.5, 1e-12);
+}
+
+TEST(Cholesky, ExtendMatchesBatch) {
+  Rng rng(7);
+  const std::size_t n = 12;
+  const Matrix a = random_spd(n, rng);
+
+  CholeskyFactor online;
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector col(k);
+    for (std::size_t i = 0; i < k; ++i) col[i] = a(i, k);
+    online.extend(col, a(k, k));
+  }
+  const CholeskyFactor batch(a);
+  EXPECT_LT(online.lower().max_abs_diff(batch.lower()), 1e-9);
+}
+
+TEST(Cholesky, LogDetMatchesKnownValue) {
+  // det([[4, 2], [2, 3]]) = 8.
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  EXPECT_NEAR(CholeskyFactor(a).log_det(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, NonSpdThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 1;  // eigenvalues 3 and -1
+  EXPECT_THROW(CholeskyFactor{a}, std::runtime_error);
+}
+
+TEST(Cholesky, ExtendNonSpdThrows) {
+  CholeskyFactor f;
+  f.extend({}, 1.0);
+  // Extending with an off-diagonal larger than the diagonal breaks SPD.
+  EXPECT_THROW(f.extend({2.0}, 1.0), std::runtime_error);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  EXPECT_THROW(CholeskyFactor{Matrix(2, 3)}, std::invalid_argument);
+}
+
+TEST(Cholesky, EmptyFactorSolve) {
+  CholeskyFactor f;
+  EXPECT_EQ(f.size(), 0u);
+  EXPECT_TRUE(f.solve({}).empty());
+  EXPECT_DOUBLE_EQ(f.log_det(), 0.0);
+}
+
+TEST(Cholesky, SolveAfterExtend) {
+  Rng rng(11);
+  const std::size_t n = 6;
+  const Matrix a = random_spd(n, rng);
+  CholeskyFactor f;
+  for (std::size_t k = 0; k < n; ++k) {
+    Vector col(k);
+    for (std::size_t i = 0; i < k; ++i) col[i] = a(i, k);
+    f.extend(col, a(k, k));
+  }
+  Vector b(n);
+  for (double& v : b) v = rng.normal();
+  EXPECT_LT(max_abs_diff(matvec(a, f.solve(b)), b), 1e-8);
+}
+
+TEST(Cholesky, DimensionMismatchThrows) {
+  Matrix l = Matrix::identity(2);
+  EXPECT_THROW(forward_solve(l, {1.0}), std::invalid_argument);
+  EXPECT_THROW(backward_solve_transposed(l, {1.0}), std::invalid_argument);
+  CholeskyFactor f(Matrix::identity(2));
+  EXPECT_THROW(f.extend({1.0, 2.0, 3.0}, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::linalg

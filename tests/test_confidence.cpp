@@ -1,0 +1,111 @@
+#include "service/confidence_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "core/edgebol.hpp"
+#include "env/scenarios.hpp"
+
+namespace edgebol::service {
+namespace {
+
+TEST(Confidence, MeanConfidenceTracksPrecision) {
+  const ConfidencePrecision cp;
+  double prev = 0.0;
+  for (double eta : {0.25, 0.5, 0.75, 1.0}) {
+    const double c = cp.mean_confidence(eta);
+    EXPECT_GT(c, prev);
+    EXPECT_GE(c, cp.params().confidence_floor);
+    EXPECT_LE(c,
+              cp.params().confidence_floor + cp.params().confidence_span);
+    prev = c;
+  }
+}
+
+TEST(Confidence, CalibrationInvertsTheMeanCurve) {
+  const ConfidencePrecision cp;
+  for (double eta : {0.3, 0.5, 0.8, 1.0}) {
+    EXPECT_NEAR(cp.calibrate(cp.mean_confidence(eta)),
+                cp.map_model().mean_map(eta), 1e-9);
+  }
+}
+
+TEST(Confidence, CalibrationClampsOutOfRangeScores) {
+  const ConfidencePrecision cp;
+  EXPECT_DOUBLE_EQ(cp.calibrate(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cp.calibrate(1.0), cp.map_model().params().max_map);
+}
+
+TEST(Confidence, EstimateIsUnbiasedButNoisierThanLabeledMap) {
+  const ConfidencePrecision cp;
+  const MapModel labeled;
+  Rng rng(3);
+  RunningStats est, lab;
+  for (int i = 0; i < 20000; ++i) {
+    est.add(cp.estimate_map(0.7, rng));
+    lab.add(labeled.sample_map(0.7, rng));
+  }
+  EXPECT_NEAR(est.mean(), labeled.mean_map(0.7), 0.01);
+  EXPECT_GT(est.stddev(), lab.stddev());
+}
+
+TEST(Confidence, InvalidParamsThrow) {
+  ConfidenceParams bad;
+  bad.confidence_span = 0.0;
+  EXPECT_THROW(ConfidencePrecision(MapParams{}, bad), std::invalid_argument);
+  bad = ConfidenceParams{};
+  bad.confidence_floor = 0.9;  // floor + span > 1
+  EXPECT_THROW(ConfidencePrecision(MapParams{}, bad), std::invalid_argument);
+  bad = ConfidenceParams{};
+  bad.confidence_noise = -1.0;
+  EXPECT_THROW(ConfidencePrecision(MapParams{}, bad), std::invalid_argument);
+}
+
+TEST(Confidence, TestbedCanRunLabelFree) {
+  env::TestbedConfig cfg;
+  cfg.precision_metric = env::PrecisionMetric::kConfidenceEstimate;
+  env::Testbed tb = env::make_static_testbed(35.0, cfg);
+  env::ControlPolicy p;
+  RunningStats maps;
+  for (int i = 0; i < 200; ++i) maps.add(tb.step(p).map);
+  EXPECT_NEAR(maps.mean(), tb.expected(p).map, 0.05);
+  EXPECT_GT(maps.stddev(), 0.0);
+}
+
+TEST(Confidence, EdgeBolConvergesOnLabelFreePrecision) {
+  env::TestbedConfig tcfg;
+  tcfg.precision_metric = env::PrecisionMetric::kConfidenceEstimate;
+  env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+
+  env::GridSpec spec;
+  spec.levels_per_dim = 6;
+  core::EdgeBolConfig cfg;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints = {0.4, 0.5};
+  // The label-free estimate is noisier; tell the mAP surrogate.
+  cfg.map_hp = core::default_map_hyperparams();
+  cfg.map_hp.noise_variance = 2.0e-3;
+  core::EdgeBol agent(env::ControlGrid{spec}, cfg);
+
+  RunningStats head, tail;
+  int viol = 0;
+  for (int t = 0; t < 100; ++t) {
+    const env::Context c = tb.context();
+    const core::Decision d = agent.select(c);
+    const env::Measurement m = tb.step(d.policy);
+    agent.update(c, d.policy_index, m);
+    const double u = cfg.weights.cost(m.server_power_w, m.bs_power_w);
+    if (t < 5) head.add(u);
+    if (t >= 70) {
+      tail.add(u);
+      viol += (m.delay_s > 0.4 * 1.1);
+    }
+  }
+  EXPECT_LT(tail.mean(), head.mean());
+  EXPECT_LE(viol, 3);
+}
+
+}  // namespace
+}  // namespace edgebol::service

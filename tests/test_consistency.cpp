@@ -1,0 +1,116 @@
+// Cross-module consistency properties: the subsystems must agree with each
+// other, not just with their own unit tests.
+
+#include <gtest/gtest.h>
+
+#include "baselines/oracle.hpp"
+#include "common/stats.hpp"
+#include "env/scenarios.hpp"
+#include "ran/scheduler.hpp"
+#include "ran/vbs.hpp"
+#include "service/pipeline.hpp"
+
+namespace edgebol {
+namespace {
+
+TEST(Consistency, VbsRateMatchesSubframeScheduler) {
+  // The fluid fair-share rate the vBS reports must match what the
+  // subframe-level round-robin scheduler actually serves.
+  ran::Vbs vbs;
+  vbs.set_policy({0.6, 14});
+  const ran::UeRadioReport rep = vbs.observe_ue(35.0, 1);
+
+  const auto sched = ran::simulate_round_robin(
+      {{rep.eff_mcs, 1e12}}, {0.6, 14}, /*num_subframes=*/4000);
+  const double sched_rate_bps = sched.total_served_bits / 4.0;
+  EXPECT_NEAR(rep.phy_rate_bps, sched_rate_bps, 0.03 * rep.phy_rate_bps);
+}
+
+TEST(Consistency, PipelineDutyNeverExceedsSchedulerBudget) {
+  // The BS duty the pipeline attributes to the slice cannot exceed what the
+  // airtime policy would ever let the scheduler grant.
+  env::Testbed tb = env::make_heterogeneous_testbed(4);
+  for (double airtime : {0.2, 0.5, 1.0}) {
+    env::ControlPolicy p;
+    p.airtime = airtime;
+    const env::Measurement m = tb.expected(p);
+    EXPECT_LE(m.bs_duty, airtime + 1e-9) << "airtime " << airtime;
+  }
+}
+
+TEST(Consistency, DelayDecomposesIntoKnownLowerBounds) {
+  env::Testbed tb = env::make_static_testbed(35.0);
+  const env::TestbedConfig& cfg = tb.config();
+  env::ControlPolicy p;
+  const env::Measurement m = tb.expected(p);
+
+  const service::ImageSource img(cfg.image);
+  const edge::GpuModel gpu(cfg.server.gpu);
+  ran::Vbs vbs(cfg.vbs);
+  vbs.set_policy({p.airtime, p.mcs_cap});
+  const double tx_floor =
+      img.image_bits(p.resolution) / vbs.observe_ue(35.0, 1).app_rate_bps;
+
+  EXPECT_GT(m.delay_s, img.preprocess_time_s(p.resolution) + tx_floor +
+                           gpu.infer_time_s(p.resolution, p.gpu_speed));
+  EXPECT_LT(m.delay_s, 1.0);  // generous sanity ceiling for this config
+}
+
+TEST(Consistency, PowersStayWithinPhysicalEnvelopes) {
+  env::Testbed tb = env::make_heterogeneous_testbed(5);
+  Rng rng(3);
+  const env::ControlGrid grid;
+  for (int i = 0; i < 200; ++i) {
+    const env::ControlPolicy& p = grid.policy(rng.uniform_index(grid.size()));
+    const env::Measurement m = tb.expected(p);
+    EXPECT_GE(m.server_power_w, tb.config().server.host_idle_w - 1e-9);
+    EXPECT_LE(m.server_power_w, 300.0);
+    EXPECT_GE(m.bs_power_w, tb.config().vbs.power.idle_w - 1e-9);
+    EXPECT_LE(m.bs_power_w, 8.0);
+    EXPECT_GE(m.map, 0.0);
+    EXPECT_LE(m.map, 1.0);
+    EXPECT_GT(m.delay_s, 0.0);
+  }
+}
+
+TEST(Consistency, OracleExpectationMatchesTestbed) {
+  env::Testbed tb = env::make_static_testbed(30.0);
+  env::GridSpec spec;
+  spec.levels_per_dim = 4;
+  const env::ControlGrid grid(spec);
+  const auto r = baselines::exhaustive_oracle(tb, grid, {1.0, 8.0},
+                                              {0.5, 0.4});
+  const env::Measurement again = tb.expected(r.policy);
+  EXPECT_DOUBLE_EQ(r.expected.delay_s, again.delay_s);
+  EXPECT_DOUBLE_EQ(r.expected.server_power_w, again.server_power_w);
+  const double recomputed =
+      core::CostWeights{1.0, 8.0}.cost(again.server_power_w,
+                                       again.bs_power_w);
+  EXPECT_DOUBLE_EQ(r.cost, recomputed);
+}
+
+TEST(Consistency, FrameRateTimesImageSizeIsTheOfferedLoad) {
+  // The §3 claim: "higher-res images with 100% airtime generate up to
+  // 2.8 Mb/s" — our closed loop must offer a comparable load.
+  env::Testbed tb = env::make_static_testbed(35.0);
+  env::ControlPolicy p;  // full resolution, full resources
+  const env::Measurement m = tb.expected(p);
+  const service::ImageSource img(tb.config().image);
+  const double offered_bps =
+      m.total_frame_rate_hz * img.image_bits(p.resolution);
+  EXPECT_GT(offered_bps, 1e6);
+  EXPECT_LT(offered_bps, 6e6);
+}
+
+TEST(Consistency, ContextFeaturesMatchTestbedState) {
+  env::Testbed tb = env::make_heterogeneous_testbed(3);
+  const env::Context c = tb.context();
+  const linalg::Vector f = c.to_features();
+  ASSERT_EQ(f.size(), env::Context::kFeatureDims);
+  EXPECT_DOUBLE_EQ(f[0], c.n_users / 10.0);
+  EXPECT_DOUBLE_EQ(f[1], c.cqi_mean / 15.0);
+  EXPECT_DOUBLE_EQ(f[2], c.cqi_var / 25.0);
+}
+
+}  // namespace
+}  // namespace edgebol

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "edge/gpu_model.hpp"
+#include "edge/server.hpp"
+
+namespace edgebol::edge {
+namespace {
+
+TEST(GpuModel, PowerLimitMapsGammaLinearly) {
+  const GpuModel g;
+  EXPECT_DOUBLE_EQ(g.power_limit_w(0.0), g.params().min_power_limit_w);
+  EXPECT_DOUBLE_EQ(g.power_limit_w(1.0), g.params().max_power_limit_w);
+  EXPECT_NEAR(g.power_limit_w(0.5),
+              (g.params().min_power_limit_w + g.params().max_power_limit_w) / 2,
+              1e-9);
+}
+
+TEST(GpuModel, SpeedIncreasesWithGamma) {
+  const GpuModel g;
+  double prev = 0.0;
+  for (double gamma : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const double s = g.speed_factor(gamma);
+    EXPECT_GT(s, prev);
+    EXPECT_LE(s, 1.0 + 1e-12);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(g.speed_factor(0.0), g.params().speed_floor);
+}
+
+TEST(GpuModel, DrawSaturatesAtPeakButSpeedKeepsRising) {
+  // The 2080 Ti draws ~190 W flat out: limits above that no longer raise
+  // the measured power, but the relaxed envelope still lets clocks boost.
+  const GpuModel g;
+  EXPECT_DOUBLE_EQ(g.active_draw_w(1.0), g.params().peak_draw_w);
+  EXPECT_LT(g.active_draw_w(0.0), g.params().peak_draw_w);
+  EXPECT_NEAR(g.speed_factor(1.0), 1.0, 1e-9);
+  EXPECT_GT(g.speed_factor(0.9), g.speed_factor(0.6));
+}
+
+TEST(GpuModel, HigherGammaMeansFasterInference) {
+  const GpuModel g;
+  EXPECT_LT(g.infer_time_s(1.0, 1.0), g.infer_time_s(1.0, 0.0));
+}
+
+TEST(GpuModel, LowerResolutionIsSlowerOnTheDetector) {
+  // Fig. 3 (bottom): low-res frames make the Faster R-CNN work harder.
+  const GpuModel g;
+  EXPECT_GT(g.infer_time_s(0.25, 1.0), g.infer_time_s(1.0, 1.0));
+  EXPECT_GT(g.infer_time_s(0.25, 0.1), g.infer_time_s(1.0, 0.1));
+}
+
+TEST(GpuModel, InferenceTimeInPrototypeRange) {
+  const GpuModel g;
+  // Fig. 3 (bottom) spans roughly 110-320 ms across policies.
+  EXPECT_GT(g.infer_time_s(1.0, 1.0), 0.08);
+  EXPECT_LT(g.infer_time_s(0.25, 0.0), 0.40);
+}
+
+TEST(GpuModel, SampleUnbiasedAndPositive) {
+  const GpuModel g;
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = g.sample_infer_time_s(0.5, 0.5, rng);
+    EXPECT_GT(t, 0.0);
+    s.add(t);
+  }
+  EXPECT_NEAR(s.mean(), g.infer_time_s(0.5, 0.5),
+              0.01 * g.infer_time_s(0.5, 0.5));
+}
+
+TEST(GpuModel, InvalidInputsThrow) {
+  const GpuModel g;
+  EXPECT_THROW(g.power_limit_w(-0.1), std::invalid_argument);
+  EXPECT_THROW(g.speed_factor(1.1), std::invalid_argument);
+  EXPECT_THROW(g.infer_time_s(0.0, 0.5), std::invalid_argument);
+  EXPECT_THROW(g.infer_time_s(1.1, 0.5), std::invalid_argument);
+  GpuParams bad;
+  bad.speed_floor = 0.0;
+  EXPECT_THROW(GpuModel{bad}, std::invalid_argument);
+}
+
+TEST(EdgeServer, NoArrivalsMeansIdle) {
+  EdgeServer s;
+  const ServerLoadReport r = s.load_report(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(r.queue_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.mean_power_w(0.0), s.params().host_idle_w);
+}
+
+TEST(EdgeServer, UtilizationIsArrivalRateTimesService) {
+  EdgeServer s;
+  s.set_gpu_policy(1.0);
+  const ServerLoadReport r = s.load_report(2.0, 1.0);
+  EXPECT_NEAR(r.utilization, 2.0 * r.service_time_s, 1e-12);
+}
+
+TEST(EdgeServer, UtilizationIsCapped) {
+  EdgeServer s;
+  const ServerLoadReport r = s.load_report(1e6, 1.0);
+  EXPECT_LE(r.utilization, s.params().max_utilization + 1e-12);
+  EXPECT_GT(r.queue_wait_s, 0.0);
+}
+
+TEST(EdgeServer, Md1WaitGrowsSuperlinearly) {
+  EdgeServer s;
+  const double w1 = s.load_report(1.0, 1.0).queue_wait_s;
+  const double w2 = s.load_report(2.0, 1.0).queue_wait_s;
+  const double w4 = s.load_report(4.0, 1.0).queue_wait_s;
+  EXPECT_GT(w2, w1);
+  EXPECT_GT(w4 - w2, w2 - w1);
+}
+
+TEST(EdgeServer, PowerMonotoneInUtilizationAndGamma) {
+  EdgeServer s;
+  s.set_gpu_policy(1.0);
+  EXPECT_GT(s.mean_power_w(0.8), s.mean_power_w(0.2));
+  const double high_gamma = s.mean_power_w(0.5);
+  s.set_gpu_policy(0.0);
+  EXPECT_LT(s.mean_power_w(0.5), high_gamma);
+}
+
+TEST(EdgeServer, PowerInPrototypeRange) {
+  // Figs. 2-4 span roughly 72 W idle to ~185 W flat out.
+  EdgeServer s;
+  s.set_gpu_policy(1.0);
+  EXPECT_GT(s.mean_power_w(0.0), 50.0);
+  EXPECT_LT(s.mean_power_w(0.0), 100.0);
+  EXPECT_GT(s.mean_power_w(0.97), 160.0);
+  EXPECT_LT(s.mean_power_w(0.97), 240.0);
+}
+
+TEST(EdgeServer, SampleUnbiased) {
+  EdgeServer s;
+  s.set_gpu_policy(0.5);
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(s.sample_power_w(0.5, rng));
+  EXPECT_NEAR(stats.mean(), s.mean_power_w(0.5), 0.2);
+}
+
+TEST(EdgeServer, InvalidInputsThrow) {
+  EdgeServer s;
+  EXPECT_THROW(s.set_gpu_policy(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.load_report(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.mean_power_w(1.1), std::invalid_argument);
+  ServerParams bad;
+  bad.max_utilization = 1.0;
+  EXPECT_THROW(EdgeServer{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::edge

@@ -1,0 +1,115 @@
+#include "ran/harq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ran/cqi.hpp"
+#include "ran/mcs_tables.hpp"
+#include "ran/vbs.hpp"
+
+namespace edgebol::ran {
+namespace {
+
+TEST(Harq, RequiredSnrIsMonotoneInMcs) {
+  double prev = -100.0;
+  for (int mcs = 0; mcs <= kMaxUlMcs; ++mcs) {
+    const double req = required_snr_db(mcs);
+    EXPECT_GE(req, prev) << "mcs " << mcs;
+    prev = req;
+  }
+  EXPECT_THROW(required_snr_db(-1), std::out_of_range);
+  EXPECT_THROW(required_snr_db(kMaxUlMcs + 1), std::out_of_range);
+}
+
+TEST(Harq, BlerAnchoredAtTargetAndMonotone) {
+  const HarqParams p;
+  const double req = required_snr_db(12, p);
+  EXPECT_NEAR(bler(12, req, p), p.target_bler, 1e-9);
+  // Monotone decreasing in SNR; bounded in (0, 1).
+  double prev = 1.1;
+  for (double snr = req - 6.0; snr <= req + 6.0; snr += 0.5) {
+    const double b = bler(12, snr, p);
+    EXPECT_LT(b, prev);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+    prev = b;
+  }
+}
+
+TEST(Harq, GoodChannelMeansOneTransmission) {
+  const HarqOutcome o = evaluate_harq(10, required_snr_db(10) + 15.0);
+  EXPECT_NEAR(o.expected_transmissions, 1.0, 0.01);
+  EXPECT_LT(o.residual_error, 1e-6);
+  EXPECT_NEAR(o.goodput_factor, 1.0, 0.01);
+  EXPECT_NEAR(o.added_latency_s, 0.0, 1e-4);
+}
+
+TEST(Harq, AtOperatingPointRoughlyTargetOverhead) {
+  const HarqParams p;
+  const HarqOutcome o = evaluate_harq(10, required_snr_db(10, p), p);
+  // ~10% of blocks need a second transmission.
+  EXPECT_NEAR(o.expected_transmissions, 1.0 + p.target_bler, 0.02);
+  EXPECT_LT(o.residual_error, 0.01);
+  EXPECT_GT(o.added_latency_s, 0.0);
+}
+
+TEST(Harq, DeepFadeExhaustsRetransmissions) {
+  const HarqParams p;
+  const HarqOutcome o = evaluate_harq(20, required_snr_db(20, p) - 12.0, p);
+  EXPECT_GT(o.expected_transmissions, 2.5);
+  EXPECT_GT(o.residual_error, 0.1);
+  EXPECT_LT(o.goodput_factor, 0.4);
+}
+
+TEST(Harq, CombiningGainHelps) {
+  HarqParams no_gain;
+  no_gain.combining_gain_db = 0.0;
+  HarqParams gain;
+  gain.combining_gain_db = 3.0;
+  const double snr = required_snr_db(14) - 2.0;
+  EXPECT_LT(evaluate_harq(14, snr, gain).residual_error,
+            evaluate_harq(14, snr, no_gain).residual_error);
+}
+
+TEST(Harq, SingleShotHasNoRetransmissionLatency) {
+  HarqParams p;
+  p.max_transmissions = 1;
+  const HarqOutcome o = evaluate_harq(10, required_snr_db(10, p), p);
+  EXPECT_DOUBLE_EQ(o.expected_transmissions, 1.0);
+  EXPECT_DOUBLE_EQ(o.added_latency_s, 0.0);
+  EXPECT_NEAR(o.residual_error, p.target_bler, 1e-9);
+}
+
+TEST(Harq, InvalidParamsThrow) {
+  HarqParams p;
+  p.max_transmissions = 0;
+  EXPECT_THROW(evaluate_harq(10, 10.0, p), std::invalid_argument);
+  p = HarqParams{};
+  p.target_bler = 0.0;
+  EXPECT_THROW(bler(10, 10.0, p), std::invalid_argument);
+  p = HarqParams{};
+  p.bler_slope_db = 0.0;
+  EXPECT_THROW(required_snr_db(10, p), std::invalid_argument);
+}
+
+TEST(Harq, VbsAppliesGoodputFactorWhenEnabled) {
+  VbsConfig off;
+  VbsConfig on = off;
+  on.model_harq = true;
+  Vbs vbs_off(off), vbs_on(on);
+  vbs_off.set_policy({1.0, kMaxUlMcs});
+  vbs_on.set_policy({1.0, kMaxUlMcs});
+
+  // At the link-adaptation operating point the HARQ-aware rate is lower.
+  const double snr = required_snr_db(cqi_to_max_mcs(snr_to_cqi(20.0)));
+  const UeRadioReport a = vbs_off.observe_ue(snr, 1);
+  const UeRadioReport b = vbs_on.observe_ue(snr, 1);
+  EXPECT_EQ(a.eff_mcs, b.eff_mcs);
+  EXPECT_LT(b.app_rate_bps, a.app_rate_bps);
+  EXPECT_GT(b.harq.expected_transmissions, 1.0);
+  EXPECT_DOUBLE_EQ(a.harq.expected_transmissions, 1.0);  // default outcome
+}
+
+}  // namespace
+}  // namespace edgebol::ran

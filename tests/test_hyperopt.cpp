@@ -1,0 +1,124 @@
+#include "gp/hyperopt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace edgebol::gp {
+namespace {
+
+TEST(Hyperopt, MakeKernelReflectsParams) {
+  GpHyperparams hp;
+  hp.lengthscales = {0.5, 2.0};
+  hp.amplitude = 1.5;
+  const auto k = hp.make_kernel();
+  EXPECT_DOUBLE_EQ(k->prior_variance(), 1.5);
+  EXPECT_EQ(k->dims(), 2u);
+}
+
+TEST(Hyperopt, KernelFamilySwitchesToRbf) {
+  GpHyperparams hp;
+  hp.lengthscales = {1.0};
+  hp.family = KernelFamily::kRbf;
+  const auto rbf = hp.make_kernel();
+  hp.family = KernelFamily::kMatern32;
+  const auto matern = hp.make_kernel();
+  // At the same distance the RBF decays faster far away.
+  EXPECT_LT((*rbf)({0.0}, {3.0}), (*matern)({0.0}, {3.0}));
+  // And both agree on the prior variance.
+  EXPECT_DOUBLE_EQ((*rbf)({0.0}, {0.0}), (*matern)({0.0}, {0.0}));
+}
+
+TEST(Hyperopt, LmlMatchesRegressor) {
+  GpHyperparams hp;
+  hp.lengthscales = {1.0};
+  hp.noise_variance = 0.1;
+  const std::vector<Vector> z{{0.0}, {1.0}};
+  const Vector y{1.0, -1.0};
+  GpRegressor gp(hp.make_kernel(), hp.noise_variance);
+  gp.add(z[0], y[0]);
+  gp.add(z[1], y[1]);
+  EXPECT_NEAR(log_marginal_likelihood(hp, z, y), gp.log_marginal_likelihood(),
+              1e-10);
+}
+
+TEST(Hyperopt, FitImprovesOverUnitDefaults) {
+  Rng rng(3);
+  std::vector<Vector> z;
+  Vector y;
+  // Fast variation in dim 0, no dependence on dim 1.
+  for (int i = 0; i < 60; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    z.push_back({a, b});
+    y.push_back(std::sin(12.0 * a) + rng.normal(0.0, 0.05));
+  }
+  GpHyperparams unit;
+  unit.lengthscales = {1.0, 1.0};
+  const double base = log_marginal_likelihood(unit, z, y);
+  HyperoptOptions opts;
+  opts.num_random_starts = 40;
+  const GpHyperparams fit = fit_hyperparameters(z, y, rng, opts);
+  EXPECT_GT(log_marginal_likelihood(fit, z, y), base);
+}
+
+TEST(Hyperopt, RecoversAnisotropy) {
+  Rng rng(5);
+  std::vector<Vector> z;
+  Vector y;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.uniform(), b = rng.uniform();
+    z.push_back({a, b});
+    // Steep in dim 0, flat in dim 1.
+    y.push_back(std::sin(10.0 * a) + 0.02 * b + rng.normal(0.0, 0.02));
+  }
+  HyperoptOptions opts;
+  opts.num_random_starts = 60;
+  const GpHyperparams fit = fit_hyperparameters(z, y, rng, opts);
+  EXPECT_LT(fit.lengthscales[0], fit.lengthscales[1]);
+}
+
+TEST(Hyperopt, EstimatesNoiseLevelOrderOfMagnitude) {
+  Rng rng(7);
+  std::vector<Vector> z;
+  Vector y;
+  for (int i = 0; i < 80; ++i) {
+    const double a = rng.uniform();
+    z.push_back({a});
+    y.push_back(std::sin(3.0 * a) + rng.normal(0.0, 0.2));  // var 0.04
+  }
+  HyperoptOptions opts;
+  opts.num_random_starts = 60;
+  const GpHyperparams fit = fit_hyperparameters(z, y, rng, opts);
+  EXPECT_GT(fit.noise_variance, 0.004);
+  EXPECT_LT(fit.noise_variance, 0.4);
+}
+
+TEST(Hyperopt, RespectsSearchBox) {
+  Rng rng(9);
+  std::vector<Vector> z{{0.0}, {0.5}, {1.0}};
+  Vector y{0.0, 1.0, 0.0};
+  HyperoptOptions opts;
+  opts.num_random_starts = 20;
+  const GpHyperparams fit = fit_hyperparameters(z, y, rng, opts);
+  EXPECT_GE(fit.lengthscales[0], opts.lengthscale_min);
+  EXPECT_LE(fit.lengthscales[0], opts.lengthscale_max);
+  EXPECT_GE(fit.amplitude, opts.amplitude_min);
+  EXPECT_LE(fit.amplitude, opts.amplitude_max);
+  EXPECT_GE(fit.noise_variance, opts.noise_min);
+  EXPECT_LE(fit.noise_variance, opts.noise_max);
+}
+
+TEST(Hyperopt, ThrowsOnBadDatasets) {
+  Rng rng(1);
+  EXPECT_THROW(fit_hyperparameters({}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(fit_hyperparameters({{1.0}}, {1.0, 2.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(fit_hyperparameters({{1.0}, {1.0, 2.0}}, {1.0, 2.0}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::gp

@@ -1,0 +1,109 @@
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace edgebol::gp {
+namespace {
+
+TEST(Kernel, AnisotropicDistanceMatchesEq5) {
+  // d = sqrt(((1-0)/2)^2 + ((2-0)/4)^2) = sqrt(0.25 + 0.25).
+  EXPECT_NEAR(anisotropic_distance({1.0, 2.0}, {0.0, 0.0}, {2.0, 4.0}),
+              std::sqrt(0.5), 1e-12);
+}
+
+TEST(Kernel, DistanceSizeMismatchThrows) {
+  EXPECT_THROW(anisotropic_distance({1.0}, {0.0, 0.0}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(Matern32, SelfCovarianceIsAmplitude) {
+  const Matern32Kernel k({1.0, 1.0}, 0.7);
+  EXPECT_DOUBLE_EQ(k({0.3, -0.2}, {0.3, -0.2}), 0.7);
+  EXPECT_DOUBLE_EQ(k.prior_variance(), 0.7);
+}
+
+TEST(Matern32, MatchesEq6ClosedForm) {
+  const Matern32Kernel k({1.0}, 1.0);
+  const double d = 0.8;
+  const double expected =
+      (1.0 + std::sqrt(3.0) * d) * std::exp(-std::sqrt(3.0) * d);
+  EXPECT_NEAR(k({0.0}, {d}), expected, 1e-12);
+}
+
+TEST(Matern32, SymmetricAndDecaying) {
+  const Matern32Kernel k({0.5, 2.0}, 1.0);
+  const linalg::Vector a{0.1, 0.2}, b{0.7, -0.3};
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_GT(k(a, a), k(a, b));
+  EXPECT_GT(k(a, b), 0.0);
+}
+
+TEST(Matern32, StationarityUnderTranslation) {
+  const Matern32Kernel k({0.7, 1.3}, 1.0);
+  const double shift = 2.5;
+  EXPECT_NEAR(k({0.1, 0.4}, {0.6, -0.2}),
+              k({0.1 + shift, 0.4 + shift}, {0.6 + shift, -0.2 + shift}),
+              1e-12);
+}
+
+TEST(Matern32, AnisotropyNotRotationInvariant) {
+  const Matern32Kernel k({0.2, 2.0}, 1.0);
+  // Same Euclidean distance, different directions.
+  const double along_fast = k({0.0, 0.0}, {0.5, 0.0});  // short length-scale
+  const double along_slow = k({0.0, 0.0}, {0.0, 0.5});  // long length-scale
+  EXPECT_LT(along_fast, along_slow);
+}
+
+TEST(Matern32, GramMatrixIsPositiveDefinite) {
+  Rng rng(3);
+  const Matern32Kernel k({0.5, 0.8, 1.2}, 1.0);
+  std::vector<linalg::Vector> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  }
+  linalg::Matrix gram(pts.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      gram(i, j) = k(pts[i], pts[j]);
+    }
+  }
+  // Tiny jitter mirrors the noise term of eq. (3)-(4).
+  for (std::size_t i = 0; i < pts.size(); ++i) gram(i, i) += 1e-10;
+  EXPECT_NO_THROW(linalg::CholeskyFactor{gram});
+}
+
+TEST(Rbf, ClosedFormAndBounds) {
+  const RbfKernel k({1.0}, 2.0);
+  EXPECT_DOUBLE_EQ(k({0.0}, {0.0}), 2.0);
+  EXPECT_NEAR(k({0.0}, {1.0}), 2.0 * std::exp(-0.5), 1e-12);
+  EXPECT_GT(k({0.0}, {5.0}), 0.0);
+}
+
+TEST(Rbf, DecaysFasterThanMaternFarAway) {
+  const RbfKernel rbf({1.0}, 1.0);
+  const Matern32Kernel mat({1.0}, 1.0);
+  EXPECT_LT(rbf({0.0}, {3.0}), mat({0.0}, {3.0}));
+}
+
+TEST(Kernel, InvalidParametersThrow) {
+  EXPECT_THROW(Matern32Kernel({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Matern32Kernel({0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Matern32Kernel({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW(RbfKernel({-1.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Kernel, CloneIsIndependentCopy) {
+  const Matern32Kernel k({0.5}, 1.5);
+  const auto c = k.clone();
+  EXPECT_DOUBLE_EQ((*c)({0.2}, {0.4}), k({0.2}, {0.4}));
+  EXPECT_EQ(c->dims(), 1u);
+}
+
+}  // namespace
+}  // namespace edgebol::gp

@@ -1,0 +1,117 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edgebol::linalg {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, IdentityDiagonal) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, AppendRowGrowsAndAdoptsWidth) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  m.append_row({1.0, 2.0});
+  m.append_row({3.0, 4.0});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(m.append_row({1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, RowColExtraction) {
+  Matrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_EQ(m.row(1), (Vector{3.0, 4.0}));
+  EXPECT_EQ(m.col(0), (Vector{1.0, 3.0}));
+  EXPECT_THROW(m.row(2), std::out_of_range);
+  EXPECT_THROW(m.col(2), std::out_of_range);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = 10.0 * r + c;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), m(1, 2));
+  EXPECT_DOUBLE_EQ(t.transpose().max_abs_diff(m), 0.0);
+}
+
+TEST(Matrix, MatmulKnownProduct) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulIdentityIsNoop) {
+  Matrix a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = 1.0 + r * 3 + c;
+  EXPECT_DOUBLE_EQ(matmul(a, Matrix::identity(3)).max_abs_diff(a), 0.0);
+}
+
+TEST(Matrix, MatvecAndDimensionChecks) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 0;
+  a(0, 2) = 2;
+  a(1, 0) = 0;
+  a(1, 1) = 1;
+  a(1, 2) = 0;
+  const Vector y = matvec(a, {1.0, 2.0, 3.0});
+  EXPECT_EQ(y, (Vector{7.0, 2.0}));
+  EXPECT_THROW(matvec(a, {1.0}), std::invalid_argument);
+  EXPECT_THROW(matmul(a, a), std::invalid_argument);
+}
+
+TEST(VectorOps, DotNormAxpyScaled) {
+  const Vector a{1.0, 2.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 11.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_EQ(axpy(a, 2.0, b), (Vector{7.0, 10.0}));
+  EXPECT_EQ(scaled(a, -1.0), (Vector{-1.0, -2.0}));
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+  EXPECT_THROW(dot(a, {1.0}), std::invalid_argument);
+  EXPECT_THROW(axpy(a, 1.0, {1.0}), std::invalid_argument);
+  EXPECT_THROW(max_abs_diff(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiffShapeMismatchThrows) {
+  EXPECT_THROW(Matrix(2, 2).max_abs_diff(Matrix(2, 3)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::linalg

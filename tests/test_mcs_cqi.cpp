@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ran/cqi.hpp"
+#include "ran/mcs_tables.hpp"
+
+namespace edgebol::ran {
+namespace {
+
+TEST(McsTables, SpectralEfficiencyIsMonotone) {
+  for (int m = 1; m <= kMaxUlMcs; ++m) {
+    EXPECT_GT(spectral_efficiency(m), spectral_efficiency(m - 1))
+        << "at mcs " << m;
+  }
+}
+
+TEST(McsTables, ModulationOrderIsNonDecreasing) {
+  EXPECT_EQ(modulation_bits(0), 2);
+  EXPECT_EQ(modulation_bits(kMaxUlMcs), 6);
+  for (int m = 1; m <= kMaxUlMcs; ++m) {
+    EXPECT_GE(modulation_bits(m), modulation_bits(m - 1));
+  }
+}
+
+TEST(McsTables, CodeRateStaysBelowOne) {
+  for (int m = 0; m <= kMaxUlMcs; ++m) {
+    EXPECT_GT(code_rate(m), 0.0);
+    EXPECT_LT(code_rate(m), 1.0);
+  }
+}
+
+TEST(McsTables, TbsScalesLinearlyWithPrbs) {
+  EXPECT_NEAR(tbs_bits(10, 100), 10.0 * tbs_bits(10, 10), 1e-9);
+}
+
+TEST(McsTables, PeakRateAround50Mbps) {
+  // The paper quotes ~50 Mb/s for SISO LTE at 20 MHz.
+  const double peak = peak_rate_bps(kMaxUlMcs, kPrbs20MHz);
+  EXPECT_GT(peak, 45e6);
+  EXPECT_LT(peak, 65e6);
+}
+
+TEST(McsTables, OutOfRangeThrows) {
+  EXPECT_THROW(spectral_efficiency(-1), std::out_of_range);
+  EXPECT_THROW(spectral_efficiency(kMaxUlMcs + 1), std::out_of_range);
+  EXPECT_THROW(modulation_bits(99), std::out_of_range);
+  EXPECT_THROW(tbs_bits(0, 0), std::out_of_range);
+  EXPECT_THROW(tbs_bits(0, 101), std::out_of_range);
+}
+
+TEST(Cqi, SnrMappingIsMonotoneAndClamped) {
+  EXPECT_EQ(snr_to_cqi(-30.0), kMinCqi);
+  EXPECT_EQ(snr_to_cqi(50.0), kMaxCqi);
+  int prev = 0;
+  for (double snr = -10.0; snr <= 30.0; snr += 0.5) {
+    const int cqi = snr_to_cqi(snr);
+    EXPECT_GE(cqi, prev);
+    prev = cqi;
+  }
+}
+
+TEST(Cqi, GoodChannelReachesTopCqi) {
+  EXPECT_EQ(snr_to_cqi(35.0), 15);
+  EXPECT_EQ(snr_to_cqi(30.0), 15);
+}
+
+TEST(Cqi, RoundTripThroughCenterSnr) {
+  for (int cqi = kMinCqi; cqi <= kMaxCqi; ++cqi) {
+    EXPECT_EQ(snr_to_cqi(cqi_to_snr_db(cqi)), cqi);
+  }
+}
+
+TEST(Cqi, MaxMcsIsMonotoneAndReachesTop) {
+  int prev = -1;
+  for (int cqi = kMinCqi; cqi <= kMaxCqi; ++cqi) {
+    const int mcs = cqi_to_max_mcs(cqi);
+    EXPECT_GE(mcs, prev);
+    EXPECT_GE(mcs, 0);
+    EXPECT_LE(mcs, kMaxUlMcs);
+    prev = mcs;
+  }
+  EXPECT_EQ(cqi_to_max_mcs(kMaxCqi), kMaxUlMcs);
+}
+
+TEST(Cqi, EffectiveMcsRespectsBothCaps) {
+  // Good channel, low policy cap -> policy wins.
+  EXPECT_EQ(effective_mcs(15, 4), 4);
+  // Poor channel, high policy cap -> channel wins.
+  EXPECT_LE(effective_mcs(3, kMaxUlMcs), cqi_to_max_mcs(3));
+  EXPECT_EQ(effective_mcs(3, kMaxUlMcs), cqi_to_max_mcs(3));
+}
+
+TEST(Cqi, OutOfRangeThrows) {
+  EXPECT_THROW(cqi_to_max_mcs(0), std::out_of_range);
+  EXPECT_THROW(cqi_to_max_mcs(16), std::out_of_range);
+  EXPECT_THROW(cqi_to_snr_db(0), std::out_of_range);
+  EXPECT_THROW(effective_mcs(5, -1), std::out_of_range);
+  EXPECT_THROW(effective_mcs(5, kMaxUlMcs + 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace edgebol::ran

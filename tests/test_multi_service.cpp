@@ -1,0 +1,155 @@
+#include "env/multi_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "core/multi_service_bol.hpp"
+#include "env/scenarios.hpp"
+
+namespace edgebol::env {
+namespace {
+
+ControlPolicy half_airtime_policy() {
+  ControlPolicy p;
+  p.airtime = 0.5;
+  return p;
+}
+
+TEST(MultiService, ContextsArePerSlice) {
+  MultiServiceTestbed tb = make_two_service_testbed(2, 30.0, 3, 18.0);
+  EXPECT_EQ(tb.num_users(0), 2u);
+  EXPECT_EQ(tb.num_users(1), 3u);
+  const Context a = tb.context(0);
+  const Context b = tb.context(1);
+  EXPECT_DOUBLE_EQ(a.n_users, 2.0);
+  EXPECT_DOUBLE_EQ(b.n_users, 3.0);
+  EXPECT_GT(a.cqi_mean, b.cqi_mean);  // 30 dB beats 18 dB
+  EXPECT_EQ(tb.joint_context_features().size(), 6u);
+}
+
+TEST(MultiService, AirtimeCouplingEnforced) {
+  MultiServiceTestbed tb = make_two_service_testbed(1, 30.0, 1, 30.0);
+  ControlPolicy a, b;
+  a.airtime = 0.7;
+  b.airtime = 0.7;
+  EXPECT_THROW(tb.step(a, b), std::invalid_argument);
+  b.airtime = 0.3;
+  EXPECT_NO_THROW(tb.step(a, b));
+}
+
+TEST(MultiService, SharedGpuCouplesDelays) {
+  MultiServiceTestbed tb = make_two_service_testbed(3, 30.0, 3, 30.0);
+  ControlPolicy fast = half_airtime_policy();
+  // Service B busy vs idle-ish: compare A's delay when B floods the GPU
+  // (low-res = high frame rate and longer inference) vs when B is light.
+  ControlPolicy b_light = half_airtime_policy();
+  b_light.resolution = 1.0;
+  ControlPolicy b_heavy = half_airtime_policy();
+  b_heavy.resolution = 0.25;
+  b_heavy.gpu_speed = 0.0;
+
+  const MultiMeasurement light = tb.expected(fast, b_light);
+  const MultiMeasurement heavy = tb.expected(fast, b_heavy);
+  EXPECT_GT(heavy.service[0].delay_s, light.service[0].delay_s);
+  EXPECT_GT(heavy.service[0].gpu_delay_s, light.service[0].gpu_delay_s);
+}
+
+TEST(MultiService, SharedPowersAreSingleFigures) {
+  MultiServiceTestbed tb = make_two_service_testbed(1, 30.0, 1, 30.0);
+  const MultiMeasurement m =
+      tb.expected(half_airtime_policy(), half_airtime_policy());
+  EXPECT_DOUBLE_EQ(m.service[0].server_power_w, m.server_power_w);
+  EXPECT_DOUBLE_EQ(m.service[1].bs_power_w, m.bs_power_w);
+  EXPECT_GT(m.server_power_w, 70.0);
+  EXPECT_GT(m.bs_power_w, 4.5);
+}
+
+TEST(MultiService, TwoServicesDrawMorePowerThanOne) {
+  TestbedConfig cfg;
+  MultiServiceTestbed two = make_two_service_testbed(1, 30.0, 1, 30.0, cfg);
+  Testbed one = make_static_testbed(30.0, cfg);
+  ControlPolicy p = half_airtime_policy();
+  const double two_power =
+      two.expected(p, p).server_power_w;
+  const double one_power = one.expected(p).server_power_w;
+  EXPECT_GT(two_power, one_power);
+}
+
+TEST(MultiService, ExpectedIsDeterministicStepIsNoisy) {
+  MultiServiceTestbed tb = make_two_service_testbed(1, 30.0, 1, 25.0);
+  const ControlPolicy p = half_airtime_policy();
+  const MultiMeasurement a = tb.expected(p, p);
+  const MultiMeasurement b = tb.expected(p, p);
+  EXPECT_DOUBLE_EQ(a.service[0].delay_s, b.service[0].delay_s);
+  RunningStats delays;
+  for (int i = 0; i < 50; ++i) delays.add(tb.step(p, p).service[0].delay_s);
+  EXPECT_GT(delays.stddev(), 0.0);
+  EXPECT_NEAR(delays.mean(), a.service[0].delay_s,
+              0.2 * a.service[0].delay_s);
+}
+
+TEST(MultiService, EmptySliceThrows) {
+  EXPECT_THROW(MultiServiceTestbed(TestbedConfig{}, {}, {}),
+               std::invalid_argument);
+}
+
+TEST(JointEdgeBol, CandidateSetRespectsCoupling) {
+  core::JointBolConfig cfg;
+  cfg.levels_per_dim = 3;
+  core::JointEdgeBol agent(cfg);
+  EXPECT_GT(agent.num_candidates(), 1000u);
+  for (std::size_t i = 0; i < agent.num_candidates(); i += 17) {
+    const core::JointPolicyPair& p = agent.pair(i);
+    EXPECT_LE(p.a.airtime + p.b.airtime, 1.0 + 1e-9);
+  }
+  EXPECT_THROW(agent.pair(agent.num_candidates()), std::out_of_range);
+}
+
+TEST(JointEdgeBol, FirstDecisionIsSymmetricMaxPerformance) {
+  core::JointBolConfig cfg;
+  cfg.levels_per_dim = 3;
+  core::JointEdgeBol agent(cfg);
+  MultiServiceTestbed tb = make_two_service_testbed(1, 30.0, 1, 30.0);
+  const core::JointDecision d = agent.select(tb.joint_context_features());
+  EXPECT_TRUE(d.fell_back_to_s0);
+  EXPECT_DOUBLE_EQ(d.policy.a.resolution, 1.0);
+  EXPECT_DOUBLE_EQ(d.policy.b.resolution, 1.0);
+  EXPECT_DOUBLE_EQ(d.policy.a.airtime, d.policy.b.airtime);
+  EXPECT_EQ(d.policy.a.mcs_cap, 20);
+}
+
+TEST(JointEdgeBol, LearnsOnTheCoupledSystem) {
+  core::JointBolConfig cfg;
+  cfg.levels_per_dim = 3;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints_a = {0.8, 0.5};
+  cfg.constraints_b = {0.8, 0.5};
+  core::JointEdgeBol agent(cfg);
+  MultiServiceTestbed tb = make_two_service_testbed(1, 32.0, 1, 30.0);
+
+  RunningStats head, tail;
+  for (int t = 0; t < 120; ++t) {
+    const linalg::Vector ctx = tb.joint_context_features();
+    const core::JointDecision d = agent.select(ctx);
+    const MultiMeasurement m = tb.step(d.policy.a, d.policy.b);
+    agent.update(ctx, d.index, m);
+    const double u = cfg.weights.cost(m.server_power_w, m.bs_power_w);
+    if (t < 5) head.add(u);
+    if (t >= 90) tail.add(u);
+  }
+  EXPECT_LT(tail.mean(), head.mean());
+}
+
+TEST(JointEdgeBol, Validation) {
+  core::JointBolConfig cfg;
+  cfg.levels_per_dim = 1;
+  EXPECT_THROW(core::JointEdgeBol{cfg}, std::invalid_argument);
+  cfg = core::JointBolConfig{};
+  cfg.airtime_min = 0.0;
+  EXPECT_THROW(core::JointEdgeBol{cfg}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::env

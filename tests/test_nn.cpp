@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+
+namespace edgebol::nn {
+namespace {
+
+TEST(Activations, ValuesAndGradients) {
+  EXPECT_DOUBLE_EQ(activate(Activation::kIdentity, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(activate(Activation::kRelu, 2.0), 2.0);
+  EXPECT_NEAR(activate(Activation::kTanh, 0.5), std::tanh(0.5), 1e-12);
+  EXPECT_NEAR(activate(Activation::kSigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(activate_grad(Activation::kIdentity, 3.0), 1.0);
+  EXPECT_DOUBLE_EQ(activate_grad(Activation::kRelu, -1.0), 0.0);
+  EXPECT_NEAR(activate_grad(Activation::kSigmoid, 0.0), 0.25, 1e-12);
+}
+
+TEST(Mlp, ShapesAndParameterCount) {
+  Rng rng(1);
+  Mlp net({3, 5, 2}, {Activation::kRelu, Activation::kIdentity}, rng);
+  EXPECT_EQ(net.input_dims(), 3u);
+  EXPECT_EQ(net.output_dims(), 2u);
+  EXPECT_EQ(net.num_parameters(), 3u * 5u + 5u + 5u * 2u + 2u);
+  EXPECT_EQ(net.forward({1.0, 2.0, 3.0}).size(), 2u);
+}
+
+TEST(Mlp, SigmoidOutputInUnitBox) {
+  Rng rng(2);
+  Mlp net({2, 8, 4}, {Activation::kRelu, Activation::kSigmoid}, rng);
+  const auto y = net.forward({10.0, -10.0});
+  for (double v : y) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+// Finite-difference gradient check — the critical correctness test for the
+// manual backprop.
+TEST(Mlp, ParameterGradientsMatchFiniteDifferences) {
+  Rng rng(3);
+  Mlp net({2, 4, 3, 1}, {Activation::kTanh, Activation::kRelu,
+                         Activation::kIdentity},
+          rng);
+  const linalg::Vector x{0.3, -0.7};
+
+  net.zero_grad();
+  const double y0 = net.forward(x)[0];
+  (void)y0;
+  net.backward({1.0});  // dL/dy = 1 -> grads are dy/dparam
+
+  const double eps = 1e-6;
+  for (Mlp::Block block : net.blocks()) {
+    for (std::size_t i = 0; i < block.values->size(); i += 3) {
+      const double orig = (*block.values)[i];
+      (*block.values)[i] = orig + eps;
+      const double yp = net.forward(x)[0];
+      (*block.values)[i] = orig - eps;
+      const double ym = net.forward(x)[0];
+      (*block.values)[i] = orig;
+      const double fd = (yp - ym) / (2.0 * eps);
+      EXPECT_NEAR((*block.grads)[i], fd, 1e-5);
+    }
+  }
+}
+
+TEST(Mlp, InputGradientsMatchFiniteDifferences) {
+  Rng rng(4);
+  Mlp net({3, 6, 1}, {Activation::kTanh, Activation::kIdentity}, rng);
+  const linalg::Vector x{0.1, 0.5, -0.2};
+  net.zero_grad();
+  net.forward(x);
+  const linalg::Vector din = net.backward({1.0});
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    linalg::Vector xp = x, xm = x;
+    xp[i] += eps;
+    xm[i] -= eps;
+    const double fd = (net.forward(xp)[0] - net.forward(xm)[0]) / (2.0 * eps);
+    EXPECT_NEAR(din[i], fd, 1e-5);
+  }
+}
+
+TEST(Mlp, GradientsAccumulateAcrossBackwardCalls) {
+  Rng rng(5);
+  Mlp net({1, 1}, {Activation::kIdentity}, rng);
+  net.zero_grad();
+  net.forward({1.0});
+  net.backward({1.0});
+  const double g1 = (*net.blocks()[0].grads)[0];
+  net.forward({1.0});
+  net.backward({1.0});
+  EXPECT_NEAR((*net.blocks()[0].grads)[0], 2.0 * g1, 1e-12);
+  net.zero_grad();
+  EXPECT_DOUBLE_EQ((*net.blocks()[0].grads)[0], 0.0);
+}
+
+TEST(Mlp, CopyParameters) {
+  Rng rng(6);
+  Mlp a({2, 3, 1}, {Activation::kTanh, Activation::kIdentity}, rng);
+  Mlp b({2, 3, 1}, {Activation::kTanh, Activation::kIdentity}, rng);
+  b.copy_parameters_from(a);
+  EXPECT_DOUBLE_EQ(a.forward({0.5, -0.5})[0], b.forward({0.5, -0.5})[0]);
+  Mlp c({2, 4, 1}, {Activation::kTanh, Activation::kIdentity}, rng);
+  EXPECT_THROW(c.copy_parameters_from(a), std::invalid_argument);
+}
+
+TEST(Mlp, Validation) {
+  Rng rng(7);
+  EXPECT_THROW(Mlp({3}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(Mlp({3, 2}, {}, rng), std::invalid_argument);
+  EXPECT_THROW(Mlp({3, 0}, {Activation::kRelu}, rng), std::invalid_argument);
+  Mlp net({2, 1}, {Activation::kIdentity}, rng);
+  EXPECT_THROW(net.forward({1.0}), std::invalid_argument);
+  EXPECT_THROW(net.backward({1.0}), std::logic_error);  // no forward yet
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Fit y = 2x - 1 with a linear "network" via MSE.
+  Rng rng(8);
+  Mlp net({1, 1}, {Activation::kIdentity}, rng);
+  Adam opt(net, {0.05, 0.9, 0.999, 1e-8});
+  for (int it = 0; it < 500; ++it) {
+    net.zero_grad();
+    double loss = 0.0;
+    for (double x : {-1.0, 0.0, 1.0, 2.0}) {
+      const double y = net.forward({x})[0];
+      const double target = 2.0 * x - 1.0;
+      loss += (y - target) * (y - target);
+      net.backward({2.0 * (y - target)});
+    }
+    opt.step(4.0);
+    if (loss < 1e-8) break;
+  }
+  EXPECT_NEAR(net.forward({3.0})[0], 5.0, 0.05);
+  EXPECT_GT(opt.iterations(), 10);
+}
+
+TEST(Adam, TrainsSmallNonlinearRegression) {
+  Rng rng(9);
+  Mlp net({1, 16, 1}, {Activation::kTanh, Activation::kIdentity}, rng);
+  Adam opt(net, {0.01, 0.9, 0.999, 1e-8});
+  auto target = [](double x) { return std::sin(3.0 * x); };
+  for (int it = 0; it < 2000; ++it) {
+    net.zero_grad();
+    for (int i = 0; i < 16; ++i) {
+      const double x = rng.uniform(-1.0, 1.0);
+      const double y = net.forward({x})[0];
+      net.backward({2.0 * (y - target(x))});
+    }
+    opt.step(16.0);
+  }
+  double mse = 0.0;
+  for (int i = 0; i <= 20; ++i) {
+    const double x = -1.0 + 0.1 * i;
+    const double e = net.forward({x})[0] - target(x);
+    mse += e * e;
+  }
+  EXPECT_LT(mse / 21.0, 0.02);
+}
+
+TEST(Adam, Validation) {
+  Rng rng(10);
+  Mlp net({1, 1}, {Activation::kIdentity}, rng);
+  EXPECT_THROW(Adam(net, {0.0, 0.9, 0.999, 1e-8}), std::invalid_argument);
+  EXPECT_THROW(Adam(net, {0.1, 1.0, 0.999, 1e-8}), std::invalid_argument);
+  Adam opt(net);
+  EXPECT_THROW(opt.step(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::nn

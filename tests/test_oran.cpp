@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "env/scenarios.hpp"
+#include "oran/messages.hpp"
+#include "oran/oran_env.hpp"
+#include "oran/ric.hpp"
+
+namespace edgebol::oran {
+namespace {
+
+TEST(Messages, A1PolicyRoundTrip) {
+  A1PolicySetup m{42, 0.75, 16};
+  const A1PolicySetup r = a1_policy_setup_from_json(to_json(m));
+  EXPECT_EQ(r.policy_id, 42);
+  EXPECT_DOUBLE_EQ(r.airtime, 0.75);
+  EXPECT_EQ(r.mcs_cap, 16);
+}
+
+TEST(Messages, AllRoundTrips) {
+  EXPECT_TRUE(a1_policy_ack_from_json(to_json(A1PolicyAck{7, true})).accepted);
+  const E2ControlRequest e2 =
+      e2_control_request_from_json(to_json(E2ControlRequest{9, 0.3, 4}));
+  EXPECT_EQ(e2.request_id, 9);
+  EXPECT_DOUBLE_EQ(e2.airtime, 0.3);
+  EXPECT_FALSE(
+      e2_control_ack_from_json(to_json(E2ControlAck{9, false})).success);
+  EXPECT_DOUBLE_EQ(
+      e2_kpi_indication_from_json(to_json(E2KpiIndication{1, 5.25}))
+          .bs_power_w,
+      5.25);
+  EXPECT_EQ(o1_kpi_report_from_json(to_json(O1KpiReport{3, 6.0})).sequence, 3);
+  const ServicePolicyRequest s =
+      service_policy_request_from_json(to_json(ServicePolicyRequest{0.5, 0.9}));
+  EXPECT_DOUBLE_EQ(s.resolution, 0.5);
+  EXPECT_DOUBLE_EQ(s.gpu_speed, 0.9);
+}
+
+TEST(Messages, WhitespaceAndOrderTolerant) {
+  const A1PolicySetup r = a1_policy_setup_from_json(
+      "{ \"mcs_cap\" : 5 , \"airtime\" : 0.5 , \"policy_id\" : 1 }");
+  EXPECT_EQ(r.mcs_cap, 5);
+  EXPECT_DOUBLE_EQ(r.airtime, 0.5);
+}
+
+TEST(Messages, MalformedJsonThrows) {
+  EXPECT_THROW(a1_policy_setup_from_json("{}"), std::invalid_argument);
+  EXPECT_THROW(a1_policy_setup_from_json("{\"policy_id\":1,\"airtime\":x}"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      a1_policy_setup_from_json(
+          "{\"policy_id\":1.5,\"airtime\":0.5,\"mcs_cap\":2}"),
+      std::invalid_argument);
+  EXPECT_THROW(e2_control_ack_from_json("{\"request_id\":1,\"success\":2}"),
+               std::invalid_argument);
+}
+
+TEST(NearRtRic, RejectsWithoutE2Node) {
+  NearRtRic ric;
+  EXPECT_FALSE(ric.has_e2_node());
+  const A1PolicyAck ack = ric.handle_a1_policy({1, 0.5, 10});
+  EXPECT_FALSE(ack.accepted);
+}
+
+class RecordingNode : public E2Node {
+ public:
+  E2ControlAck handle_control(const E2ControlRequest& r) override {
+    last = r;
+    ++count;
+    return {r.request_id, true};
+  }
+  E2ControlRequest last{};
+  int count = 0;
+};
+
+TEST(NearRtRic, ForwardsPolicyOverE2) {
+  NearRtRic ric;
+  RecordingNode node;
+  ric.attach_e2_node(&node);
+  const A1PolicyAck ack = ric.handle_a1_policy({1, 0.6, 12});
+  EXPECT_TRUE(ack.accepted);
+  EXPECT_EQ(node.count, 1);
+  EXPECT_DOUBLE_EQ(node.last.airtime, 0.6);
+  EXPECT_EQ(node.last.mcs_cap, 12);
+  EXPECT_EQ(ric.e2().messages_carried(), 2u);  // request + ack
+}
+
+TEST(NearRtRic, RejectsInvalidPolicy) {
+  NearRtRic ric;
+  RecordingNode node;
+  ric.attach_e2_node(&node);
+  EXPECT_FALSE(ric.handle_a1_policy({1, 1.5, 12}).accepted);
+  EXPECT_FALSE(ric.handle_a1_policy({1, 0.5, 99}).accepted);
+  EXPECT_EQ(node.count, 0);
+}
+
+TEST(NonRtRic, KpiPathDeliversToDataCollector) {
+  NearRtRic near;
+  NonRtRic non(near);
+  EXPECT_FALSE(non.has_kpi());
+  EXPECT_THROW(non.latest_kpi(), std::logic_error);
+  near.handle_e2_indication({1, 5.5});
+  near.handle_e2_indication({2, 5.7});
+  ASSERT_TRUE(non.has_kpi());
+  EXPECT_EQ(non.kpi_count(), 2u);
+  EXPECT_DOUBLE_EQ(non.latest_kpi().bs_power_w, 5.7);
+  EXPECT_EQ(non.latest_kpi().sequence, 2);
+  EXPECT_GE(near.o1().messages_carried(), 2u);
+}
+
+TEST(NonRtRic, DeploysSequencedPolicies) {
+  NearRtRic near;
+  RecordingNode node;
+  near.attach_e2_node(&node);
+  NonRtRic non(near);
+  EXPECT_TRUE(non.deploy_radio_policy(0.5, 10).accepted);
+  EXPECT_TRUE(non.deploy_radio_policy(0.7, 12).accepted);
+  EXPECT_EQ(node.count, 2);
+  EXPECT_EQ(non.a1().messages_carried(), 4u);  // 2 setups + 2 acks
+}
+
+TEST(A1Lifecycle, CreateQueryDeleteRoundTrip) {
+  NearRtRic near;
+  RecordingNode node;
+  near.attach_e2_node(&node);
+  NonRtRic non(near);
+
+  ASSERT_TRUE(non.deploy_radio_policy(0.6, 12).accepted);
+  const std::int64_t id = non.last_policy_id();
+  EXPECT_EQ(near.active_policy_count(), 1u);
+
+  const auto stored = non.query_radio_policy(id);
+  ASSERT_TRUE(stored.has_value());
+  EXPECT_DOUBLE_EQ(stored->airtime, 0.6);
+  EXPECT_EQ(stored->mcs_cap, 12);
+
+  EXPECT_TRUE(non.delete_radio_policy(id));
+  EXPECT_EQ(near.active_policy_count(), 0u);
+  EXPECT_FALSE(non.query_radio_policy(id).has_value());
+  EXPECT_FALSE(non.delete_radio_policy(id));  // already gone
+}
+
+TEST(A1Lifecycle, RejectedPoliciesAreNotStored) {
+  NearRtRic near;
+  RecordingNode node;
+  near.attach_e2_node(&node);
+  NonRtRic non(near);
+  EXPECT_FALSE(non.deploy_radio_policy(2.0, 12).accepted);
+  EXPECT_EQ(near.active_policy_count(), 0u);
+}
+
+TEST(A1Lifecycle, MultiplePoliciesCoexist) {
+  NearRtRic near;
+  RecordingNode node;
+  near.attach_e2_node(&node);
+  NonRtRic non(near);
+  non.deploy_radio_policy(0.5, 10);
+  const std::int64_t first = non.last_policy_id();
+  non.deploy_radio_policy(0.7, 14);
+  EXPECT_EQ(near.active_policy_count(), 2u);
+  EXPECT_TRUE(non.delete_radio_policy(first));
+  EXPECT_EQ(near.active_policy_count(), 1u);
+}
+
+TEST(InterfaceFabric, BoundedLog) {
+  InterfaceFabric f("test", 2);
+  f.record("a");
+  f.record("b");
+  f.record("c");
+  EXPECT_EQ(f.messages_carried(), 3u);
+  ASSERT_EQ(f.frame_log().size(), 2u);
+  EXPECT_EQ(f.frame_log().front(), "b");
+}
+
+TEST(ServiceController, AppliesAndValidates) {
+  ServiceController c;
+  c.apply({0.5, 0.25});
+  EXPECT_DOUBLE_EQ(c.resolution(), 0.5);
+  EXPECT_DOUBLE_EQ(c.gpu_speed(), 0.25);
+  EXPECT_EQ(c.requests_handled(), 1u);
+  EXPECT_THROW(c.apply({0.0, 0.5}), std::invalid_argument);
+  EXPECT_THROW(c.apply({0.5, 1.5}), std::invalid_argument);
+}
+
+TEST(OranManagedTestbed, EquivalentToDirectStepping) {
+  env::TestbedConfig cfg;
+  cfg.seed = 1234;
+  env::Testbed direct = env::make_static_testbed(30.0, cfg);
+  env::Testbed managed_tb = env::make_static_testbed(30.0, cfg);
+  OranManagedTestbed managed(managed_tb);
+
+  env::ControlPolicy p;
+  p.resolution = 0.75;
+  p.airtime = 0.6;
+  p.gpu_speed = 0.5;
+  p.mcs_cap = 14;
+  for (int i = 0; i < 5; ++i) {
+    const env::Measurement a = direct.step(p);
+    const env::Measurement b = managed.step(p);
+    EXPECT_DOUBLE_EQ(a.delay_s, b.delay_s);
+    EXPECT_DOUBLE_EQ(a.map, b.map);
+    EXPECT_DOUBLE_EQ(a.bs_power_w, b.bs_power_w);
+    EXPECT_DOUBLE_EQ(a.server_power_w, b.server_power_w);
+  }
+}
+
+TEST(OranManagedTestbed, KpiFlowsThroughO1) {
+  env::Testbed tb = env::make_static_testbed(30.0);
+  OranManagedTestbed managed(tb);
+  env::ControlPolicy p;
+  const env::Measurement m = managed.step(p);
+  EXPECT_EQ(managed.non_rt_ric().kpi_count(), 1u);
+  EXPECT_DOUBLE_EQ(managed.non_rt_ric().latest_kpi().bs_power_w,
+                   m.bs_power_w);
+  EXPECT_EQ(managed.service_controller().requests_handled(), 1u);
+}
+
+TEST(OranManagedTestbed, RejectedPolicyThrows) {
+  env::Testbed tb = env::make_static_testbed(30.0);
+  OranManagedTestbed managed(tb);
+  env::ControlPolicy p;
+  p.airtime = 0.0;  // invalid for the radio side
+  EXPECT_THROW(managed.step(p), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace edgebol::oran

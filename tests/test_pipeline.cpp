@@ -1,0 +1,153 @@
+#include "service/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edgebol::service {
+namespace {
+
+PipelineInputs base_inputs(std::size_t n_users = 1) {
+  PipelineInputs in;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    PipelineUser user;
+    user.solo_app_rate_bps = 5e6;
+    user.solo_phy_rate_bps = 50e6;
+    user.spectral_eff = 3.9;
+    user.eff_mcs = 20.0;
+    in.users.push_back(user);
+  }
+  in.image_bits = 0.7e6;
+  in.preprocess_s = 0.04;
+  in.response_bits = 24e3;
+  in.grant_latency_s = 0.012;
+  in.gpu_service_s = 0.12;
+  in.airtime = 1.0;
+  return in;
+}
+
+TEST(Pipeline, SingleUserHasNoQueueing) {
+  // A stop-and-wait loop cannot queue behind itself.
+  const PipelineResult r = solve_pipeline(base_inputs(1));
+  EXPECT_DOUBLE_EQ(r.queue_wait_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.gpu_delay_s, 0.12);
+}
+
+TEST(Pipeline, SingleUserDelayIsSumOfStages) {
+  const PipelineInputs in = base_inputs(1);
+  const PipelineResult r = solve_pipeline(in);
+  const double expected = in.preprocess_s + in.grant_latency_s +
+                          in.image_bits / in.users[0].solo_app_rate_bps +
+                          in.gpu_service_s +
+                          in.response_bits / in.downlink_rate_bps;
+  EXPECT_NEAR(r.delay_s[0], expected, 1e-6);
+}
+
+TEST(Pipeline, FrameRateIsInverseDelay) {
+  const PipelineResult r = solve_pipeline(base_inputs(1));
+  EXPECT_NEAR(r.frame_rate_hz[0] * r.delay_s[0], 1.0, 1e-9);
+  EXPECT_NEAR(r.total_frame_rate_hz, r.frame_rate_hz[0], 1e-12);
+}
+
+TEST(Pipeline, GpuUtilizationIsLambdaTimesService) {
+  const PipelineResult r = solve_pipeline(base_inputs(1));
+  EXPECT_NEAR(r.gpu_utilization, r.total_frame_rate_hz * 0.12, 1e-9);
+}
+
+TEST(Pipeline, FasterUplinkShortensDelayAndRaisesFrameRate) {
+  PipelineInputs slow = base_inputs(1);
+  slow.users[0].solo_app_rate_bps = 1e6;
+  PipelineInputs fast = base_inputs(1);
+  fast.users[0].solo_app_rate_bps = 10e6;
+  const PipelineResult rs = solve_pipeline(slow);
+  const PipelineResult rf = solve_pipeline(fast);
+  EXPECT_GT(rs.delay_s[0], rf.delay_s[0]);
+  EXPECT_LT(rs.total_frame_rate_hz, rf.total_frame_rate_hz);
+}
+
+TEST(Pipeline, MultiUserQueueingAddsWait) {
+  const PipelineResult r1 = solve_pipeline(base_inputs(1));
+  const PipelineResult r4 = solve_pipeline(base_inputs(4));
+  EXPECT_GT(r4.queue_wait_s, 0.0);
+  EXPECT_GT(r4.delay_s[0], r1.delay_s[0]);
+}
+
+TEST(Pipeline, HeterogeneousUsersWorstDelayIsTheWeakest) {
+  PipelineInputs in = base_inputs(2);
+  in.users[1].solo_app_rate_bps = 0.5e6;  // poor channel
+  const PipelineResult r = solve_pipeline(in);
+  EXPECT_GT(r.delay_s[1], r.delay_s[0]);
+}
+
+TEST(Pipeline, RadioCongestionGrowsWithUsers) {
+  PipelineInputs in = base_inputs(6);
+  for (auto& u : in.users) u.solo_app_rate_bps = 1.2e6;  // busier radio
+  const PipelineResult r = solve_pipeline(in);
+  EXPECT_GT(r.radio_congestion, 1.0);
+  EXPECT_NEAR(solve_pipeline(base_inputs(1)).radio_congestion, 1.0, 1e-6);
+}
+
+TEST(Pipeline, BsDutyWithinBounds) {
+  for (std::size_t n : {1u, 3u, 6u}) {
+    const PipelineResult r = solve_pipeline(base_inputs(n));
+    EXPECT_GE(r.bs_duty, 0.0);
+    EXPECT_LE(r.bs_duty, 1.0);
+  }
+}
+
+TEST(Pipeline, BackgroundLoadRaisesDuty) {
+  PipelineInputs in = base_inputs(1);
+  const double base_duty = solve_pipeline(in).bs_duty;
+  in.bs_load_multiplier = 10.0;
+  in.bulk_phy_rate_bps = 50e6;
+  const double loaded_duty = solve_pipeline(in).bs_duty;
+  EXPECT_GT(loaded_duty, base_duty);
+  EXPECT_LE(loaded_duty, 1.0);
+}
+
+TEST(Pipeline, MeanMcsAndEffReported) {
+  PipelineInputs in = base_inputs(2);
+  in.users[1].eff_mcs = 10.0;
+  in.users[1].spectral_eff = 2.41;
+  const PipelineResult r = solve_pipeline(in);
+  EXPECT_NEAR(r.mean_eff_mcs, 15.0, 1e-9);
+  EXPECT_NEAR(r.mean_spectral_eff, (3.9 + 2.41) / 2.0, 1e-9);
+}
+
+TEST(Pipeline, GpuSaturationIsCapped) {
+  PipelineInputs in = base_inputs(6);
+  in.gpu_service_s = 10.0;  // absurdly slow GPU
+  const PipelineResult r = solve_pipeline(in);
+  EXPECT_LE(r.gpu_utilization, in.max_gpu_utilization + 1e-9);
+  for (double d : r.delay_s) EXPECT_GT(d, 10.0);
+}
+
+TEST(Pipeline, InvalidInputsThrow) {
+  PipelineInputs in = base_inputs(1);
+  in.users.clear();
+  EXPECT_THROW(solve_pipeline(in), std::invalid_argument);
+  in = base_inputs(1);
+  in.image_bits = 0.0;
+  EXPECT_THROW(solve_pipeline(in), std::invalid_argument);
+  in = base_inputs(1);
+  in.airtime = 0.0;
+  EXPECT_THROW(solve_pipeline(in), std::invalid_argument);
+  in = base_inputs(1);
+  in.bs_load_multiplier = 0.5;
+  EXPECT_THROW(solve_pipeline(in), std::invalid_argument);
+  in = base_inputs(1);
+  in.users[0].solo_app_rate_bps = 0.0;
+  EXPECT_THROW(solve_pipeline(in), std::invalid_argument);
+}
+
+TEST(Pipeline, FixedPointIsStableAcrossCalls) {
+  const PipelineInputs in = base_inputs(3);
+  const PipelineResult a = solve_pipeline(in);
+  const PipelineResult b = solve_pipeline(in);
+  for (std::size_t u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(a.delay_s[u], b.delay_s[u]);
+  }
+}
+
+}  // namespace
+}  // namespace edgebol::service

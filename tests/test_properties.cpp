@@ -1,0 +1,186 @@
+// Randomized property tests (parameterized over seeds): invariants that
+// must hold for *any* instance, not just the hand-picked cases of the unit
+// suites.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/safe_set.hpp"
+#include "env/scenarios.hpp"
+#include "gp/gp_regressor.hpp"
+#include "service/pipeline.hpp"
+
+namespace edgebol {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// ---- Safe set (eq. 8) ----
+
+std::vector<gp::Prediction> random_posterior(Rng& rng, std::size_t n) {
+  std::vector<gp::Prediction> out(n);
+  for (auto& p : out) {
+    p.mean = rng.uniform(0.0, 1.0);
+    p.variance = rng.uniform(0.0, 0.2);
+  }
+  return out;
+}
+
+TEST_P(SeededProperty, SafeSetShrinksMonotonicallyInBeta) {
+  Rng rng(GetParam());
+  const auto delay = random_posterior(rng, 200);
+  const auto map = random_posterior(rng, 200);
+  std::vector<std::size_t> prev;
+  bool first = true;
+  for (double beta : {0.0, 0.5, 1.0, 2.0, 4.0}) {
+    const auto safe =
+        core::compute_safe_set(delay, map, 0.6, 0.4, beta, {});
+    if (!first) {
+      // Every index safe at the larger beta was safe at the smaller one.
+      EXPECT_TRUE(std::includes(prev.begin(), prev.end(), safe.begin(),
+                                safe.end()))
+          << "beta " << beta;
+    }
+    prev = safe;
+    first = false;
+  }
+}
+
+TEST_P(SeededProperty, SafeSetGrowsWithLooserThresholds) {
+  Rng rng(GetParam() + 1000);
+  const auto delay = random_posterior(rng, 200);
+  const auto map = random_posterior(rng, 200);
+  const auto tight = core::compute_safe_set(delay, map, 0.4, 0.6, 2.0, {});
+  const auto loose = core::compute_safe_set(delay, map, 0.7, 0.3, 2.0, {});
+  EXPECT_TRUE(
+      std::includes(loose.begin(), loose.end(), tight.begin(), tight.end()));
+}
+
+// ---- GP posterior (eqs. 3-4) ----
+
+TEST_P(SeededProperty, PosteriorVarianceNeverExceedsPriorAndShrinks) {
+  Rng rng(GetParam() + 2000);
+  gp::GpRegressor gp(
+      std::make_unique<gp::Matern32Kernel>(linalg::Vector{0.5, 0.5}, 1.0),
+      1e-2);
+  const linalg::Vector probe{rng.uniform(), rng.uniform()};
+  double prev_var = gp.predict(probe).variance;
+  EXPECT_NEAR(prev_var, 1.0, 1e-12);
+  for (int i = 0; i < 25; ++i) {
+    gp.add({rng.uniform(), rng.uniform()}, rng.normal());
+    const double var = gp.predict(probe).variance;
+    EXPECT_LE(var, prev_var + 1e-9) << "observation " << i;
+    EXPECT_GE(var, 0.0);
+    prev_var = var;
+  }
+}
+
+TEST_P(SeededProperty, TrackedCacheAgreesWithDirectPredictions) {
+  Rng rng(GetParam() + 3000);
+  gp::GpRegressor gp(
+      std::make_unique<gp::Matern32Kernel>(linalg::Vector{0.7, 0.9}, 0.8),
+      5e-3);
+  std::vector<linalg::Vector> cands;
+  for (int i = 0; i < 12; ++i) cands.push_back({rng.uniform(), rng.uniform()});
+  gp.track_candidates(cands);
+  for (int i = 0; i < 20; ++i) {
+    gp.add({rng.uniform(), rng.uniform()}, rng.normal(0.0, 0.5));
+  }
+  for (std::size_t j = 0; j < cands.size(); ++j) {
+    const gp::Prediction p = gp.predict(cands[j]);
+    EXPECT_NEAR(gp.tracked_mean(j), p.mean, 1e-7);
+    EXPECT_NEAR(gp.tracked_variance(j), p.variance, 1e-7);
+  }
+}
+
+// ---- Pipeline ----
+
+service::PipelineInputs random_pipeline(Rng& rng, std::size_t users) {
+  service::PipelineInputs in;
+  for (std::size_t u = 0; u < users; ++u) {
+    service::PipelineUser pu;
+    pu.solo_app_rate_bps = rng.uniform(0.5e6, 8e6);
+    pu.solo_phy_rate_bps = pu.solo_app_rate_bps * 10.0;
+    pu.spectral_eff = rng.uniform(0.5, 3.9);
+    pu.eff_mcs = rng.uniform(0.0, 20.0);
+    in.users.push_back(pu);
+  }
+  in.image_bits = rng.uniform(0.1e6, 0.8e6);
+  in.preprocess_s = rng.uniform(0.01, 0.05);
+  in.response_bits = 24e3;
+  in.grant_latency_s = 0.01;
+  in.gpu_service_s = rng.uniform(0.08, 0.3);
+  in.airtime = rng.uniform(0.1, 1.0);
+  return in;
+}
+
+TEST_P(SeededProperty, PipelineOutputsAreAlwaysSane) {
+  Rng rng(GetParam() + 4000);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 1 + rng.uniform_index(6);
+    const auto in = random_pipeline(rng, n);
+    const auto out = service::solve_pipeline(in);
+    ASSERT_EQ(out.delay_s.size(), n);
+    for (std::size_t u = 0; u < n; ++u) {
+      EXPECT_GT(out.delay_s[u], 0.0);
+      EXPECT_NEAR(out.frame_rate_hz[u] * out.delay_s[u], 1.0, 1e-6);
+    }
+    EXPECT_GE(out.bs_duty, 0.0);
+    EXPECT_LE(out.bs_duty, 1.0);
+    EXPECT_GE(out.gpu_utilization, 0.0);
+    EXPECT_LE(out.gpu_utilization, in.max_gpu_utilization + 1e-9);
+    EXPECT_GE(out.radio_congestion, 1.0);
+    EXPECT_GE(out.queue_wait_s, 0.0);
+  }
+}
+
+TEST_P(SeededProperty, FasterGpuNeverHurtsDelay) {
+  Rng rng(GetParam() + 5000);
+  auto in = random_pipeline(rng, 2);
+  auto slow = in;
+  slow.gpu_service_s = in.gpu_service_s * 1.5;
+  const auto fast_out = service::solve_pipeline(in);
+  const auto slow_out = service::solve_pipeline(slow);
+  for (std::size_t u = 0; u < 2; ++u) {
+    EXPECT_LE(fast_out.delay_s[u], slow_out.delay_s[u] + 1e-9);
+  }
+}
+
+TEST_P(SeededProperty, ExternalGpuLoadSelfRegulatesTheService) {
+  // In the closed loop, foreign GPU load slows the stop-and-wait cycles, so
+  // the service's *own* GPU share and total frame rate must not grow.
+  // (Per-user delays are NOT monotone: when other users slow down, one
+  // user's queue can actually shorten — the fixed point redistributes.)
+  Rng rng(GetParam() + 6000);
+  auto in = random_pipeline(rng, 3);
+  auto loaded = in;
+  loaded.external_gpu_utilization = 0.4;
+  const auto base = service::solve_pipeline(in);
+  const auto busy = service::solve_pipeline(loaded);
+  EXPECT_LE(busy.own_gpu_utilization, base.own_gpu_utilization + 1e-9);
+  EXPECT_LE(busy.total_frame_rate_hz, base.total_frame_rate_hz + 1e-9);
+}
+
+// ---- Testbed ----
+
+TEST_P(SeededProperty, ExpectedMeasurementIsSeedIndependent) {
+  env::TestbedConfig a_cfg, b_cfg;
+  a_cfg.seed = GetParam();
+  b_cfg.seed = GetParam() + 77;
+  env::Testbed a = env::make_static_testbed(30.0, a_cfg);
+  env::Testbed b = env::make_static_testbed(30.0, b_cfg);
+  env::ControlPolicy p;
+  p.resolution = 0.7;
+  p.airtime = 0.5;
+  EXPECT_DOUBLE_EQ(a.expected(p).delay_s, b.expected(p).delay_s);
+  EXPECT_DOUBLE_EQ(a.expected(p).server_power_w, b.expected(p).server_power_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+}  // namespace
+}  // namespace edgebol

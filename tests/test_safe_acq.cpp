@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/acquisition.hpp"
+#include "core/safe_set.hpp"
+
+namespace edgebol::core {
+namespace {
+
+using gp::Prediction;
+
+TEST(SafeSet, ConfidentFeasiblePointsQualify) {
+  // d_max = 0.4, map_min = 0.5, beta = 2.
+  const std::vector<Prediction> delay{{0.30, 0.0001}, {0.30, 0.01},
+                                      {0.50, 0.0001}};
+  const std::vector<Prediction> map{{0.60, 0.0001}, {0.60, 0.0001},
+                                    {0.60, 0.0001}};
+  const auto safe = compute_safe_set(delay, map, 0.4, 0.5, 2.0, {});
+  // #0 qualifies; #1's delay UCB = 0.3 + 2*0.1 = 0.5 > 0.4; #2 infeasible.
+  EXPECT_EQ(safe, (std::vector<std::size_t>{0}));
+}
+
+TEST(SafeSet, MapLcbMustClearThreshold) {
+  const std::vector<Prediction> delay{{0.2, 0.0001}, {0.2, 0.0001}};
+  const std::vector<Prediction> map{{0.60, 0.01}, {0.52, 0.0001}};
+  // #0: LCB = 0.6 - 2*0.1 = 0.4 < 0.5 -> out. #1: LCB ~ 0.52 -> in.
+  EXPECT_EQ(compute_safe_set(delay, map, 0.4, 0.5, 2.0, {}),
+            (std::vector<std::size_t>{1}));
+}
+
+TEST(SafeSet, S0AlwaysIncludedAndDeduplicated) {
+  const std::vector<Prediction> delay{{9.0, 1.0}, {9.0, 1.0}};
+  const std::vector<Prediction> map{{0.0, 1.0}, {0.0, 1.0}};
+  const auto safe = compute_safe_set(delay, map, 0.4, 0.5, 2.0, {1, 1});
+  EXPECT_EQ(safe, (std::vector<std::size_t>{1}));
+}
+
+TEST(SafeSet, ZeroBetaReducesToMeanChecks) {
+  const std::vector<Prediction> delay{{0.39, 100.0}};
+  const std::vector<Prediction> map{{0.51, 100.0}};
+  EXPECT_EQ(compute_safe_set(delay, map, 0.4, 0.5, 0.0, {}).size(), 1u);
+}
+
+TEST(SafeSet, LargerBetaShrinksTheSet) {
+  std::vector<Prediction> delay, map;
+  for (int i = 0; i < 10; ++i) {
+    delay.push_back({0.3, 0.001 * i * i});
+    map.push_back({0.6, 0.0001});
+  }
+  const auto lenient = compute_safe_set(delay, map, 0.4, 0.5, 1.0, {});
+  const auto strict = compute_safe_set(delay, map, 0.4, 0.5, 3.0, {});
+  EXPECT_GE(lenient.size(), strict.size());
+}
+
+TEST(SafeSet, ResultIsSorted) {
+  std::vector<Prediction> delay(5, Prediction{0.1, 0.0001});
+  std::vector<Prediction> map(5, Prediction{0.9, 0.0001});
+  const auto safe = compute_safe_set(delay, map, 0.4, 0.5, 2.0, {4, 0});
+  for (std::size_t i = 1; i < safe.size(); ++i) {
+    EXPECT_LT(safe[i - 1], safe[i]);
+  }
+}
+
+TEST(SafeSet, Validation) {
+  std::vector<Prediction> one(1), two(2);
+  EXPECT_THROW(compute_safe_set(one, two, 0.4, 0.5, 2.0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_safe_set(one, one, 0.4, 0.5, -1.0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(compute_safe_set(one, one, 0.4, 0.5, 2.0, {5}),
+               std::invalid_argument);
+}
+
+TEST(Acquisition, PicksLowestLcbWithinSafeSet) {
+  const std::vector<Prediction> cost{
+      {1.0, 0.0}, {0.5, 0.0}, {0.9, 0.04}};  // LCB: 1.0, 0.5, 0.9-2*0.2=0.5
+  // Only indices {0, 2} are safe; #2's LCB (0.5) beats #0's (1.0).
+  EXPECT_EQ(lcb_argmin(cost, {0, 2}, 2.0), 2u);
+  // With everything safe, #1 and #2 tie at 0.5; the first wins.
+  EXPECT_EQ(lcb_argmin(cost, {0, 1, 2}, 2.0), 1u);
+}
+
+TEST(Acquisition, UncertaintyDrivesExploration) {
+  // Same mean, higher variance -> preferred by the optimistic bound.
+  const std::vector<Prediction> cost{{0.7, 0.0001}, {0.7, 0.09}};
+  EXPECT_EQ(lcb_argmin(cost, {0, 1}, 2.0), 1u);
+}
+
+TEST(Acquisition, LcbValueFormula) {
+  EXPECT_NEAR(lcb_value({0.5, 0.04}, 2.0), 0.5 - 2.0 * 0.2, 1e-12);
+}
+
+TEST(Acquisition, Validation) {
+  const std::vector<Prediction> cost{{1.0, 0.0}};
+  EXPECT_THROW(lcb_argmin(cost, {}, 2.0), std::invalid_argument);
+  EXPECT_THROW(lcb_argmin(cost, {3}, 2.0), std::invalid_argument);
+}
+
+// ---- SafeOpt-style acquisition (§5 comparison) ----
+
+struct SafeOptFixture {
+  std::vector<Prediction> cost, delay, map;
+  std::vector<std::size_t> safe;
+
+  SafeOptFixture() {
+    // 5 candidates in a line; 0-2 safe, 3-4 unsafe.
+    cost = {{0.5, 0.0001}, {0.6, 0.0001}, {0.9, 0.0001}, {0.4, 0.25},
+            {0.4, 0.25}};
+    delay = {{0.2, 0.0001}, {0.2, 0.0001}, {0.2, 0.09}, {0.9, 0.25},
+             {0.9, 0.25}};
+    map = {{0.8, 0.0001}, {0.8, 0.0001}, {0.8, 0.0001}, {0.8, 0.25},
+           {0.8, 0.25}};
+    safe = {0, 1, 2};
+  }
+
+  core::SafeOptInputs inputs(double beta = 2.0) const {
+    core::SafeOptInputs in;
+    in.cost = &cost;
+    in.delay = &delay;
+    in.map = &map;
+    in.safe_set = &safe;
+    in.beta = beta;
+    return in;
+  }
+};
+
+std::vector<std::size_t> line_neighbors(std::size_t i) {
+  std::vector<std::size_t> out;
+  if (i > 0) out.push_back(i - 1);
+  if (i < 4) out.push_back(i + 1);
+  return out;
+}
+
+TEST(SafeOpt, PicksWidestAmongMinimizersAndExpanders) {
+  const SafeOptFixture fx;
+  // Candidate 2 is an expander (neighbor 3 unsafe) with a wide delay bound;
+  // candidates 0/1 are minimizers with tiny widths. SafeOpt prefers 2.
+  EXPECT_EQ(safeopt_select(fx.inputs(), line_neighbors), 2u);
+}
+
+TEST(SafeOpt, WithoutExpandersFallsToWidestMinimizer) {
+  SafeOptFixture fx;
+  fx.safe = {0, 1};  // neither borders an unsafe point directly... (1 does)
+  fx.delay[1] = {0.2, 0.0001};
+  fx.cost[0] = {0.5, 0.0001};
+  fx.cost[1] = {0.5, 0.01};  // wider minimizer
+  EXPECT_EQ(safeopt_select(fx.inputs(), line_neighbors), 1u);
+}
+
+TEST(SafeOpt, Validation) {
+  const SafeOptFixture fx;
+  core::SafeOptInputs in = fx.inputs();
+  in.cost = nullptr;
+  EXPECT_THROW(safeopt_select(in, line_neighbors), std::invalid_argument);
+  SafeOptFixture empty;
+  empty.safe.clear();
+  EXPECT_THROW(safeopt_select(empty.inputs(), line_neighbors),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::core

@@ -1,0 +1,155 @@
+#include "ran/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace edgebol::ran {
+namespace {
+
+constexpr double kBig = 1e12;  // effectively infinite backlog
+
+TEST(Scheduler, AirtimePolicyIsRespected) {
+  for (double airtime : {0.1, 0.25, 0.5, 0.8, 1.0}) {
+    const auto rep = simulate_round_robin({{20, kBig}}, {airtime, 20}, 1000);
+    EXPECT_LE(rep.slice_subframe_fraction, airtime + 1e-9)
+        << "airtime " << airtime;
+    EXPECT_NEAR(rep.slice_subframe_fraction, airtime, 0.01);
+  }
+}
+
+TEST(Scheduler, FullAirtimeUsesEverySubframe) {
+  const auto rep = simulate_round_robin({{10, kBig}}, {1.0, 20}, 500);
+  EXPECT_DOUBLE_EQ(rep.slice_subframe_fraction, 1.0);
+}
+
+TEST(Scheduler, RoundRobinIsFairForEqualUsers) {
+  const auto rep = simulate_round_robin({{15, kBig}, {15, kBig}, {15, kBig}},
+                                        {1.0, 20}, 900);
+  EXPECT_NEAR(rep.served_bits[0], rep.served_bits[1],
+              tbs_bits(15, kPrbs20MHz) + 1.0);
+  EXPECT_NEAR(rep.served_bits[1], rep.served_bits[2],
+              tbs_bits(15, kPrbs20MHz) + 1.0);
+}
+
+TEST(Scheduler, EqualSubframesEvenForUnequalMcs) {
+  // Round-robin shares *subframes*, not bits: a user with lower MCS gets
+  // the same airtime but fewer bits.
+  const auto rep =
+      simulate_round_robin({{20, kBig}, {5, kBig}}, {1.0, 20}, 1000);
+  EXPECT_GT(rep.served_bits[0], rep.served_bits[1]);
+  EXPECT_NEAR(rep.served_bits[0] / tbs_bits(20, kPrbs20MHz),
+              rep.served_bits[1] / tbs_bits(5, kPrbs20MHz), 1.0);
+}
+
+TEST(Scheduler, McsPolicyCapsPerUserMcs) {
+  const auto capped = simulate_round_robin({{20, kBig}}, {1.0, 8}, 100);
+  EXPECT_NEAR(capped.mean_scheduled_mcs, 8.0, 1e-9);
+  EXPECT_NEAR(capped.total_served_bits, 100 * tbs_bits(8, kPrbs20MHz), 1e-6);
+}
+
+TEST(Scheduler, ServedNeverExceedsBacklog) {
+  const double backlog = 3.5 * tbs_bits(20, kPrbs20MHz);
+  const auto rep = simulate_round_robin({{20, backlog}}, {1.0, 20}, 100);
+  EXPECT_NEAR(rep.served_bits[0], backlog, 1e-9);
+}
+
+TEST(Scheduler, EmptyBacklogGrantsNothing) {
+  const auto rep = simulate_round_robin({{20, 0.0}}, {1.0, 20}, 100);
+  EXPECT_DOUBLE_EQ(rep.slice_subframe_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_served_bits, 0.0);
+}
+
+TEST(Scheduler, SkipsDrainedUsers) {
+  const double small = tbs_bits(20, kPrbs20MHz);  // one subframe's worth
+  const auto rep =
+      simulate_round_robin({{20, small}, {20, kBig}}, {1.0, 20}, 100);
+  EXPECT_NEAR(rep.served_bits[0], small, 1e-9);
+  EXPECT_NEAR(rep.served_bits[1], 99 * small, 1e-6);
+}
+
+TEST(Scheduler, ThroughputMatchesFluidModel) {
+  const auto rep = simulate_round_robin({{18, kBig}, {18, kBig}},
+                                        {0.6, 20}, 2000);
+  const double per_user_rate =
+      rep.served_bits[0] / 2.0;  // bits per second over a 2 s window
+  const double fluid = fair_share_rate_bps(18, 0.6, 2);
+  EXPECT_NEAR(per_user_rate, fluid, fluid * 0.03);
+}
+
+TEST(PrbFairScheduler, AirtimeRespected) {
+  const auto rep =
+      simulate_prb_fair({{20, kBig}, {20, kBig}}, {0.4, 20}, 1000);
+  EXPECT_NEAR(rep.slice_subframe_fraction, 0.4, 0.01);
+}
+
+TEST(PrbFairScheduler, EqualUsersSplitEvenly) {
+  const auto rep = simulate_prb_fair({{16, kBig}, {16, kBig}}, {1.0, 20},
+                                     1000);
+  EXPECT_NEAR(rep.served_bits[0], rep.served_bits[1],
+              0.02 * rep.served_bits[0]);
+}
+
+TEST(PrbFairScheduler, FluidThroughputMatchesTdmRoundRobin) {
+  // In the long run both schedulers give a user the same goodput.
+  const auto tdm =
+      simulate_round_robin({{18, kBig}, {18, kBig}}, {0.8, 20}, 4000);
+  const auto prb = simulate_prb_fair({{18, kBig}, {18, kBig}}, {0.8, 20},
+                                     4000);
+  EXPECT_NEAR(prb.served_bits[0], tdm.served_bits[0],
+              0.03 * tdm.served_bits[0]);
+}
+
+TEST(PrbFairScheduler, MixedMcsUsersGetEqualPrbsNotEqualBits) {
+  const auto rep =
+      simulate_prb_fair({{20, kBig}, {5, kBig}}, {1.0, 20}, 1000);
+  EXPECT_NEAR(rep.served_bits[0] / rep.served_bits[1],
+              spectral_efficiency(20) / spectral_efficiency(5), 0.05);
+}
+
+TEST(PrbFairScheduler, DrainedUserFreesPrbsForOthers) {
+  const double small = 50.0 * tbs_bits(20, kPrbs20MHz / 2);
+  const auto rep = simulate_prb_fair({{20, small}, {20, kBig}}, {1.0, 20},
+                                     1000);
+  EXPECT_NEAR(rep.served_bits[0], small, 1e-6);
+  // After user 0 drains (~100 subframes), user 1 gets all 100 PRBs.
+  EXPECT_GT(rep.served_bits[1], 0.8 * 1000 * tbs_bits(20, kPrbs20MHz) / 2);
+}
+
+TEST(PrbFairScheduler, MoreUsersThanPrbsStillServes) {
+  std::vector<UlUserState> many(150, {10, kBig});
+  const auto rep = simulate_prb_fair(std::move(many), {1.0, 20}, 10,
+                                     /*nprb=*/100);
+  // 100 PRBs across 150 users: some get 1 PRB, some 0, every subframe used.
+  EXPECT_DOUBLE_EQ(rep.slice_subframe_fraction, 1.0);
+  EXPECT_GT(rep.total_served_bits, 0.0);
+}
+
+TEST(PrbFairScheduler, InvalidInputsThrow) {
+  EXPECT_THROW(simulate_prb_fair({{20, 1.0}}, {1.5, 20}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_prb_fair({{20, 1.0}}, {0.5, 99}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_prb_fair({{20, 1.0}}, {0.5, 20}, 0),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, InvalidInputsThrow) {
+  EXPECT_THROW(simulate_round_robin({{20, 1.0}}, {1.5, 20}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_round_robin({{20, 1.0}}, {0.5, 99}, 100),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_round_robin({{20, 1.0}}, {0.5, 20}, 0),
+               std::invalid_argument);
+  EXPECT_THROW(fair_share_rate_bps(20, 0.5, 0), std::invalid_argument);
+  EXPECT_THROW(fair_share_rate_bps(20, 1.5, 1), std::invalid_argument);
+}
+
+TEST(Scheduler, FairShareScalesWithAirtimeAndUsers) {
+  const double solo = fair_share_rate_bps(20, 1.0, 1);
+  EXPECT_NEAR(fair_share_rate_bps(20, 0.5, 1), solo / 2.0, 1e-6);
+  EXPECT_NEAR(fair_share_rate_bps(20, 1.0, 4), solo / 4.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace edgebol::ran

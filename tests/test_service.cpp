@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+#include "service/image_source.hpp"
+#include "service/map_model.hpp"
+
+namespace edgebol::service {
+namespace {
+
+TEST(ImageSource, SizeMonotoneInResolution) {
+  const ImageSource src;
+  double prev = 0.0;
+  for (double eta : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double bits = src.image_bits(eta);
+    EXPECT_GT(bits, prev);
+    prev = bits;
+  }
+}
+
+TEST(ImageSource, FullResolutionMatchesCocoAverage) {
+  const ImageSource src;
+  EXPECT_NEAR(src.image_bits(1.0), src.params().full_res_bits, 1.0);
+}
+
+TEST(ImageSource, TinyImagesKeepContainerFloor) {
+  const ImageSource src;
+  EXPECT_GT(src.image_bits(0.01),
+            src.params().full_res_bits * src.params().min_size_frac * 0.99);
+}
+
+TEST(ImageSource, PreprocessGrowsWithResolution) {
+  const ImageSource src;
+  EXPECT_GT(src.preprocess_time_s(1.0), src.preprocess_time_s(0.25));
+  EXPECT_GT(src.preprocess_time_s(0.25), 0.0);
+}
+
+TEST(ImageSource, SampleUnbiasedAndPositive) {
+  const ImageSource src;
+  Rng rng(3);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    const double b = src.sample_image_bits(0.5, rng);
+    EXPECT_GT(b, 0.0);
+    s.add(b);
+  }
+  EXPECT_NEAR(s.mean(), src.image_bits(0.5), src.image_bits(0.5) * 0.01);
+}
+
+TEST(ImageSource, ResponseIsSmallComparedToImages) {
+  const ImageSource src;
+  EXPECT_LT(src.response_bits(), src.image_bits(0.25));
+}
+
+TEST(ImageSource, InvalidInputsThrow) {
+  const ImageSource src;
+  EXPECT_THROW(src.image_bits(0.0), std::invalid_argument);
+  EXPECT_THROW(src.image_bits(1.1), std::invalid_argument);
+  EXPECT_THROW(src.preprocess_time_s(-0.5), std::invalid_argument);
+  ImageParams bad;
+  bad.full_res_bits = 0.0;
+  EXPECT_THROW(ImageSource{bad}, std::invalid_argument);
+}
+
+TEST(MapModel, MonotoneInResolution) {
+  const MapModel m;
+  double prev = 0.0;
+  for (double eta : {0.1, 0.25, 0.5, 0.75, 1.0}) {
+    const double v = m.mean_map(eta);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(MapModel, MatchesFig1Anchors) {
+  // Fig. 1 measured roughly: 25% -> ~0.2, 50% -> ~0.45, 100% -> ~0.65.
+  const MapModel m;
+  EXPECT_NEAR(m.mean_map(0.25), 0.2, 0.07);
+  EXPECT_NEAR(m.mean_map(0.50), 0.45, 0.08);
+  EXPECT_NEAR(m.mean_map(1.00), 0.65, 0.05);
+}
+
+TEST(MapModel, StaysInUnitInterval) {
+  const MapModel m;
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = m.sample_map(0.05 + 0.9 * rng.uniform(), rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(MapModel, SampleUnbiased) {
+  const MapModel m;
+  Rng rng(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(m.sample_map(0.6, rng));
+  EXPECT_NEAR(s.mean(), m.mean_map(0.6), 0.005);
+  EXPECT_NEAR(s.stddev(), m.params().noise_stddev, 0.005);
+}
+
+TEST(MapModel, MinEtaForTargetIsConsistent) {
+  const MapModel m;
+  const double eta = m.min_eta_for_map(0.5);
+  EXPECT_GE(m.mean_map(eta), 0.5);
+  if (eta > 0.002) {
+    EXPECT_LT(m.mean_map(eta - 0.002), 0.5);
+  }
+  // Targets beyond the detector's ceiling are unreachable.
+  EXPECT_DOUBLE_EQ(m.min_eta_for_map(0.99), 1.0);
+}
+
+TEST(MapModel, StringentTargetNeedsHighResolution) {
+  // In the paper, rho_min = 0.6 forces near-full resolution (Fig. 1).
+  const MapModel m;
+  EXPECT_GT(m.min_eta_for_map(0.6), 0.7);
+}
+
+TEST(MapModel, InvalidInputsThrow) {
+  const MapModel m;
+  EXPECT_THROW(m.mean_map(0.0), std::invalid_argument);
+  EXPECT_THROW(m.mean_map(1.2), std::invalid_argument);
+  MapParams bad;
+  bad.max_map = 0.0;
+  EXPECT_THROW(MapModel{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::service

@@ -1,0 +1,124 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace edgebol {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), 6.2, 1e-12);
+  EXPECT_NEAR(s.variance(), variance_of(xs), 1e-12);
+  EXPECT_NEAR(s.sample_variance(), variance_of(xs) * 5.0 / 4.0, 1e-12);
+}
+
+TEST(RunningStats, MinMaxSum) {
+  RunningStats s;
+  s.add(3.0);
+  s.add(-1.0);
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.min(), -1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_NEAR(s.sum(), 9.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsJointAccumulation) {
+  RunningStats a, b, joint;
+  for (int i = 0; i < 10; ++i) {
+    a.add(i);
+    joint.add(i);
+  }
+  for (int i = 50; i < 70; ++i) {
+    b.add(i * 0.5);
+    joint.add(i * 0.5);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), joint.count());
+  EXPECT_NEAR(a.mean(), joint.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), joint.variance(), 1e-9);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.merge(b);  // merging empty changes nothing
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(5.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Percentile, MedianOfOddSample) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 50.0), 5.0);
+}
+
+TEST(Percentile, Endpoints) {
+  const std::vector<double> xs{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 9.0);
+}
+
+TEST(Percentile, ThrowsOnEmptyOrBadP) {
+  EXPECT_THROW(percentile({}, 50.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -1.0), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 101.0), std::invalid_argument);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_NEAR(v[1] - v[0], 0.1, 1e-12);
+}
+
+TEST(Linspace, SinglePoint) {
+  const auto v = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_DOUBLE_EQ(v[0], 3.0);
+}
+
+TEST(Linspace, ThrowsOnZero) {
+  EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Helpers, Clamp01) {
+  EXPECT_DOUBLE_EQ(clamp01(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(clamp01(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(clamp01(1.5), 1.0);
+}
+
+TEST(Helpers, MeanVarianceOfVector) {
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance_of({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(variance_of({2.0, 4.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace edgebol

@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace edgebol {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned) {
+  Table t({"x", "y"});
+  t.add_row({"123456", "1"});
+  std::ostringstream os;
+  t.print(os);
+  std::istringstream is(os.str());
+  std::string header, rule, row;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, DoubleRowsFormatted) {
+  Table t({"v"});
+  t.add_numeric_row({1.23456}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_NE(os.str().find("1.23"), std::string::npos);
+  EXPECT_EQ(os.str().find("1.234"), std::string::npos);
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, Counters) {
+  Table t({"a", "b", "c"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Fmt, Precision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  banner(os, "Fig. 1");
+  EXPECT_NE(os.str().find("==== Fig. 1 ===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace edgebol

@@ -1,0 +1,88 @@
+#include "telemetry/power_meter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace edgebol::telemetry {
+namespace {
+
+TEST(PowerMeter, AutoRangeSelectsSmallestCoveringRange) {
+  const PowerMeter m;
+  EXPECT_DOUBLE_EQ(m.select_range_w(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(m.select_range_w(5.5), 30.0);
+  EXPECT_DOUBLE_EQ(m.select_range_w(150.0), 300.0);
+  EXPECT_DOUBLE_EQ(m.select_range_w(9999.0), 3000.0);  // over-range clamps
+}
+
+TEST(PowerMeter, ResolutionFollowsRange) {
+  const PowerMeter m;
+  EXPECT_NEAR(m.resolution_w(5.5), 30.0 / 30000.0, 1e-12);
+  EXPECT_GT(m.resolution_w(150.0), m.resolution_w(5.5));
+}
+
+TEST(PowerMeter, ReadingsAreUnbiasedWithinSpec) {
+  const PowerMeter m;
+  Rng rng(3);
+  for (double truth : {5.2, 130.0}) {
+    RunningStats s;
+    for (int i = 0; i < 20000; ++i) s.add(m.reading_w(truth, rng));
+    EXPECT_NEAR(s.mean(), truth, 0.002 * truth + 0.01);
+    // Spread bounded by the accuracy spec (2-sigma bound) + quantization.
+    const double bound = 0.001 * truth + 0.0005 * m.select_range_w(truth);
+    EXPECT_LT(s.stddev(), bound);
+  }
+}
+
+TEST(PowerMeter, ReadingsAreQuantized) {
+  PowerMeterSpec spec;
+  spec.reading_accuracy_frac = 0.0;
+  spec.range_accuracy_frac = 0.0;
+  spec.counts_per_range = 100.0;  // coarse display for the test
+  const PowerMeter m(spec);
+  Rng rng(5);
+  const double lsb = m.select_range_w(5.0) / 100.0;
+  const double r = m.reading_w(5.123456, rng);
+  EXPECT_NEAR(std::remainder(r, lsb), 0.0, 1e-12);
+}
+
+TEST(PowerMeter, IntegrationAveragesTheSignal) {
+  const PowerMeter m;
+  Rng rng(7);
+  // Square wave 100 W / 140 W with 50% duty -> mean 120 W.
+  const double avg = m.integrate_w(
+      [](double t) { return std::fmod(t, 0.2) < 0.1 ? 100.0 : 140.0; }, 10.0,
+      rng);
+  EXPECT_NEAR(avg, 120.0, 2.5);
+}
+
+TEST(PowerMeter, IntegrationUsesAtLeastOneSample) {
+  const PowerMeter m;
+  Rng rng(9);
+  EXPECT_NEAR(m.integrate_w([](double) { return 50.0; }, 0.01, rng), 50.0,
+              0.5);
+}
+
+TEST(PowerMeter, Validation) {
+  PowerMeterSpec bad;
+  bad.ranges_w = {};
+  EXPECT_THROW(PowerMeter{bad}, std::invalid_argument);
+  bad = PowerMeterSpec{};
+  bad.ranges_w = {30.0, 3.0};
+  EXPECT_THROW(PowerMeter{bad}, std::invalid_argument);
+  bad = PowerMeterSpec{};
+  bad.counts_per_range = 0.0;
+  EXPECT_THROW(PowerMeter{bad}, std::invalid_argument);
+
+  const PowerMeter m;
+  Rng rng(1);
+  EXPECT_THROW(m.reading_w(-1.0, rng), std::invalid_argument);
+  EXPECT_THROW(m.integrate_w([](double) { return 1.0; }, 0.0, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::telemetry

@@ -1,0 +1,195 @@
+// Property tests encoding the paper's §3 measurement study: every qualitative
+// trade-off reported in Figs. 1-6 must hold on the simulator's noise-free
+// expectations, across parameterized sweeps of the other policies.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "env/scenarios.hpp"
+#include "env/testbed.hpp"
+
+namespace edgebol::env {
+namespace {
+
+Measurement expect_at(Testbed& tb, double res, double air, double gpu,
+                      int mcs) {
+  ControlPolicy p;
+  p.resolution = res;
+  p.airtime = air;
+  p.gpu_speed = gpu;
+  p.mcs_cap = mcs;
+  return tb.expected(p);
+}
+
+// ---------------------------------------------------------------- Fig. 1 --
+
+class ResolutionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ResolutionSweep, HigherResolutionMeansHigherDelay) {
+  Testbed tb = make_static_testbed(35.0);
+  const double eta = GetParam();
+  const Measurement lo = expect_at(tb, eta, 1.0, 1.0, 20);
+  const Measurement hi = expect_at(tb, eta + 0.25, 1.0, 1.0, 20);
+  EXPECT_GT(hi.delay_s, lo.delay_s) << "eta " << eta;
+}
+
+TEST_P(ResolutionSweep, HigherResolutionMeansHigherPrecision) {
+  Testbed tb = make_static_testbed(35.0);
+  const double eta = GetParam();
+  EXPECT_GT(expect_at(tb, eta + 0.25, 1.0, 1.0, 20).map,
+            expect_at(tb, eta, 1.0, 1.0, 20).map);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig1, ResolutionSweep,
+                         ::testing::Values(0.25, 0.4, 0.5, 0.6, 0.75));
+
+// ---------------------------------------------------------------- Fig. 2 --
+
+class AirtimeSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AirtimeSweep, MoreAirtimeMeansLowerDelay) {
+  Testbed tb = make_static_testbed(35.0);
+  const double res = GetParam();
+  EXPECT_LT(expect_at(tb, res, 1.0, 1.0, 20).delay_s,
+            expect_at(tb, res, 0.2, 1.0, 20).delay_s);
+}
+
+TEST_P(AirtimeSweep, MoreAirtimeMeansHigherFrameRateAndServerPower) {
+  // "Higher airtime, higher frame rate, higher GPU resources" (Fig. 2).
+  Testbed tb = make_static_testbed(35.0);
+  const double res = GetParam();
+  const Measurement lo = expect_at(tb, res, 0.2, 1.0, 20);
+  const Measurement hi = expect_at(tb, res, 1.0, 1.0, 20);
+  EXPECT_GT(hi.total_frame_rate_hz, lo.total_frame_rate_hz);
+  EXPECT_GT(hi.server_power_w, lo.server_power_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig2, AirtimeSweep,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+// ---------------------------------------------------------------- Fig. 3 --
+
+class GpuSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GpuSweep, HigherGpuSpeedCutsDelayAndRaisesPower) {
+  Testbed tb = make_static_testbed(35.0);
+  const double res = GetParam();
+  const Measurement slow = expect_at(tb, res, 1.0, 0.1, 20);
+  const Measurement fast = expect_at(tb, res, 1.0, 1.0, 20);
+  EXPECT_LT(fast.delay_s, slow.delay_s);
+  EXPECT_LT(fast.gpu_delay_s, slow.gpu_delay_s);
+  EXPECT_GT(fast.server_power_w, slow.server_power_w);
+}
+
+TEST_P(GpuSweep, LowerResolutionMeansHigherGpuDelay) {
+  // Fig. 3 (bottom): low-res frames make the detector work harder.
+  Testbed tb = make_static_testbed(35.0);
+  const double gamma = GetParam();
+  EXPECT_GT(expect_at(tb, 0.25, 1.0, gamma, 20).gpu_delay_s,
+            expect_at(tb, 1.0, 1.0, gamma, 20).gpu_delay_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig3, GpuSweep,
+                         ::testing::Values(0.1, 0.45, 0.75, 1.0));
+
+// ---------------------------------------------------------------- Fig. 4 --
+
+TEST(Fig4, HigherPrecisionCostsLessServerPower) {
+  // Counter-intuitive headline of Fig. 4: higher-res images yield higher
+  // mAP *and* lower server power (fewer, easier inferences).
+  Testbed tb = make_static_testbed(35.0);
+  const Measurement lo = expect_at(tb, 0.25, 1.0, 1.0, 20);
+  const Measurement hi = expect_at(tb, 1.0, 1.0, 1.0, 20);
+  EXPECT_GT(hi.map, lo.map);
+  EXPECT_LT(hi.server_power_w, lo.server_power_w);
+}
+
+TEST(Fig4, ServerPowerSpansPrototypeRange) {
+  Testbed tb = make_static_testbed(35.0);
+  const Measurement lo = expect_at(tb, 1.0, 1.0, 1.0, 20);
+  const Measurement hi = expect_at(tb, 0.25, 1.0, 1.0, 20);
+  EXPECT_GT(lo.server_power_w, 90.0);
+  EXPECT_LT(hi.server_power_w, 200.0);
+  EXPECT_GT(hi.server_power_w - lo.server_power_w, 15.0);
+}
+
+// ---------------------------------------------------------------- Fig. 5 --
+
+class McsSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(McsSweep, HigherMcsMeansLowerBsPowerAtLowLoad) {
+  Testbed tb = make_static_testbed(35.0);
+  const double res = GetParam();
+  const Measurement low_mcs = expect_at(tb, res, 1.0, 1.0, 6);
+  const Measurement high_mcs = expect_at(tb, res, 1.0, 1.0, 20);
+  EXPECT_LT(high_mcs.bs_power_w, low_mcs.bs_power_w) << "res " << res;
+}
+
+TEST_P(McsSweep, LowerResolutionMeansLowerBsPower) {
+  Testbed tb = make_static_testbed(35.0);
+  (void)GetParam();
+  EXPECT_LT(expect_at(tb, 0.25, 1.0, 1.0, 20).bs_power_w,
+            expect_at(tb, 1.0, 1.0, 1.0, 20).bs_power_w);
+}
+
+TEST_P(McsSweep, MoreAirtimeMeansHigherBsPower) {
+  Testbed tb = make_static_testbed(35.0);
+  const double res = GetParam();
+  EXPECT_GT(expect_at(tb, res, 1.0, 1.0, 20).bs_power_w,
+            expect_at(tb, res, 0.2, 1.0, 20).bs_power_w);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig5, McsSweep, ::testing::Values(0.5, 0.75, 1.0));
+
+TEST(Fig5, BsPowerInPrototypeRange) {
+  Testbed tb = make_static_testbed(35.0);
+  const Measurement m = expect_at(tb, 1.0, 1.0, 1.0, 20);
+  EXPECT_GT(m.bs_power_w, 4.5);
+  EXPECT_LT(m.bs_power_w, 7.5);
+}
+
+// ---------------------------------------------------------------- Fig. 6 --
+
+TEST(Fig6, TenXLoadInvertsTheMcsEffectForHighResolution) {
+  Testbed tb = make_static_testbed(35.0, high_load_config(10.0));
+  const Measurement low_mcs = expect_at(tb, 1.0, 1.0, 1.0, 10);
+  const Measurement high_mcs = expect_at(tb, 1.0, 1.0, 1.0, 20);
+  // Saturated BBU: duty pinned, so higher MCS now costs more.
+  EXPECT_GT(high_mcs.bs_power_w, low_mcs.bs_power_w);
+}
+
+TEST(Fig6, LowResolutionKeepsTheLowLoadOrdering) {
+  Testbed tb = make_static_testbed(35.0, high_load_config(10.0));
+  const Measurement low_mcs = expect_at(tb, 0.25, 1.0, 1.0, 8);
+  const Measurement high_mcs = expect_at(tb, 0.25, 1.0, 1.0, 20);
+  EXPECT_LT(high_mcs.bs_power_w, low_mcs.bs_power_w);
+}
+
+TEST(Fig6, TenXLoadRaisesBsPowerOverall) {
+  Testbed base = make_static_testbed(35.0);
+  Testbed loaded = make_static_testbed(35.0, high_load_config(10.0));
+  EXPECT_GT(expect_at(loaded, 1.0, 1.0, 1.0, 20).bs_power_w,
+            expect_at(base, 1.0, 1.0, 1.0, 20).bs_power_w);
+}
+
+// --------------------------------------------------------------- context --
+
+TEST(Context, PoorChannelRaisesDelay) {
+  Testbed good = make_static_testbed(35.0);
+  Testbed poor = make_static_testbed(8.0);
+  EXPECT_GT(expect_at(poor, 1.0, 1.0, 1.0, 20).delay_s,
+            expect_at(good, 1.0, 1.0, 1.0, 20).delay_s);
+}
+
+TEST(Context, MoreUsersRaiseWorstDelayAndServerPower) {
+  Testbed one = make_heterogeneous_testbed(1);
+  Testbed six = make_heterogeneous_testbed(6);
+  const Measurement m1 = expect_at(one, 1.0, 1.0, 1.0, 20);
+  const Measurement m6 = expect_at(six, 1.0, 1.0, 1.0, 20);
+  EXPECT_GT(m6.delay_s, m1.delay_s);
+  EXPECT_GT(m6.server_power_w, m1.server_power_w);
+}
+
+}  // namespace
+}  // namespace edgebol::env

@@ -1,0 +1,81 @@
+#include "ran/vbs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ran/cqi.hpp"
+
+namespace edgebol::ran {
+namespace {
+
+TEST(Vbs, DefaultPolicyIsPermissive) {
+  Vbs vbs;
+  EXPECT_DOUBLE_EQ(vbs.policy().airtime, 1.0);
+  EXPECT_EQ(vbs.policy().mcs_cap, kMaxUlMcs);
+}
+
+TEST(Vbs, ObserveUeRunsLinkAdaptationChain) {
+  Vbs vbs;
+  vbs.set_policy({1.0, kMaxUlMcs});
+  const UeRadioReport r = vbs.observe_ue(35.0, 1);
+  EXPECT_EQ(r.cqi, 15);
+  EXPECT_EQ(r.eff_mcs, kMaxUlMcs);
+  EXPECT_NEAR(r.phy_rate_bps, peak_rate_bps(kMaxUlMcs, kPrbs20MHz), 1.0);
+  EXPECT_NEAR(r.app_rate_bps,
+              r.phy_rate_bps * vbs.config().protocol_efficiency, 1.0);
+}
+
+TEST(Vbs, McsPolicyCapApplies) {
+  Vbs vbs;
+  vbs.set_policy({1.0, 6});
+  EXPECT_EQ(vbs.observe_ue(35.0, 1).eff_mcs, 6);
+}
+
+TEST(Vbs, PoorChannelLimitsMcsBelowPolicy) {
+  Vbs vbs;
+  vbs.set_policy({1.0, kMaxUlMcs});
+  const UeRadioReport r = vbs.observe_ue(0.0, 1);
+  EXPECT_LT(r.eff_mcs, kMaxUlMcs);
+  EXPECT_EQ(r.eff_mcs, cqi_to_max_mcs(snr_to_cqi(0.0)));
+}
+
+TEST(Vbs, AirtimeAndSharingScaleRates) {
+  Vbs vbs;
+  vbs.set_policy({0.5, kMaxUlMcs});
+  const double half = vbs.observe_ue(35.0, 1).app_rate_bps;
+  vbs.set_policy({1.0, kMaxUlMcs});
+  const double full = vbs.observe_ue(35.0, 1).app_rate_bps;
+  const double shared = vbs.observe_ue(35.0, 2).app_rate_bps;
+  EXPECT_NEAR(half, full / 2.0, 1.0);
+  EXPECT_NEAR(shared, full / 2.0, 1.0);
+}
+
+TEST(Vbs, PowerDelegatesToModel) {
+  Vbs vbs;
+  EXPECT_DOUBLE_EQ(vbs.mean_power_w(0.5, 2.0),
+                   vbs.power_model().mean_power_w(0.5, 2.0));
+}
+
+TEST(Vbs, InvalidPolicyThrows) {
+  Vbs vbs;
+  EXPECT_THROW(vbs.set_policy({0.0, 10}), std::invalid_argument);
+  EXPECT_THROW(vbs.set_policy({1.2, 10}), std::invalid_argument);
+  EXPECT_THROW(vbs.set_policy({0.5, -1}), std::invalid_argument);
+  EXPECT_THROW(vbs.set_policy({0.5, kMaxUlMcs + 1}), std::invalid_argument);
+}
+
+TEST(Vbs, InvalidConfigThrows) {
+  VbsConfig bad;
+  bad.nprb = 0;
+  EXPECT_THROW(Vbs{bad}, std::invalid_argument);
+  bad = VbsConfig{};
+  bad.protocol_efficiency = 0.0;
+  EXPECT_THROW(Vbs{bad}, std::invalid_argument);
+  bad = VbsConfig{};
+  bad.grant_latency_s = -0.1;
+  EXPECT_THROW(Vbs{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace edgebol::ran
