@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alt_formulation.dir/bench_alt_formulation.cpp.o"
+  "CMakeFiles/bench_alt_formulation.dir/bench_alt_formulation.cpp.o.d"
+  "bench_alt_formulation"
+  "bench_alt_formulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alt_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_delay_vs_serverpower.dir/bench_fig02_delay_vs_serverpower.cpp.o"
+  "CMakeFiles/bench_fig02_delay_vs_serverpower.dir/bench_fig02_delay_vs_serverpower.cpp.o.d"
+  "bench_fig02_delay_vs_serverpower"
+  "bench_fig02_delay_vs_serverpower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_delay_vs_serverpower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig02_delay_vs_serverpower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_delay_vs_serverpower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_gpu_policies.dir/bench_fig03_gpu_policies.cpp.o"
+  "CMakeFiles/bench_fig03_gpu_policies.dir/bench_fig03_gpu_policies.cpp.o.d"
+  "bench_fig03_gpu_policies"
+  "bench_fig03_gpu_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_gpu_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_bs_power_10x.dir/bench_fig06_bs_power_10x.cpp.o"
+  "CMakeFiles/bench_fig06_bs_power_10x.dir/bench_fig06_bs_power_10x.cpp.o.d"
+  "bench_fig06_bs_power_10x"
+  "bench_fig06_bs_power_10x.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_bs_power_10x.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

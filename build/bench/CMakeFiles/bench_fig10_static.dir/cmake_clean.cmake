@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_static.dir/bench_fig10_static.cpp.o"
+  "CMakeFiles/bench_fig10_static.dir/bench_fig10_static.cpp.o.d"
+  "bench_fig10_static"
+  "bench_fig10_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_vs_ddpg.dir/bench_fig14_vs_ddpg.cpp.o"
+  "CMakeFiles/bench_fig14_vs_ddpg.dir/bench_fig14_vs_ddpg.cpp.o.d"
+  "bench_fig14_vs_ddpg"
+  "bench_fig14_vs_ddpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_vs_ddpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

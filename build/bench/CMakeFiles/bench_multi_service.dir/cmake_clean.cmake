@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_service.dir/bench_multi_service.cpp.o"
+  "CMakeFiles/bench_multi_service.dir/bench_multi_service.cpp.o.d"
+  "bench_multi_service"
+  "bench_multi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

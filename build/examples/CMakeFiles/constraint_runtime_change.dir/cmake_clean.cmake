@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_runtime_change.dir/constraint_runtime_change.cpp.o"
+  "CMakeFiles/constraint_runtime_change.dir/constraint_runtime_change.cpp.o.d"
+  "constraint_runtime_change"
+  "constraint_runtime_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_runtime_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fit_hyperparameters.dir/fit_hyperparameters.cpp.o"
+  "CMakeFiles/fit_hyperparameters.dir/fit_hyperparameters.cpp.o.d"
+  "fit_hyperparameters"
+  "fit_hyperparameters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fit_hyperparameters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_service_slices.dir/multi_service_slices.cpp.o"
+  "CMakeFiles/multi_service_slices.dir/multi_service_slices.cpp.o.d"
+  "multi_service_slices"
+  "multi_service_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_service_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oran_integration.dir/oran_integration.cpp.o"
+  "CMakeFiles/oran_integration.dir/oran_integration.cpp.o.d"
+  "oran_integration"
+  "oran_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oran_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

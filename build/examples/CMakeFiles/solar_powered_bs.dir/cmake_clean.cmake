@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solar_powered_bs.dir/solar_powered_bs.cpp.o"
+  "CMakeFiles/solar_powered_bs.dir/solar_powered_bs.cpp.o.d"
+  "solar_powered_bs"
+  "solar_powered_bs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solar_powered_bs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for solar_powered_bs.
+# This may be replaced when dependencies are built.

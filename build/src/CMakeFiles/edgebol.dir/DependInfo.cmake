@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ddpg.cpp" "src/CMakeFiles/edgebol.dir/baselines/ddpg.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/baselines/ddpg.cpp.o.d"
+  "/root/repo/src/baselines/egreedy.cpp" "src/CMakeFiles/edgebol.dir/baselines/egreedy.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/baselines/egreedy.cpp.o.d"
+  "/root/repo/src/baselines/linucb.cpp" "src/CMakeFiles/edgebol.dir/baselines/linucb.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/baselines/linucb.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/CMakeFiles/edgebol.dir/baselines/oracle.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/baselines/oracle.cpp.o.d"
+  "/root/repo/src/baselines/random_search.cpp" "src/CMakeFiles/edgebol.dir/baselines/random_search.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/baselines/random_search.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/edgebol.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/edgebol.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/edgebol.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/acquisition.cpp" "src/CMakeFiles/edgebol.dir/core/acquisition.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/acquisition.cpp.o.d"
+  "/root/repo/src/core/edgebol.cpp" "src/CMakeFiles/edgebol.dir/core/edgebol.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/edgebol.cpp.o.d"
+  "/root/repo/src/core/formulations.cpp" "src/CMakeFiles/edgebol.dir/core/formulations.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/formulations.cpp.o.d"
+  "/root/repo/src/core/generic_bol.cpp" "src/CMakeFiles/edgebol.dir/core/generic_bol.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/generic_bol.cpp.o.d"
+  "/root/repo/src/core/multi_service_bol.cpp" "src/CMakeFiles/edgebol.dir/core/multi_service_bol.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/multi_service_bol.cpp.o.d"
+  "/root/repo/src/core/orchestrator.cpp" "src/CMakeFiles/edgebol.dir/core/orchestrator.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/orchestrator.cpp.o.d"
+  "/root/repo/src/core/safe_set.cpp" "src/CMakeFiles/edgebol.dir/core/safe_set.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/core/safe_set.cpp.o.d"
+  "/root/repo/src/edge/gpu_model.cpp" "src/CMakeFiles/edgebol.dir/edge/gpu_model.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/edge/gpu_model.cpp.o.d"
+  "/root/repo/src/edge/server.cpp" "src/CMakeFiles/edgebol.dir/edge/server.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/edge/server.cpp.o.d"
+  "/root/repo/src/env/control_grid.cpp" "src/CMakeFiles/edgebol.dir/env/control_grid.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/env/control_grid.cpp.o.d"
+  "/root/repo/src/env/event_sim.cpp" "src/CMakeFiles/edgebol.dir/env/event_sim.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/env/event_sim.cpp.o.d"
+  "/root/repo/src/env/multi_service.cpp" "src/CMakeFiles/edgebol.dir/env/multi_service.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/env/multi_service.cpp.o.d"
+  "/root/repo/src/env/scenarios.cpp" "src/CMakeFiles/edgebol.dir/env/scenarios.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/env/scenarios.cpp.o.d"
+  "/root/repo/src/env/testbed.cpp" "src/CMakeFiles/edgebol.dir/env/testbed.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/env/testbed.cpp.o.d"
+  "/root/repo/src/gp/gp_regressor.cpp" "src/CMakeFiles/edgebol.dir/gp/gp_regressor.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/gp/gp_regressor.cpp.o.d"
+  "/root/repo/src/gp/hyperopt.cpp" "src/CMakeFiles/edgebol.dir/gp/hyperopt.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/gp/hyperopt.cpp.o.d"
+  "/root/repo/src/gp/kernel.cpp" "src/CMakeFiles/edgebol.dir/gp/kernel.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/gp/kernel.cpp.o.d"
+  "/root/repo/src/linalg/cholesky.cpp" "src/CMakeFiles/edgebol.dir/linalg/cholesky.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/linalg/cholesky.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/edgebol.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/nn/adam.cpp" "src/CMakeFiles/edgebol.dir/nn/adam.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/CMakeFiles/edgebol.dir/nn/mlp.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/nn/mlp.cpp.o.d"
+  "/root/repo/src/oran/apps.cpp" "src/CMakeFiles/edgebol.dir/oran/apps.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/oran/apps.cpp.o.d"
+  "/root/repo/src/oran/messages.cpp" "src/CMakeFiles/edgebol.dir/oran/messages.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/oran/messages.cpp.o.d"
+  "/root/repo/src/oran/oran_env.cpp" "src/CMakeFiles/edgebol.dir/oran/oran_env.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/oran/oran_env.cpp.o.d"
+  "/root/repo/src/oran/ric.cpp" "src/CMakeFiles/edgebol.dir/oran/ric.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/oran/ric.cpp.o.d"
+  "/root/repo/src/ran/bs_power_model.cpp" "src/CMakeFiles/edgebol.dir/ran/bs_power_model.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/bs_power_model.cpp.o.d"
+  "/root/repo/src/ran/channel.cpp" "src/CMakeFiles/edgebol.dir/ran/channel.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/channel.cpp.o.d"
+  "/root/repo/src/ran/cqi.cpp" "src/CMakeFiles/edgebol.dir/ran/cqi.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/cqi.cpp.o.d"
+  "/root/repo/src/ran/harq.cpp" "src/CMakeFiles/edgebol.dir/ran/harq.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/harq.cpp.o.d"
+  "/root/repo/src/ran/mcs_tables.cpp" "src/CMakeFiles/edgebol.dir/ran/mcs_tables.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/mcs_tables.cpp.o.d"
+  "/root/repo/src/ran/scheduler.cpp" "src/CMakeFiles/edgebol.dir/ran/scheduler.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/scheduler.cpp.o.d"
+  "/root/repo/src/ran/vbs.cpp" "src/CMakeFiles/edgebol.dir/ran/vbs.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/ran/vbs.cpp.o.d"
+  "/root/repo/src/service/confidence_model.cpp" "src/CMakeFiles/edgebol.dir/service/confidence_model.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/service/confidence_model.cpp.o.d"
+  "/root/repo/src/service/image_source.cpp" "src/CMakeFiles/edgebol.dir/service/image_source.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/service/image_source.cpp.o.d"
+  "/root/repo/src/service/map_model.cpp" "src/CMakeFiles/edgebol.dir/service/map_model.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/service/map_model.cpp.o.d"
+  "/root/repo/src/service/pipeline.cpp" "src/CMakeFiles/edgebol.dir/service/pipeline.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/service/pipeline.cpp.o.d"
+  "/root/repo/src/telemetry/power_meter.cpp" "src/CMakeFiles/edgebol.dir/telemetry/power_meter.cpp.o" "gcc" "src/CMakeFiles/edgebol.dir/telemetry/power_meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

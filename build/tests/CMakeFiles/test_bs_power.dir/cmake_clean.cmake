@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bs_power.dir/test_bs_power.cpp.o"
+  "CMakeFiles/test_bs_power.dir/test_bs_power.cpp.o.d"
+  "test_bs_power"
+  "test_bs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confidence.dir/test_confidence.cpp.o"
+  "CMakeFiles/test_confidence.dir/test_confidence.cpp.o.d"
+  "test_confidence"
+  "test_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edgebol.dir/test_edgebol.cpp.o"
+  "CMakeFiles/test_edgebol.dir/test_edgebol.cpp.o.d"
+  "test_edgebol"
+  "test_edgebol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edgebol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_generic_bol.dir/test_generic_bol.cpp.o"
+  "CMakeFiles/test_generic_bol.dir/test_generic_bol.cpp.o.d"
+  "test_generic_bol"
+  "test_generic_bol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_generic_bol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

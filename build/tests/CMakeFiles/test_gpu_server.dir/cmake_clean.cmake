@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_server.dir/test_gpu_server.cpp.o"
+  "CMakeFiles/test_gpu_server.dir/test_gpu_server.cpp.o.d"
+  "test_gpu_server"
+  "test_gpu_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

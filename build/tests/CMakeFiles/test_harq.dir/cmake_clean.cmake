@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harq.dir/test_harq.cpp.o"
+  "CMakeFiles/test_harq.dir/test_harq.cpp.o.d"
+  "test_harq"
+  "test_harq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hyperopt.dir/test_hyperopt.cpp.o"
+  "CMakeFiles/test_hyperopt.dir/test_hyperopt.cpp.o.d"
+  "test_hyperopt"
+  "test_hyperopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hyperopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

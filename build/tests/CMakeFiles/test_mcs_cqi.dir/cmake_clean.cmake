@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcs_cqi.dir/test_mcs_cqi.cpp.o"
+  "CMakeFiles/test_mcs_cqi.dir/test_mcs_cqi.cpp.o.d"
+  "test_mcs_cqi"
+  "test_mcs_cqi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcs_cqi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_mcs_cqi.
+# This may be replaced when dependencies are built.

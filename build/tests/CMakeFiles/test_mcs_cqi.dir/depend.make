@@ -1,0 +1,2 @@
+# Empty dependencies file for test_mcs_cqi.
+# This may be replaced when dependencies are built.

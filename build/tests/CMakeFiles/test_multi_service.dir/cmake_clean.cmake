@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_service.dir/test_multi_service.cpp.o"
+  "CMakeFiles/test_multi_service.dir/test_multi_service.cpp.o.d"
+  "test_multi_service"
+  "test_multi_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oran.dir/test_oran.cpp.o"
+  "CMakeFiles/test_oran.dir/test_oran.cpp.o.d"
+  "test_oran"
+  "test_oran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

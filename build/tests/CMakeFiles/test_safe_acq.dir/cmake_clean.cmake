@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safe_acq.dir/test_safe_acq.cpp.o"
+  "CMakeFiles/test_safe_acq.dir/test_safe_acq.cpp.o.d"
+  "test_safe_acq"
+  "test_safe_acq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safe_acq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tradeoffs.dir/test_tradeoffs.cpp.o"
+  "CMakeFiles/test_tradeoffs.dir/test_tradeoffs.cpp.o.d"
+  "test_tradeoffs"
+  "test_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vbs.dir/test_vbs.cpp.o"
+  "CMakeFiles/test_vbs.dir/test_vbs.cpp.o.d"
+  "test_vbs"
+  "test_vbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
