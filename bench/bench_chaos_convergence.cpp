@@ -1,0 +1,132 @@
+// Chaos convergence: the EdgeBOL loop with the resilience layer on, run
+// through the O-RAN control plane twice — once fault-free and once under a
+// seeded FaultPlan (frame loss/delay/duplication/corruption on every hop,
+// blanked and spiked telemetry, and a mid-run GPU thermal-throttle event).
+// Prints both regret/violation trajectories plus the injector's and the
+// agent's resilience tallies. The paper's loop assumes clean feedback; this
+// bench quantifies how little the hardened loop loses under realistic
+// hostility (usage: bench_chaos_convergence [periods]).
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace edgebol;
+
+struct ChaosTrace {
+  std::vector<double> cost;          // NaN when the period's KPI was lost
+  std::vector<int> violations;       // cumulative, with the noise slack
+  core::RunSummary summary{};
+  core::ResilienceStats resilience{};
+  std::size_t delivery_failures = 0;
+  std::size_t kpi_losses = 0;
+};
+
+ChaosTrace run(fault::FaultInjector* injector, int periods) {
+  env::Testbed tb = env::make_static_testbed(35.0);
+  oran::OranManagedTestbed managed(tb);
+  if (injector != nullptr) managed.enable_fault_injection(injector);
+
+  core::EdgeBolConfig cfg;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints = {0.4, 0.5};
+  cfg.resilience.enabled = true;
+  core::EdgeBol agent(env::ControlGrid{}, cfg);
+
+  ChaosTrace trace;
+  int violations = 0;
+  core::Orchestrator orch(agent, {.keep_history = false});
+  orch.set_callback([&](const core::PeriodRecord& rec) {
+    violations += rec.delay_violated || rec.map_violated;
+    trace.cost.push_back(rec.cost);
+    trace.violations.push_back(violations);
+  });
+  trace.summary = orch.run(managed, periods);
+  trace.resilience = agent.resilience_stats();
+  trace.delivery_failures = managed.policy_delivery_failures();
+  trace.kpi_losses = managed.kpi_losses();
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace edgebol;
+  using namespace edgebol::bench;
+
+  const int periods = argc > 1 ? std::max(10, std::atoi(argv[1])) : 300;
+
+  fault::FaultPlan plan;
+  plan.seed = 77;
+  plan.a1 = {0.10, 0.02, 0.02, 0.03};
+  plan.e2 = {0.10, 0.03, 0.03, 0.04};
+  plan.o1 = {0.10, 0.03, 0.03, 0.04};
+  plan.telemetry.power_blank = 0.08;
+  plan.telemetry.power_spike = 0.04;
+  plan.telemetry.map_dropout = 0.05;
+  plan.telemetry.delay_dropout = 0.05;
+  plan.events.push_back(
+      {fault::EnvEventKind::kGpuThermalThrottle, periods / 2, 15, 0.6});
+
+  banner(std::cout, "Chaos convergence: faults off vs on (same agent config)");
+  std::cout << "(" << periods << " periods; >=10% frame loss on every hop, "
+            << "KPI dropout, GPU throttle at t=" << periods / 2 << ")\n\n";
+
+  const ChaosTrace clean = run(nullptr, periods);
+  fault::FaultInjector injector(plan);
+  const ChaosTrace faulted = run(&injector, periods);
+
+  Table t({"t", "cost_clean", "cost_faulted", "cumviol_clean",
+           "cumviol_faulted"});
+  for (int i : {0, 2, 5, 10, 15, 20, 25, 35, 50, 75, 100, 150, 200, 250,
+                periods - 1}) {
+    if (i >= periods) continue;
+    t.add_row({fmt(i, 0), fmt(clean.cost[i], 1),
+               std::isfinite(faulted.cost[i]) ? fmt(faulted.cost[i], 1)
+                                              : "kpi-lost",
+               fmt(clean.violations[i], 0), fmt(faulted.violations[i], 0)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n-- run summaries --\n";
+  Table s({"run", "tail_mean_cost", "violation_rate", "final_safe_set"});
+  s.add_row({"clean", fmt(clean.summary.tail_mean_cost, 1),
+             fmt(clean.summary.violation_rate, 3),
+             fmt(static_cast<double>(clean.summary.final_safe_set_size), 0)});
+  s.add_row({"faulted", fmt(faulted.summary.tail_mean_cost, 1),
+             fmt(faulted.summary.violation_rate, 3),
+             fmt(static_cast<double>(faulted.summary.final_safe_set_size), 0)});
+  s.print(std::cout);
+
+  const fault::FaultStats& fs = injector.stats();
+  std::cout << "\n-- injected faults --\n"
+            << "frames dropped/delayed/duplicated/corrupted: "
+            << fs.frames_dropped << "/" << fs.frames_delayed << "/"
+            << fs.frames_duplicated << "/" << fs.frames_corrupted << "\n"
+            << "power blanks/spikes: " << fs.power_blanks << "/"
+            << fs.power_spikes << ", mAP dropouts: " << fs.map_dropouts
+            << ", delay dropouts: " << fs.delay_dropouts
+            << ", perturbed periods: " << fs.event_periods << "\n";
+
+  const core::ResilienceStats& rs = faulted.resilience;
+  std::cout << "\n-- resilience response (faulted run) --\n"
+            << "KPIs rejected (nan/range/outlier): " << rs.kpi_rejected_nan
+            << "/" << rs.kpi_rejected_range << "/" << rs.kpi_rejected_outlier
+            << "\n"
+            << "policy delivery failures: " << faulted.delivery_failures
+            << ", KPI losses: " << faulted.kpi_losses
+            << ", GP update failures: " << rs.gp_update_failures << "\n"
+            << "watchdog trips: " << rs.watchdog_trips
+            << " (hold selects: " << rs.watchdog_hold_selects
+            << "), last-safe fallbacks: " << rs.last_safe_fallbacks << "\n";
+
+  std::cout << "\nShape check: the faulted run converges to a tail cost close "
+               "to the clean run's, with a violation rate within 2x; every "
+               "injected frame fault shows up in the fabric counters rather "
+               "than as a crash.\n";
+  return 0;
+}

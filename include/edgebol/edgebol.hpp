@@ -5,6 +5,7 @@
 //
 // Layering (bottom to top):
 //   common/linalg  -> gp            (Gaussian-process online regression)
+//   fault                           (deterministic chaos injection)
 //   ran/edge/service -> env         (the calibrated testbed simulator)
 //   oran                            (A1/E2/O1 control-plane plumbing)
 //   core                            (the EdgeBOL algorithm itself)
@@ -36,6 +37,7 @@
 #include "env/policy.hpp"
 #include "env/scenarios.hpp"
 #include "env/testbed.hpp"
+#include "fault/fault.hpp"
 #include "gp/gp_regressor.hpp"
 #include "gp/hyperopt.hpp"
 #include "gp/kernel.hpp"

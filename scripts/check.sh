@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus an ASan+UBSan pass over the test suite.
+#
+#   scripts/check.sh            # tier-1 + sanitizers
+#   scripts/check.sh --fast     # tier-1 only
+#
+# Both builds live under build/ and build-asan/ so repeat runs are
+# incremental.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== skipped sanitizer pass (--fast) =="
+  exit 0
+fi
+
+echo "== sanitizers: ASan + UBSan test pass =="
+cmake -B build-asan -S . -DEDGEBOL_SANITIZE=ON >/dev/null
+cmake --build build-asan -j >/dev/null
+UBSAN_OPTIONS=halt_on_error=1 ASAN_OPTIONS=detect_leaks=0 \
+  ctest --test-dir build-asan --output-on-failure -j "$(nproc)"
+
+echo "== all checks passed =="

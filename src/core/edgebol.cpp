@@ -119,7 +119,82 @@ void EdgeBol::ensure_tracking(const env::Context& context) {
   tracked_context_features_ = f;
 }
 
+bool EdgeBol::violates_constraints(const env::Measurement& m) const {
+  const ResilienceConfig& r = cfg_.resilience;
+  return m.delay_s > cfg_.constraints.d_max_s * r.delay_slack ||
+         m.map < cfg_.constraints.map_min - r.map_slack;
+}
+
+std::size_t EdgeBol::conservative_index() const {
+  // The most conservative assumed-safe control: the S0 member with the
+  // highest performance headroom (it buys constraint satisfaction at the
+  // highest power cost).
+  std::size_t best = s0_.front();
+  double best_perf = -1.0;
+  for (std::size_t i : s0_) {
+    const env::ControlPolicy& p = grid_.policy(i);
+    const double perf = p.resolution + p.airtime + p.gpu_speed +
+                        static_cast<double>(p.mcs_cap) / ran::kMaxUlMcs;
+    if (perf > best_perf) {
+      best_perf = perf;
+      best = i;
+    }
+  }
+  return best;
+}
+
+bool EdgeBol::validate_measurement(const env::Measurement& m) {
+  const ResilienceConfig& r = cfg_.resilience;
+  const double values[] = {m.delay_s, m.map, m.server_power_w, m.bs_power_w};
+  for (double v : values) {
+    if (!std::isfinite(v)) {
+      ++resilience_stats_.kpi_rejected_nan;
+      return false;
+    }
+  }
+  if (m.delay_s < 0.0 || m.delay_s > r.max_delay_s || m.map < 0.0 ||
+      m.map > 1.0 || m.server_power_w < 0.0 ||
+      m.server_power_w > r.max_power_w || m.bs_power_w < 0.0 ||
+      m.bs_power_w > r.max_power_w) {
+    ++resilience_stats_.kpi_rejected_range;
+    return false;
+  }
+  // Statistical outlier gate against the accepted history: catches meter
+  // glitches that stay inside the physical ranges.
+  const RunningStats* hist[] = {&accepted_delay_, &accepted_map_,
+                                &accepted_server_power_, &accepted_bs_power_};
+  for (std::size_t k = 0; k < 4; ++k) {
+    const RunningStats& h = *hist[k];
+    if (h.count() < r.outlier_min_samples) continue;
+    const double sd = h.stddev();
+    if (sd <= 1e-9) continue;
+    if (std::abs(values[k] - h.mean()) > r.outlier_z * sd) {
+      ++resilience_stats_.kpi_rejected_outlier;
+      return false;
+    }
+  }
+  accepted_delay_.add(m.delay_s);
+  accepted_map_.add(m.map);
+  accepted_server_power_.add(m.server_power_w);
+  accepted_bs_power_.add(m.bs_power_w);
+  return true;
+}
+
 Decision EdgeBol::select(const env::Context& context) {
+  if (cfg_.resilience.enabled && watchdog_hold_remaining_ > 0) {
+    // Watchdog rollback in force: hold the conservative control while the
+    // surrogates keep learning from whatever valid KPIs arrive.
+    --watchdog_hold_remaining_;
+    ++resilience_stats_.watchdog_hold_selects;
+    Decision dec;
+    dec.policy_index =
+        last_safe_index_.value_or(conservative_index());
+    dec.policy = grid_.policy(dec.policy_index);
+    dec.safe_set_size = s0_.size();
+    dec.watchdog_hold = true;
+    return dec;
+  }
+
   ensure_tracking(context);
   const std::size_t m = grid_.size();
 
@@ -171,6 +246,18 @@ Decision EdgeBol::select(const env::Context& context) {
   dec.policy = grid_.policy(dec.policy_index);
   dec.safe_set_size = safe.size();
   dec.fell_back_to_s0 = fell_back;
+
+  // The GP evidence qualified nothing: prefer the policy most recently seen
+  // to satisfy the *active* constraints over the assumed-safe S0 corner.
+  if (fell_back && cfg_.resilience.enabled &&
+      cfg_.resilience.fallback_to_last_safe && last_safe_index_ &&
+      cfg_.acquisition != AcquisitionKind::kGlobalLcb &&
+      *last_safe_index_ != dec.policy_index) {
+    dec.policy_index = *last_safe_index_;
+    dec.policy = grid_.policy(dec.policy_index);
+    dec.used_last_safe = true;
+    ++resilience_stats_.last_safe_fallbacks;
+  }
   return dec;
 }
 
@@ -199,7 +286,35 @@ void EdgeBol::update(const env::Context& context, std::size_t policy_index,
                      const env::Measurement& measurement) {
   if (policy_index >= grid_.size())
     throw std::invalid_argument("EdgeBol::update: policy index out of range");
-  observe(context, grid_.policy(policy_index), measurement);
+  if (!cfg_.resilience.enabled) {
+    observe(context, grid_.policy(policy_index), measurement);
+    return;
+  }
+
+  // KPI validation gate: never condition the surrogates on garbage.
+  if (!validate_measurement(measurement)) return;
+
+  // Watchdog: K consecutive measured violations trip a rollback to the most
+  // conservative known-safe control for the configured hold.
+  if (violates_constraints(measurement)) {
+    if (++consecutive_violations_ >= cfg_.resilience.watchdog_violations) {
+      ++resilience_stats_.watchdog_trips;
+      watchdog_hold_remaining_ = cfg_.resilience.watchdog_hold_periods;
+      consecutive_violations_ = 0;
+    }
+  } else {
+    consecutive_violations_ = 0;
+    last_safe_index_ = policy_index;
+  }
+
+  try {
+    observe(context, grid_.policy(policy_index), measurement);
+  } catch (const std::exception&) {
+    // A failed surrogate update (e.g. a Cholesky extension that stayed
+    // non-SPD even after jitter escalation) costs one observation, not the
+    // run.
+    ++resilience_stats_.gp_update_failures;
+  }
 }
 
 void EdgeBol::add_prior_observation(const env::Context& context,

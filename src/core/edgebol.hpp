@@ -21,6 +21,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "core/safe_set.hpp"
 #include "env/control_grid.hpp"
 #include "env/testbed.hpp"
@@ -36,6 +37,55 @@ struct CostWeights {
 
   double cost(double server_power_w, double bs_power_w) const {
     return delta1 * server_power_w + delta2 * bs_power_w;
+  }
+};
+
+/// Hardening of the learning loop against faulty feedback (all opt-in; the
+/// master switch off reproduces the paper's fragile loop exactly).
+struct ResilienceConfig {
+  bool enabled = false;
+
+  // --- KPI validation gate (applied before GP conditioning) ---
+  // NaN/Inf KPIs are always rejected when the gate is on; these bound the
+  // physically plausible ranges, and the z-test rejects statistical
+  // outliers (spiked meter readings) against the running statistics of
+  // previously accepted samples.
+  double max_delay_s = 60.0;
+  double max_power_w = 2000.0;
+  double outlier_z = 8.0;
+  std::size_t outlier_min_samples = 12;
+
+  // --- Violation watchdog ---
+  // After `watchdog_violations` consecutive measured constraint violations
+  // the agent rolls back to the most conservative assumed-safe control for
+  // `watchdog_hold_periods` periods (learning continues meanwhile). The
+  // slacks forgive pure observation noise, mirroring the orchestrator's
+  // violation accounting.
+  int watchdog_violations = 4;
+  int watchdog_hold_periods = 3;
+  double delay_slack = 1.05;
+  double map_slack = 0.03;
+
+  // --- Empty-safe-set fallback ---
+  // When no candidate qualifies on GP evidence (constraints tightened at
+  // runtime, or the surrogates were starved by rejected KPIs), prefer the
+  // last policy that empirically satisfied the active constraints over the
+  // assumed-safe S0 corner.
+  bool fallback_to_last_safe = true;
+};
+
+/// What the resilience layer did so far (all zero in a healthy run).
+struct ResilienceStats {
+  std::size_t kpi_rejected_nan = 0;
+  std::size_t kpi_rejected_range = 0;
+  std::size_t kpi_rejected_outlier = 0;
+  std::size_t gp_update_failures = 0;
+  std::size_t watchdog_trips = 0;
+  std::size_t watchdog_hold_selects = 0;
+  std::size_t last_safe_fallbacks = 0;
+
+  std::size_t kpi_rejected_total() const {
+    return kpi_rejected_nan + kpi_rejected_range + kpi_rejected_outlier;
   }
 };
 
@@ -88,6 +138,9 @@ struct EdgeBolConfig {
   /// absorbs single-user CQI flutter in multi-user slices. Set to 0 to
   /// rebuild on every context change.
   double tracking_tolerance = 0.04;
+
+  /// Degraded-mode hardening (KPI gate, watchdog, last-safe fallback).
+  ResilienceConfig resilience{};
 };
 
 /// What the agent decided in one time period.
@@ -95,7 +148,9 @@ struct Decision {
   std::size_t policy_index = 0;
   env::ControlPolicy policy{};
   std::size_t safe_set_size = 0;
-  bool fell_back_to_s0 = false;  // constraints infeasible under the GPs
+  bool fell_back_to_s0 = false;   // constraints infeasible under the GPs
+  bool watchdog_hold = false;     // conservative rollback is in force
+  bool used_last_safe = false;    // fallback chose the last known-safe policy
 };
 
 class EdgeBol {
@@ -131,6 +186,15 @@ class EdgeBol {
   const ConstraintSpec& constraints() const { return cfg_.constraints; }
   const CostWeights& weights() const { return cfg_.weights; }
 
+  /// What the resilience layer rejected/recovered so far.
+  const ResilienceStats& resilience_stats() const { return resilience_stats_; }
+
+  /// The most recent selected policy whose measurement satisfied both
+  /// active constraints (grid index), if any.
+  std::optional<std::size_t> last_known_safe_index() const {
+    return last_safe_index_;
+  }
+
   const env::ControlGrid& grid() const { return grid_; }
   std::size_t num_observations() const { return cost_gp_.num_observations(); }
   double cost_scale() const { return cost_scale_; }
@@ -144,6 +208,9 @@ class EdgeBol {
   void ensure_tracking(const env::Context& context);
   void observe(const env::Context& context, const env::ControlPolicy& policy,
                const env::Measurement& measurement);
+  bool validate_measurement(const env::Measurement& m);
+  bool violates_constraints(const env::Measurement& m) const;
+  std::size_t conservative_index() const;
 
   env::ControlGrid grid_;
   EdgeBolConfig cfg_;
@@ -153,6 +220,16 @@ class EdgeBol {
   gp::GpRegressor map_gp_;
   std::vector<std::size_t> s0_;
   std::optional<linalg::Vector> tracked_context_features_;
+
+  // Resilience state (untouched unless cfg_.resilience.enabled).
+  ResilienceStats resilience_stats_;
+  std::optional<std::size_t> last_safe_index_;
+  int consecutive_violations_ = 0;
+  int watchdog_hold_remaining_ = 0;
+  RunningStats accepted_delay_;
+  RunningStats accepted_map_;
+  RunningStats accepted_server_power_;
+  RunningStats accepted_bs_power_;
 };
 
 /// Calibrated default hyperparameters for each surrogate over the 7-dim

@@ -1,5 +1,7 @@
 #include "core/orchestrator.hpp"
 
+#include <cmath>
+
 #include "common/stats.hpp"
 
 namespace edgebol::core {
@@ -35,8 +37,12 @@ RunSummary Orchestrator::run_impl(Env& env, int periods) {
     rec.map_violated =
         rec.measurement.map < cs.map_min - options_.map_slack;
 
-    cost_all.add(rec.cost);
-    if (t >= tail_start) cost_tail.add(rec.cost);
+    // Under fault injection a KPI can be NaN ("no sample"); keep those out
+    // of the cost statistics rather than poisoning the whole summary.
+    if (std::isfinite(rec.cost)) {
+      cost_all.add(rec.cost);
+      if (t >= tail_start) cost_tail.add(rec.cost);
+    }
     violations += (rec.delay_violated || rec.map_violated);
     last_safe = rec.decision.safe_set_size;
 

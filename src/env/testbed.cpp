@@ -44,16 +44,47 @@ void Testbed::set_bs_load_multiplier(double multiplier) {
   cfg_.bs_load_multiplier = multiplier;
 }
 
+void Testbed::set_fault_injector(fault::FaultInjector* injector) {
+  fault_ = injector;
+}
+
 Measurement Testbed::step(const ControlPolicy& policy) {
+  const fault::EnvPerturbation pert =
+      fault_ != nullptr ? fault_->perturbation_at(period_)
+                        : fault::EnvPerturbation{};
+  ++period_;
+
   std::vector<double> snrs;
   snrs.reserve(users_.size());
-  for (ran::UeChannel& u : users_) snrs.push_back(u.next_snr_db(rng_));
+  for (ran::UeChannel& u : users_) {
+    // The blackout offset is applied after the draw so the channel's random
+    // stream advances exactly as in a fault-free run.
+    snrs.push_back(u.next_snr_db(rng_) - pert.snr_offset_db);
+  }
 
   last_cqis_.clear();
   for (double s : snrs) {
     last_cqis_.push_back(static_cast<double>(ran::snr_to_cqi(s)));
   }
-  return evaluate(policy, snrs, /*noisy=*/true, &rng_);
+
+  ControlPolicy enforced = policy;
+  if (pert.gpu_speed_scale != 1.0) {
+    // Thermal throttling: the driver honors a lower effective power limit
+    // than the one the orchestrator requested.
+    enforced.gpu_speed =
+        std::max(0.0, std::min(1.0, policy.gpu_speed * pert.gpu_speed_scale));
+  }
+
+  Measurement m =
+      evaluate(enforced, snrs, /*noisy=*/true, &rng_, pert.load_multiplier);
+
+  if (fault_ != nullptr) {
+    m.server_power_w = fault_->tamper_power_w(m.server_power_w);
+    m.bs_power_w = fault_->tamper_power_w(m.bs_power_w);
+    m.map = fault_->tamper_map(m.map);
+    m.delay_s = fault_->tamper_delay_s(m.delay_s);
+  }
+  return m;
 }
 
 Measurement Testbed::expected(const ControlPolicy& policy) const {
@@ -65,7 +96,7 @@ Measurement Testbed::expected(const ControlPolicy& policy) const {
 
 Measurement Testbed::evaluate(const ControlPolicy& policy,
                               const std::vector<double>& snrs_db, bool noisy,
-                              Rng* rng) const {
+                              Rng* rng, double load_scale) const {
   if (policy.resolution <= 0.0 || policy.resolution > 1.0)
     throw std::invalid_argument("Testbed: resolution out of (0, 1]");
 
@@ -99,7 +130,7 @@ Measurement Testbed::evaluate(const ControlPolicy& policy,
             : server_.gpu().infer_time_s(policy.resolution, policy.gpu_speed);
   in.airtime = policy.airtime;
   in.max_gpu_utilization = cfg_.server.max_utilization;
-  in.bs_load_multiplier = cfg_.bs_load_multiplier;
+  in.bs_load_multiplier = cfg_.bs_load_multiplier * load_scale;
   in.bulk_efficiency = cfg_.bulk_efficiency;
   in.bulk_phy_rate_bps = bulk_phy_sum / static_cast<double>(snrs_db.size());
 

@@ -16,6 +16,7 @@
 #include "edge/server.hpp"
 #include "env/context.hpp"
 #include "env/policy.hpp"
+#include "fault/fault.hpp"
 #include "ran/channel.hpp"
 #include "ran/vbs.hpp"
 #include "service/confidence_model.hpp"
@@ -83,20 +84,33 @@ class Testbed {
   Context context() const;
 
   /// Run one time period under `policy`; advances channels and returns the
-  /// noisy end-of-period measurement.
+  /// noisy end-of-period measurement. With a fault injector attached, the
+  /// period is first perturbed by any scheduled environment event (GPU
+  /// thermal throttling, cross-tenant load spike, SNR blackout) and the
+  /// returned KPI samples may be blanked (NaN) or spiked per the plan's
+  /// telemetry rates. The testbed's own random streams are never consumed
+  /// by the injector, so a plan with zero rates is bit-identical to running
+  /// without one.
   Measurement step(const ControlPolicy& policy);
 
   /// Noise-free steady-state outcome at the current expected SNRs. This is
-  /// the ground truth an offline oracle can exhaustively search.
+  /// the ground truth an offline oracle can exhaustively search. Never
+  /// fault-injected.
   Measurement expected(const ControlPolicy& policy) const;
 
   /// Replace the BS load multiplier at runtime (Fig. 6 sweeps).
   void set_bs_load_multiplier(double multiplier);
 
+  /// Attach a fault injector (does not own it; nullptr detaches).
+  void set_fault_injector(fault::FaultInjector* injector);
+
+  /// Periods stepped so far (environment events are scheduled on this).
+  int periods_stepped() const { return period_; }
+
  private:
   Measurement evaluate(const ControlPolicy& policy,
                        const std::vector<double>& snrs_db, bool noisy,
-                       Rng* rng) const;
+                       Rng* rng, double load_scale = 1.0) const;
 
   TestbedConfig cfg_;
   std::vector<ran::UeChannel> users_;
@@ -108,6 +122,8 @@ class Testbed {
   telemetry::PowerMeter meter_;
   Rng rng_;
   std::vector<double> last_cqis_;
+  fault::FaultInjector* fault_ = nullptr;
+  int period_ = 0;
 };
 
 }  // namespace edgebol::env

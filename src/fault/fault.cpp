@@ -1,0 +1,115 @@
+#include "fault/fault.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace edgebol::fault {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed ^ 0x5fa17c0de5ULL) {}
+
+FrameFault FaultInjector::next_frame_fault(const FrameFaultRates& rates) {
+  if (!rates.any()) return FrameFault::kNone;
+  // One draw per configured fault class keeps the stream advance (and hence
+  // the rest of the schedule) independent of earlier outcomes.
+  const bool drop = rates.drop > 0.0 && rng_.bernoulli(rates.drop);
+  const bool delay = rates.delay > 0.0 && rng_.bernoulli(rates.delay);
+  const bool dup = rates.duplicate > 0.0 && rng_.bernoulli(rates.duplicate);
+  const bool corrupt = rates.corrupt > 0.0 && rng_.bernoulli(rates.corrupt);
+  if (drop) {
+    ++stats_.frames_dropped;
+    return FrameFault::kDrop;
+  }
+  if (delay) {
+    ++stats_.frames_delayed;
+    return FrameFault::kDelay;
+  }
+  if (dup) {
+    ++stats_.frames_duplicated;
+    return FrameFault::kDuplicate;
+  }
+  if (corrupt) {
+    ++stats_.frames_corrupted;
+    return FrameFault::kCorrupt;
+  }
+  return FrameFault::kNone;
+}
+
+std::string FaultInjector::corrupt_frame(const std::string& frame) {
+  if (frame.empty()) return frame;
+  std::string out = frame;
+  switch (rng_.uniform_index(3)) {
+    case 0:  // truncate somewhere strictly inside the payload
+      out.resize(rng_.uniform_index(out.size()));
+      break;
+    case 1: {  // flip one byte to printable junk
+      const std::size_t i = rng_.uniform_index(out.size());
+      out[i] = static_cast<char>('#' + rng_.uniform_index(60));
+      break;
+    }
+    default:  // splice garbage into the middle
+      out.insert(rng_.uniform_index(out.size()), "\"#junk#\"");
+      break;
+  }
+  if (out == frame) out.clear();  // flipped byte landed on itself
+  return out;
+}
+
+double FaultInjector::tamper_power_w(double true_w) {
+  if (plan_.telemetry.power_blank > 0.0 &&
+      rng_.bernoulli(plan_.telemetry.power_blank)) {
+    ++stats_.power_blanks;
+    return kNan;
+  }
+  if (plan_.telemetry.power_spike > 0.0 &&
+      rng_.bernoulli(plan_.telemetry.power_spike)) {
+    ++stats_.power_spikes;
+    return true_w * plan_.telemetry.spike_factor;
+  }
+  return true_w;
+}
+
+double FaultInjector::tamper_map(double map) {
+  if (plan_.telemetry.map_dropout > 0.0 &&
+      rng_.bernoulli(plan_.telemetry.map_dropout)) {
+    ++stats_.map_dropouts;
+    return kNan;
+  }
+  return map;
+}
+
+double FaultInjector::tamper_delay_s(double delay_s) {
+  if (plan_.telemetry.delay_dropout > 0.0 &&
+      rng_.bernoulli(plan_.telemetry.delay_dropout)) {
+    ++stats_.delay_dropouts;
+    return kNan;
+  }
+  return delay_s;
+}
+
+EnvPerturbation FaultInjector::perturbation_at(int period) {
+  EnvPerturbation p;
+  for (const EnvEvent& e : plan_.events) {
+    if (period < e.start_period || period >= e.start_period + e.duration)
+      continue;
+    switch (e.kind) {
+      case EnvEventKind::kGpuThermalThrottle:
+        p.gpu_speed_scale *= e.magnitude;
+        break;
+      case EnvEventKind::kLoadSpike:
+        p.load_multiplier *= e.magnitude;
+        break;
+      case EnvEventKind::kSnrBlackout:
+        p.snr_offset_db += e.magnitude;
+        break;
+    }
+  }
+  if (p.active()) ++stats_.event_periods;
+  return p;
+}
+
+}  // namespace edgebol::fault

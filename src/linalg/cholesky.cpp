@@ -7,6 +7,11 @@ namespace edgebol::linalg {
 
 namespace {
 constexpr double kPivotFloor = 1e-12;
+
+// Escalating-jitter ladder tried when a pivot collapses: near-singular Gram
+// matrices (near-duplicate inputs) are salvageable with a tiny diagonal
+// bump, while genuinely indefinite matrices fail at every rung.
+constexpr double kJitterLadder[] = {1e-10, 1e-9, 1e-8, 1e-7, 1e-6};
 }  // namespace
 
 Vector forward_solve(const Matrix& lower, const Vector& b) {
@@ -36,24 +41,37 @@ Vector backward_solve_transposed(const Matrix& lower, const Vector& y) {
   return x;
 }
 
-CholeskyFactor::CholeskyFactor(const Matrix& a) {
+bool CholeskyFactor::try_factor(const Matrix& a, double jitter) {
   const std::size_t n = a.rows();
-  if (a.cols() != n)
-    throw std::invalid_argument("CholeskyFactor: matrix not square");
   l_ = Matrix(n, n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       double s = a(i, j);
+      if (i == j) s += jitter;
       for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
       if (i == j) {
-        if (s <= kPivotFloor)
-          throw std::runtime_error("CholeskyFactor: matrix not SPD");
+        if (s <= kPivotFloor) return false;
         l_(i, i) = std::sqrt(s);
       } else {
         l_(i, j) = s / l_(j, j);
       }
     }
   }
+  return true;
+}
+
+CholeskyFactor::CholeskyFactor(const Matrix& a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n)
+    throw std::invalid_argument("CholeskyFactor: matrix not square");
+  if (try_factor(a, 0.0)) return;
+  for (double jitter : kJitterLadder) {
+    if (try_factor(a, jitter)) {
+      jitter_used_ = jitter;
+      return;
+    }
+  }
+  throw std::runtime_error("CholeskyFactor: matrix not SPD");
 }
 
 void CholeskyFactor::extend(const Vector& off_diag, double diag) {
@@ -63,9 +81,20 @@ void CholeskyFactor::extend(const Vector& off_diag, double diag) {
 
   // New row of L: l = L^{-1} off_diag, new pivot = sqrt(diag - l.l).
   Vector l = n > 0 ? forward_solve(l_, off_diag) : Vector{};
-  const double pivot2 = diag - dot(l, l);
-  if (pivot2 <= kPivotFloor)
-    throw std::runtime_error("CholeskyFactor::extend: matrix not SPD");
+  double pivot2 = diag - dot(l, l);
+  double jitter = 0.0;
+  if (pivot2 <= kPivotFloor) {
+    for (double j : kJitterLadder) {
+      if (pivot2 + j > kPivotFloor) {
+        jitter = j;
+        break;
+      }
+    }
+    if (pivot2 + jitter <= kPivotFloor)
+      throw std::runtime_error("CholeskyFactor::extend: matrix not SPD");
+    pivot2 += jitter;
+  }
+  if (jitter > jitter_used_) jitter_used_ = jitter;
 
   Matrix grown(n + 1, n + 1, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

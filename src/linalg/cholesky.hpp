@@ -23,8 +23,13 @@ Vector backward_solve_transposed(const Matrix& lower, const Vector& y);
 ///   * online: start empty, then extend(a_col, a_diag) once per new row,
 ///     where a_col holds A(0..n-1, n) and a_diag is A(n, n).
 ///
-/// Throws std::runtime_error if the matrix is not numerically positive
-/// definite (pivot <= jitter floor).
+/// Near-singular inputs (pivot collapse from, e.g., near-duplicate grid
+/// points in a Gram matrix) are recovered by retrying with escalating
+/// diagonal jitter, 1e-10 up to 1e-6; jitter_used() reports the largest
+/// jitter the factorization (or any extension so far) needed, 0.0 when the
+/// input was healthy. Only genuinely indefinite matrices —
+/// where even the maximum jitter leaves a non-positive pivot — still throw
+/// std::runtime_error.
 class CholeskyFactor {
  public:
   CholeskyFactor() = default;
@@ -49,8 +54,15 @@ class CholeskyFactor {
   /// log(det(A)) = 2 * sum(log(diag(L))). Useful for GP marginal likelihood.
   double log_det() const;
 
+  /// Diagonal jitter the most recent factorization or extension needed to
+  /// stay positive definite (0 when the input was well-conditioned).
+  double jitter_used() const { return jitter_used_; }
+
  private:
+  bool try_factor(const Matrix& a, double jitter);
+
   Matrix l_;
+  double jitter_used_ = 0.0;
 };
 
 /// One-shot SPD solve: factor + solve. Throws on non-SPD input.

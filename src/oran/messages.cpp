@@ -182,4 +182,53 @@ ServicePolicyRequest service_policy_request_from_json(const std::string& j) {
   return m;
 }
 
+namespace {
+
+template <typename T>
+std::optional<T> try_decode(T (*parse)(const std::string&),
+                            const std::string& j) noexcept {
+  try {
+    return parse(j);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<A1PolicySetup> try_a1_policy_setup_from_json(
+    const std::string& j) noexcept {
+  return try_decode(a1_policy_setup_from_json, j);
+}
+
+std::optional<A1PolicyAck> try_a1_policy_ack_from_json(
+    const std::string& j) noexcept {
+  return try_decode(a1_policy_ack_from_json, j);
+}
+
+std::optional<E2ControlRequest> try_e2_control_request_from_json(
+    const std::string& j) noexcept {
+  return try_decode(e2_control_request_from_json, j);
+}
+
+std::optional<E2ControlAck> try_e2_control_ack_from_json(
+    const std::string& j) noexcept {
+  return try_decode(e2_control_ack_from_json, j);
+}
+
+std::optional<E2KpiIndication> try_e2_kpi_indication_from_json(
+    const std::string& j) noexcept {
+  return try_decode(e2_kpi_indication_from_json, j);
+}
+
+std::optional<O1KpiReport> try_o1_kpi_report_from_json(
+    const std::string& j) noexcept {
+  return try_decode(o1_kpi_report_from_json, j);
+}
+
+std::optional<ServicePolicyRequest> try_service_policy_request_from_json(
+    const std::string& j) noexcept {
+  return try_decode(service_policy_request_from_json, j);
+}
+
 }  // namespace edgebol::oran

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 namespace edgebol::oran {
@@ -80,5 +81,23 @@ E2ControlAck e2_control_ack_from_json(const std::string&);
 E2KpiIndication e2_kpi_indication_from_json(const std::string&);
 O1KpiReport o1_kpi_report_from_json(const std::string&);
 ServicePolicyRequest service_policy_request_from_json(const std::string&);
+
+// Non-throwing decoders for wire-facing consumers: malformed or truncated
+// frames yield std::nullopt instead of an exception, so a corrupted frame is
+// a countable reject rather than a crash propagating through the fabric.
+std::optional<A1PolicySetup> try_a1_policy_setup_from_json(
+    const std::string&) noexcept;
+std::optional<A1PolicyAck> try_a1_policy_ack_from_json(
+    const std::string&) noexcept;
+std::optional<E2ControlRequest> try_e2_control_request_from_json(
+    const std::string&) noexcept;
+std::optional<E2ControlAck> try_e2_control_ack_from_json(
+    const std::string&) noexcept;
+std::optional<E2KpiIndication> try_e2_kpi_indication_from_json(
+    const std::string&) noexcept;
+std::optional<O1KpiReport> try_o1_kpi_report_from_json(
+    const std::string&) noexcept;
+std::optional<ServicePolicyRequest> try_service_policy_request_from_json(
+    const std::string&) noexcept;
 
 }  // namespace edgebol::oran

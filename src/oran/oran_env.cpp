@@ -1,5 +1,6 @@
 #include "oran/oran_env.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "ran/mcs_tables.hpp"
@@ -12,12 +13,32 @@ OranManagedTestbed::OranManagedTestbed(env::Testbed& testbed)
   radio_mcs_cap_ = ran::kMaxUlMcs;
 }
 
+void OranManagedTestbed::enable_fault_injection(
+    fault::FaultInjector* injector) {
+  non_rt_.enable_fault_injection(injector);
+  near_rt_.enable_fault_injection(injector);
+  testbed_.set_fault_injector(injector);
+}
+
 env::Measurement OranManagedTestbed::step(const env::ControlPolicy& policy) {
-  // Radio policies: rApp -> A1-P -> xApp -> E2 -> this E2 node.
+  // Radio policies: rApp -> A1-P -> xApp -> E2 -> this E2 node. Every
+  // successful E2 apply advances last_applied_request_id_ (fresh request
+  // ids per deploy), so a stationary id means this period's radio policy
+  // never reached the data plane.
+  const std::int64_t applied_before = last_applied_request_id_;
   const A1PolicyAck ack =
       non_rt_.deploy_radio_policy(policy.airtime, policy.mcs_cap);
-  if (!ack.accepted)
-    throw std::runtime_error("OranManagedTestbed: A1 policy rejected");
+  if (!ack.accepted) {
+    if (non_rt_.last_delivery().delivered)
+      throw std::runtime_error("OranManagedTestbed: A1 policy rejected");
+    // Transport failure after all retries: degrade to the last applied
+    // radio policy rather than stalling the period.
+    ++policy_delivery_failures_;
+  } else if (last_applied_request_id_ == applied_before) {
+    // Accepted (validated + stored) at the near-RT RIC, but the E2 push
+    // was lost; the O-eNB keeps its previous radio policy this period.
+    ++policy_delivery_failures_;
+  }
 
   // Service policies over the custom interface (serialized round trip, as
   // the service controller runs beside the GPU server).
@@ -39,7 +60,13 @@ env::Measurement OranManagedTestbed::step(const env::ControlPolicy& policy) {
   ind.sequence = kpi_sequence_++;
   ind.bs_power_w = m.bs_power_w;
   near_rt_.handle_e2_indication(ind);
-  m.bs_power_w = non_rt_.latest_kpi().bs_power_w;
+  if (non_rt_.has_kpi() && non_rt_.latest_kpi().sequence == ind.sequence) {
+    m.bs_power_w = non_rt_.latest_kpi().bs_power_w;
+  } else {
+    // This period's sample died somewhere on E2/O1: surface "no reading".
+    ++kpi_losses_;
+    m.bs_power_w = std::numeric_limits<double>::quiet_NaN();
+  }
   return m;
 }
 
@@ -47,6 +74,13 @@ E2ControlAck OranManagedTestbed::handle_control(
     const E2ControlRequest& request) {
   E2ControlAck ack;
   ack.request_id = request.request_id;
+  // Idempotent apply: a duplicated request (fabric-level replay) is acked
+  // again without re-touching the data plane.
+  if (request.request_id == last_applied_request_id_) {
+    ++duplicate_controls_ignored_;
+    ack.success = true;
+    return ack;
+  }
   if (request.airtime <= 0.0 || request.airtime > 1.0 ||
       request.mcs_cap < 0 || request.mcs_cap > ran::kMaxUlMcs) {
     ack.success = false;
@@ -54,6 +88,7 @@ E2ControlAck OranManagedTestbed::handle_control(
   }
   radio_airtime_ = request.airtime;
   radio_mcs_cap_ = request.mcs_cap;
+  last_applied_request_id_ = request.request_id;
   ack.success = true;
   return ack;
 }

@@ -4,12 +4,20 @@
 // controller; the BS power KPI returns O-eNB -> E2 -> xApp -> O1 -> rApp.
 // Functionally equivalent to driving env::Testbed directly (tests assert
 // this), but every control/feedback signal takes the standardized path.
+//
+// Degraded modes (exercised under fault injection): when policy delivery
+// fails even after the rApp's retry/backoff, the data plane keeps running
+// on the last successfully applied radio policy; when the period's KPI
+// never survives the E2/O1 path, the BS power field of the measurement is
+// NaN — "no sample" — for the KPI validation gate upstream to reject.
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "env/testbed.hpp"
+#include "fault/fault.hpp"
 #include "oran/apps.hpp"
 #include "oran/ric.hpp"
 
@@ -28,8 +36,26 @@ class OranManagedTestbed final : public E2Node {
 
   /// One orchestration period: deploy all four policies through the control
   /// plane, run the period, and deliver KPIs back through E2/O1.
-  /// Throws std::runtime_error if the A1 policy is rejected.
+  /// Throws std::runtime_error only if a *delivered* A1 policy is rejected
+  /// as invalid; transport failures degrade (previous policy stays active)
+  /// instead of throwing.
   env::Measurement step(const env::ControlPolicy& policy);
+
+  /// Attach the injector to every control-plane hop (A1-P, E2, O1) and to
+  /// the wrapped testbed's telemetry/environment path. nullptr detaches.
+  void enable_fault_injection(fault::FaultInjector* injector);
+
+  /// Periods whose radio policy could not be delivered (ran degraded on the
+  /// previously applied policy).
+  std::size_t policy_delivery_failures() const {
+    return policy_delivery_failures_;
+  }
+  /// Periods whose BS-power KPI never arrived at the data collector.
+  std::size_t kpi_losses() const { return kpi_losses_; }
+  /// Duplicate E2 control requests ignored by the idempotent apply.
+  std::size_t duplicate_controls_ignored() const {
+    return duplicate_controls_ignored_;
+  }
 
   // E2Node
   E2ControlAck handle_control(const E2ControlRequest& request) override;
@@ -46,6 +72,10 @@ class OranManagedTestbed final : public E2Node {
   double radio_airtime_ = 1.0;
   int radio_mcs_cap_ = 0;
   std::int64_t kpi_sequence_ = 1;
+  std::int64_t last_applied_request_id_ = 0;
+  std::size_t policy_delivery_failures_ = 0;
+  std::size_t kpi_losses_ = 0;
+  std::size_t duplicate_controls_ignored_ = 0;
 };
 
 }  // namespace edgebol::oran

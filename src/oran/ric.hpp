@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "oran/messages.hpp"
 
 namespace edgebol::oran {
@@ -27,14 +28,37 @@ class E2Node {
   virtual E2ControlAck handle_control(const E2ControlRequest&) = 0;
 };
 
-/// Transport-ish fabric for one interface: counts messages and keeps an
-/// optional bounded log of serialized frames for inspection.
+/// Transport-ish fabric for one interface: counts messages, keeps an
+/// optional bounded log of serialized frames for inspection, and — when a
+/// FaultInjector is attached — subjects every offered frame to the plan's
+/// drop/delay/duplicate/corrupt schedule. Consumers report undecodable
+/// frames back through note_reject() so per-interface reject counts are
+/// observable.
 class InterfaceFabric {
  public:
   explicit InterfaceFabric(std::string name, std::size_t max_log = 64);
 
   void record(const std::string& frame);
+
+  /// Offer one frame for delivery. Returns the frames that actually arrive
+  /// at the far end, in order: any previously delayed frames first, then
+  /// zero (dropped/delayed), one (clean or corrupted) or two (duplicated)
+  /// copies of `frame`. Without an injector this is exactly {frame}.
+  std::vector<std::string> transmit(const std::string& frame);
+
+  /// Attach/detach fault injection with the given per-frame rates.
+  void enable_faults(fault::FaultInjector* injector,
+                     const fault::FrameFaultRates& rates);
+
+  /// Called by the consumer when a delivered frame failed to decode.
+  void note_reject() { ++decode_rejects_; }
+
   std::size_t messages_carried() const { return carried_; }
+  std::size_t decode_rejects() const { return decode_rejects_; }
+  std::size_t frames_dropped() const { return dropped_; }
+  std::size_t frames_delayed() const { return delayed_; }
+  std::size_t frames_duplicated() const { return duplicated_; }
+  std::size_t frames_corrupted() const { return corrupted_; }
   const std::vector<std::string>& frame_log() const { return log_; }
   const std::string& name() const { return name_; }
 
@@ -42,7 +66,31 @@ class InterfaceFabric {
   std::string name_;
   std::size_t max_log_;
   std::size_t carried_ = 0;
+  std::size_t decode_rejects_ = 0;
+  std::size_t dropped_ = 0;
+  std::size_t delayed_ = 0;
+  std::size_t duplicated_ = 0;
+  std::size_t corrupted_ = 0;
   std::vector<std::string> log_;
+  std::vector<std::string> pending_;  // delayed frames awaiting delivery
+  fault::FaultInjector* injector_ = nullptr;
+  fault::FrameFaultRates rates_{};
+};
+
+/// Retry schedule for policy delivery over a lossy control plane. Backoff
+/// is simulated (accumulated into the DeliveryReport) rather than slept.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double base_backoff_ms = 10.0;
+  double backoff_multiplier = 2.0;
+};
+
+/// Outcome surface of one reliable policy delivery.
+struct DeliveryReport {
+  std::int64_t policy_id = 0;
+  bool delivered = false;   // a well-formed matching ack came back
+  int attempts = 0;
+  double backoff_ms = 0.0;  // total simulated backoff across retries
 };
 
 /// Near-RT RIC: hosts the policy-service xApp (A1 southbound -> E2) and the
@@ -66,10 +114,21 @@ class NearRtRic {
 
   std::size_t active_policy_count() const { return policies_.size(); }
 
-  /// E2 indication from the vBS (KPI sample); forwarded over O1.
+  /// E2 indication from the vBS (KPI sample); forwarded over O1. Duplicate
+  /// and stale (out-of-order) indications are deduplicated by sequence
+  /// number in the database xApp.
   void handle_e2_indication(const E2KpiIndication& ind);
 
   void set_o1_sink(std::function<void(const O1KpiReport&)> sink);
+
+  /// Subject the E2 and O1 hops to the injector's plan (nullptr detaches).
+  void enable_fault_injection(fault::FaultInjector* injector);
+
+  std::size_t stale_indications() const { return stale_indications_; }
+
+  /// Validated A1 policies whose E2 push never got a successful node ack
+  /// (the O-eNB kept running its previous radio policy).
+  std::size_t e2_apply_failures() const { return e2_apply_failures_; }
 
   const InterfaceFabric& e2() const { return e2_; }
   const InterfaceFabric& o1() const { return o1_; }
@@ -81,6 +140,9 @@ class NearRtRic {
   InterfaceFabric e2_{"E2"};
   InterfaceFabric o1_{"O1"};
   std::int64_t next_request_id_ = 1;
+  std::int64_t last_forwarded_seq_ = 0;
+  std::size_t stale_indications_ = 0;
+  std::size_t e2_apply_failures_ = 0;
 };
 
 /// Non-RT RIC: hosts the policy-service rApp (A1 northbound client) and the
@@ -89,8 +151,12 @@ class NonRtRic {
  public:
   explicit NonRtRic(NearRtRic& near_rt);
 
-  /// rApp (policy service): deploy the radio policy through A1-P. Returns
-  /// the ack; the policy id used is retrievable via last_policy_id().
+  /// rApp (policy service): deploy the radio policy through A1-P. Delivery
+  /// is reliable: undecodable or lost frames (under fault injection) are
+  /// retried with exponential backoff per the RetryPolicy, and duplicate
+  /// deliveries are safe because policy application is idempotent. Returns
+  /// the ack; the policy id used is retrievable via last_policy_id() and
+  /// the transport outcome via last_delivery().
   A1PolicyAck deploy_radio_policy(double airtime, int mcs_cap);
 
   /// rApp: delete / query a previously deployed policy instance over A1-P.
@@ -98,10 +164,20 @@ class NonRtRic {
   std::optional<A1PolicySetup> query_radio_policy(std::int64_t policy_id);
   std::int64_t last_policy_id() const { return next_policy_id_ - 1; }
 
-  /// rApp (data collector): KPI samples that arrived over O1.
+  /// Transport outcome of the most recent deploy_radio_policy().
+  const DeliveryReport& last_delivery() const { return last_delivery_; }
+  void set_retry_policy(const RetryPolicy& retry) { retry_ = retry; }
+
+  /// rApp (data collector): KPI samples that arrived over O1. Reports are
+  /// deduplicated by sequence; stale (out-of-order) arrivals are counted
+  /// and discarded.
   bool has_kpi() const { return !kpis_.empty(); }
   const O1KpiReport& latest_kpi() const;
   std::size_t kpi_count() const { return kpis_.size(); }
+  std::size_t stale_reports() const { return stale_reports_; }
+
+  /// Subject the A1-P hop to the injector's plan (nullptr detaches).
+  void enable_fault_injection(fault::FaultInjector* injector);
 
   const InterfaceFabric& a1() const { return a1_; }
 
@@ -110,8 +186,11 @@ class NonRtRic {
 
   NearRtRic& near_rt_;
   InterfaceFabric a1_{"A1-P"};
+  RetryPolicy retry_{};
+  DeliveryReport last_delivery_{};
   std::vector<O1KpiReport> kpis_;
   std::int64_t next_policy_id_ = 1;
+  std::size_t stale_reports_ = 0;
 };
 
 }  // namespace edgebol::oran

@@ -133,6 +133,52 @@ TEST(Cholesky, SolveAfterExtend) {
   EXPECT_LT(max_abs_diff(matvec(a, f.solve(b)), b), 1e-8);
 }
 
+// An RBF Gram matrix over inputs that include near-duplicates — exactly
+// what the GP surrogate produces once the agent converges and keeps
+// sampling the incumbent policy. Numerically rank-deficient.
+Matrix near_duplicate_gram() {
+  const Vector xs = {0.0, 1e-9, 2e-9, 0.5, 0.5 + 1e-9, 1.0};
+  Matrix k(xs.size(), xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      const double d = xs[i] - xs[j];
+      k(i, j) = std::exp(-0.5 * d * d);
+    }
+  return k;
+}
+
+TEST(Cholesky, JitterEscalationFactorsNearDuplicateGram) {
+  const Matrix k = near_duplicate_gram();
+  const CholeskyFactor f(k);  // hard-throws pre-jitter: pivot underflows
+  EXPECT_GE(f.jitter_used(), 1e-10);
+  EXPECT_LE(f.jitter_used(), 1e-6);
+  const Matrix rec = matmul(f.lower(), f.lower().transpose());
+  EXPECT_LT(rec.max_abs_diff(k), 1e-5);  // off only by the added jitter
+}
+
+TEST(Cholesky, JitterEscalationInExtend) {
+  const Matrix k = near_duplicate_gram();
+  CholeskyFactor f;
+  for (std::size_t c = 0; c < k.rows(); ++c) {
+    Vector col(c);
+    for (std::size_t i = 0; i < c; ++i) col[i] = k(i, c);
+    f.extend(col, k(c, c));
+  }
+  EXPECT_EQ(f.size(), k.rows());
+  EXPECT_GE(f.jitter_used(), 1e-10);
+  EXPECT_LE(f.jitter_used(), 1e-6);
+  // The factor still solves: residual bounded by the jitter scale.
+  Vector b(k.rows(), 1.0);
+  const Vector x = f.solve(b);
+  EXPECT_LT(max_abs_diff(matvec(k, x), b), 1e-3);
+}
+
+TEST(Cholesky, WellConditionedMatrixUsesNoJitter) {
+  Rng rng(17);
+  const CholeskyFactor f(random_spd(6, rng));
+  EXPECT_DOUBLE_EQ(f.jitter_used(), 0.0);
+}
+
 TEST(Cholesky, DimensionMismatchThrows) {
   Matrix l = Matrix::identity(2);
   EXPECT_THROW(forward_solve(l, {1.0}), std::invalid_argument);

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "env/scenarios.hpp"
+#include "fault/fault.hpp"
 #include "oran/messages.hpp"
 #include "oran/oran_env.hpp"
 #include "oran/ric.hpp"
@@ -214,6 +218,76 @@ TEST(OranManagedTestbed, KpiFlowsThroughO1) {
   EXPECT_DOUBLE_EQ(managed.non_rt_ric().latest_kpi().bs_power_w,
                    m.bs_power_w);
   EXPECT_EQ(managed.service_controller().requests_handled(), 1u);
+}
+
+TEST(Messages, TryDecodersMatchThrowingParsersOnCleanFrames) {
+  const auto setup =
+      try_a1_policy_setup_from_json(to_json(A1PolicySetup{42, 0.75, 16}));
+  ASSERT_TRUE(setup.has_value());
+  EXPECT_EQ(setup->policy_id, 42);
+  EXPECT_DOUBLE_EQ(setup->airtime, 0.75);
+  EXPECT_EQ(setup->mcs_cap, 16);
+
+  EXPECT_TRUE(try_a1_policy_ack_from_json(to_json(A1PolicyAck{7, true}))
+                  ->accepted);
+  EXPECT_EQ(try_e2_control_request_from_json(to_json(E2ControlRequest{9, 0.3, 4}))
+                ->request_id,
+            9);
+  EXPECT_FALSE(
+      try_e2_control_ack_from_json(to_json(E2ControlAck{9, false}))->success);
+  EXPECT_DOUBLE_EQ(
+      try_e2_kpi_indication_from_json(to_json(E2KpiIndication{1, 5.25}))
+          ->bs_power_w,
+      5.25);
+  EXPECT_EQ(try_o1_kpi_report_from_json(to_json(O1KpiReport{3, 6.0}))->sequence,
+            3);
+  EXPECT_DOUBLE_EQ(try_service_policy_request_from_json(
+                       to_json(ServicePolicyRequest{0.5, 0.9}))
+                       ->resolution,
+                   0.5);
+}
+
+TEST(Messages, TryDecodersReturnNulloptInsteadOfThrowing) {
+  EXPECT_EQ(try_a1_policy_setup_from_json("{}"), std::nullopt);
+  EXPECT_EQ(try_a1_policy_setup_from_json("not json at all"), std::nullopt);
+  EXPECT_EQ(try_e2_control_ack_from_json("{\"request_id\":1,\"success\":2}"),
+            std::nullopt);
+  EXPECT_EQ(try_o1_kpi_report_from_json(""), std::nullopt);
+}
+
+TEST(Messages, FuzzedFramesNeverThrowAndCleanFramesRoundTrip) {
+  // Fuzz-style sweep: every frame type, mutated by the fault injector's
+  // corruption modes (truncation, byte flips, junk splices) many times.
+  // The try-decoders must never throw; whenever a mutant still decodes it
+  // must do so silently, and the unmutated frame must decode exactly.
+  const std::vector<std::string> frames = {
+      to_json(A1PolicySetup{42, 0.75, 16}),
+      to_json(A1PolicyAck{7, true}),
+      to_json(E2ControlRequest{9, 0.3, 4}),
+      to_json(E2ControlAck{9, false}),
+      to_json(E2KpiIndication{11, 5.25}),
+      to_json(O1KpiReport{3, 6.0}),
+      to_json(ServicePolicyRequest{0.5, 0.9}),
+  };
+  fault::FaultInjector injector{fault::FaultPlan{.seed = 1234}};
+  for (const std::string& frame : frames) {
+    for (int i = 0; i < 300; ++i) {
+      const std::string mutant = injector.corrupt_frame(frame);
+      EXPECT_NO_THROW({
+        (void)try_a1_policy_setup_from_json(mutant);
+        (void)try_a1_policy_ack_from_json(mutant);
+        (void)try_e2_control_request_from_json(mutant);
+        (void)try_e2_control_ack_from_json(mutant);
+        (void)try_e2_kpi_indication_from_json(mutant);
+        (void)try_o1_kpi_report_from_json(mutant);
+        (void)try_service_policy_request_from_json(mutant);
+      });
+    }
+  }
+  // Round trip on the clean frames survives the sweep (the decoders are
+  // pure functions; fuzzing did not poison any shared state).
+  EXPECT_EQ(try_a1_policy_setup_from_json(frames[0])->policy_id, 42);
+  EXPECT_EQ(try_o1_kpi_report_from_json(frames[5])->sequence, 3);
 }
 
 TEST(OranManagedTestbed, RejectedPolicyThrows) {
