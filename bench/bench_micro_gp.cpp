@@ -1,133 +1,481 @@
-// Microbenchmarks (google-benchmark) for the performance-critical kernels:
-// GP conditioning and prediction (eqs. 3-4), tracked-candidate updates over
-// the 11^4 control grid, Cholesky extension, and one full testbed period.
-// These justify the §5 claim that posterior updates fit comfortably within
-// an O-RAN non-RT control period (seconds).
+// Phase-by-phase benchmark harness for the GP posterior engine.
+//
+// Compares the batched, cache-packed engine (gp::GpRegressor) against a
+// reference scalar implementation written the way the pre-batching engine
+// worked: per-candidate std::vector<Vector> substitution columns, a virtual
+// kernel call per point pair, and a fresh allocation per triangular solve.
+// Both sides run the same math, so the smoke mode doubles as a correctness
+// check (posteriors must agree to 1e-9).
+//
+// Phases (the decision loop's cost centers, see DESIGN.md "Performance
+// model"):
+//   track      O(m n^2)  tracked-cache rebuild on a context switch
+//   add        O(m n)    per-period fold of one new observation
+//   predict    O(n^2)    cold posterior at a single point
+//   hyperopt   O(S n^3)  pre-production LML probes (engine = pooled)
+//   full_period          3 surrogates x (posterior scan + add), as EdgeBol
+//                        runs every period in steady state
+//
+// Emits machine-readable JSON (default BENCH_gp.json):
+//   { n_obs, n_candidates, dims, threads, smoke,
+//     phases: [{name, baseline_ms, engine_ms, speedup}] }
+//
+// Usage: bench_micro_gp [--smoke] [--threads N] [--out PATH]
+//   --smoke    small sizes + engine-vs-reference correctness gate (CI).
+//   --threads  engine-side pool size (default: hardware concurrency).
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include <edgebol/edgebol.hpp>
 
 namespace {
 
 using namespace edgebol;
+using linalg::Vector;
 
-gp::GpRegressor make_gp(std::size_t n_obs, Rng& rng) {
-  gp::GpRegressor gp(
-      std::make_unique<gp::Matern32Kernel>(linalg::Vector(7, 1.0), 1.0),
-      1e-3);
-  for (std::size_t i = 0; i < n_obs; ++i) {
-    linalg::Vector z(7);
-    for (double& v : z) v = rng.uniform();
-    gp.add(z, rng.normal());
+volatile double g_sink = 0.0;  // keeps timed loops from being optimized out
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Reference scalar engine (pre-batching idiom): one Vector per candidate
+// column, virtual kernel evaluation per pair, allocating triangular solves.
+// ---------------------------------------------------------------------------
+struct RefGp {
+  std::unique_ptr<gp::Kernel> kernel;
+  double noise;
+  std::vector<Vector> z;
+  Vector y;
+  linalg::CholeskyFactor chol;
+  Vector w;
+
+  std::vector<Vector> cands;
+  std::vector<Vector> acol;  // acol[j][i] = (L^{-1} K(train, cand j))[i]
+  Vector mean, var;
+
+  RefGp(std::unique_ptr<gp::Kernel> k, double noise_var)
+      : kernel(std::move(k)), noise(noise_var) {}
+
+  void add(const Vector& zn, double yn) {
+    const std::size_t n = z.size();
+    Vector k(n);
+    for (std::size_t i = 0; i < n; ++i) k[i] = (*kernel)(z[i], zn);
+    chol.extend(k, (*kernel)(zn, zn) + noise);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += chol.entry(n, i) * w[i];
+    const double pivot = chol.diag(n);
+    const double wn = (yn - acc) / pivot;
+    w.push_back(wn);
+    for (std::size_t j = 0; j < cands.size(); ++j) {
+      const double knew = (*kernel)(zn, cands[j]);
+      double dot = 0.0;
+      for (std::size_t i = 0; i < n; ++i) dot += chol.entry(n, i) * acol[j][i];
+      const double an = (knew - dot) / pivot;
+      acol[j].push_back(an);
+      mean[j] += an * wn;
+      var[j] -= an * an;
+    }
+    z.push_back(zn);
+    y.push_back(yn);
   }
-  return gp;
-}
 
-void BM_KernelEval(benchmark::State& state) {
-  const gp::Matern32Kernel k(linalg::Vector(7, 1.0), 1.0);
-  Rng rng(1);
-  linalg::Vector a(7), b(7);
-  for (double& v : a) v = rng.uniform();
-  for (double& v : b) v = rng.uniform();
-  for (auto _ : state) benchmark::DoNotOptimize(k(a, b));
-}
-BENCHMARK(BM_KernelEval);
-
-void BM_GpAddObservation(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(2);
-  for (auto _ : state) {
-    state.PauseTiming();
-    gp::GpRegressor gp = make_gp(n, rng);
-    linalg::Vector z(7);
-    for (double& v : z) v = rng.uniform();
-    state.ResumeTiming();
-    gp.add(z, 0.5);
-  }
-}
-BENCHMARK(BM_GpAddObservation)->Arg(50)->Arg(150)->Arg(400);
-
-void BM_GpPredict(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(3);
-  gp::GpRegressor gp = make_gp(n, rng);
-  linalg::Vector z(7, 0.5);
-  for (auto _ : state) benchmark::DoNotOptimize(gp.predict(z));
-}
-BENCHMARK(BM_GpPredict)->Arg(50)->Arg(150)->Arg(400);
-
-void BM_TrackedUpdateFullGrid(benchmark::State& state) {
-  // One add() with the full 11^4 candidate grid tracked — the per-period
-  // cost of keeping the whole control space scored.
-  Rng rng(4);
-  gp::GpRegressor gp = make_gp(100, rng);
-  env::ControlGrid grid;
-  gp.track_candidates(grid.candidate_features(env::Context{}));
-  linalg::Vector z(7, 0.4);
-  for (auto _ : state) {
-    gp.add(z, 0.1);
-    benchmark::DoNotOptimize(gp.tracked_mean(0));
-  }
-}
-BENCHMARK(BM_TrackedUpdateFullGrid)->Unit(benchmark::kMillisecond);
-
-void BM_CholeskyExtend(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  Rng rng(5);
-  for (auto _ : state) {
-    state.PauseTiming();
-    linalg::CholeskyFactor f;
-    state.ResumeTiming();
-    for (std::size_t k = 0; k < n; ++k) {
-      linalg::Vector col(k, 0.1);
-      f.extend(col, 2.0 + rng.uniform());
+  void track(const std::vector<Vector>& cs) {
+    cands = cs;
+    const std::size_t m = cands.size(), n = z.size();
+    acol.assign(m, Vector{});
+    mean.assign(m, 0.0);
+    var.assign(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      Vector k(n);
+      for (std::size_t i = 0; i < n; ++i) k[i] = (*kernel)(z[i], cands[j]);
+      acol[j] = chol.solve_lower(k);  // allocates, like the old engine
+      double mu = 0.0, red = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        mu += acol[j][i] * w[i];
+        red += acol[j][i] * acol[j][i];
+      }
+      mean[j] = mu;
+      var[j] = (*kernel)(cands[j], cands[j]) - red;
     }
   }
-}
-BENCHMARK(BM_CholeskyExtend)->Arg(100)->Arg(300)->Unit(benchmark::kMillisecond);
 
-void BM_PipelineSolve(benchmark::State& state) {
-  service::PipelineInputs in;
-  for (int u = 0; u < 4; ++u) {
-    service::PipelineUser user;
-    user.solo_app_rate_bps = 3e6;
-    user.solo_phy_rate_bps = 30e6;
-    user.spectral_eff = 3.0;
-    user.eff_mcs = 16.0;
-    in.users.push_back(user);
+  gp::Prediction predict(const Vector& zq) const {
+    const std::size_t n = z.size();
+    Vector k(n);
+    for (std::size_t i = 0; i < n; ++i) k[i] = (*kernel)(z[i], zq);
+    const Vector v = chol.solve_lower(k);
+    double mu = 0.0, red = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mu += v[i] * w[i];
+      red += v[i] * v[i];
+    }
+    return {mu, std::max(0.0, (*kernel)(zq, zq) - red)};
   }
-  in.image_bits = 0.6e6;
-  in.preprocess_s = 0.03;
-  in.response_bits = 24e3;
-  in.grant_latency_s = 0.01;
-  in.gpu_service_s = 0.12;
-  in.airtime = 0.8;
-  for (auto _ : state) benchmark::DoNotOptimize(service::solve_pipeline(in));
-}
-BENCHMARK(BM_PipelineSolve);
+};
 
-void BM_TestbedStep(benchmark::State& state) {
-  env::Testbed tb = env::make_heterogeneous_testbed(4);
-  env::ControlPolicy p;
-  for (auto _ : state) benchmark::DoNotOptimize(tb.step(p));
+std::unique_ptr<gp::Kernel> make_kernel() {
+  return std::make_unique<gp::Matern32Kernel>(Vector(7, 1.2), 0.8);
 }
-BENCHMARK(BM_TestbedStep);
 
-void BM_EdgeBolSelectFullGrid(benchmark::State& state) {
-  env::Testbed tb = env::make_static_testbed(35.0);
-  core::EdgeBol agent(env::ControlGrid{}, core::EdgeBolConfig{});
-  // Warm up with observations so select() exercises real posteriors.
-  for (int t = 0; t < 30; ++t) {
-    const env::Context c = tb.context();
-    const core::Decision d = agent.select(c);
-    agent.update(c, d.policy_index, tb.step(d.policy));
+struct PhaseResult {
+  std::string name;
+  double baseline_ms = 0.0;
+  double engine_ms = 0.0;
+};
+
+struct Config {
+  bool smoke = false;
+  std::size_t threads = 0;  // 0 = hardware concurrency
+  std::string out = "BENCH_gp.json";
+  std::size_t n_obs = 200;
+  std::size_t grid_levels = 11;  // 11^4 = 14,641 candidates
+  int reps = 3;
+};
+
+// Times fn() `reps` times and returns the per-call mean in ms. `reset` (may
+// be null) restores state between repetitions outside the timed region.
+template <typename Fn, typename Reset>
+double timed(int reps, const Fn& fn, const Reset& reset) {
+  double total = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    reset(r);
+    const double t0 = now_ms();
+    fn();
+    total += now_ms() - t0;
   }
-  const env::Context c = tb.context();
-  for (auto _ : state) benchmark::DoNotOptimize(agent.select(c));
+  return total / reps;
 }
-BENCHMARK(BM_EdgeBolSelectFullGrid)->Unit(benchmark::kMillisecond);
+
+std::vector<Vector> draw_inputs(std::size_t n, Rng& rng) {
+  std::vector<Vector> zs;
+  zs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector z(7);
+    for (double& v : z) v = rng.uniform();
+    zs.push_back(std::move(z));
+  }
+  return zs;
+}
+
+bool check_close(double a, double b, double tol, const char* what) {
+  if (std::abs(a - b) <= tol) return true;
+  std::fprintf(stderr, "FAIL: %s differ: engine=%.17g reference=%.17g\n", what,
+               a, b);
+  return false;
+}
+
+// Engine-vs-reference posterior agreement after interleaved adds and a
+// re-track (the smoke gate).
+bool run_correctness(const Config& cfg) {
+  Rng rng(7);
+  env::GridSpec spec;
+  spec.levels_per_dim = 3;  // 81 candidates — plenty for agreement checks
+  env::ControlGrid grid(spec);
+  const env::Context ctx{};
+  const auto cand_vecs = grid.candidate_features(ctx);
+  const auto cand_mat = std::make_shared<const linalg::Matrix>(
+      grid.candidate_feature_matrix(ctx));
+
+  gp::GpRegressor engine(make_kernel(), 1e-3);
+  RefGp ref(make_kernel(), 1e-3);
+  if (cfg.threads > 1) {
+    engine.set_thread_pool(std::make_shared<common::ThreadPool>(cfg.threads));
+  }
+
+  const auto zs = draw_inputs(40, rng);
+  Rng yrng(11);
+  std::size_t added = 0;
+  auto add_some = [&](std::size_t count) {
+    for (std::size_t i = 0; i < count && added < zs.size(); ++i, ++added) {
+      const double yv = yrng.normal();
+      engine.add(zs[added], yv);
+      ref.add(zs[added], yv);
+    }
+  };
+
+  add_some(10);
+  engine.track_candidates(cand_mat);
+  ref.track(cand_vecs);
+  add_some(15);
+  // Context switch: re-track both, then keep folding.
+  engine.track_candidates(cand_mat);
+  ref.track(cand_vecs);
+  add_some(15);
+
+  bool ok = true;
+  for (std::size_t j = 0; j < cand_vecs.size(); ++j) {
+    ok &= check_close(engine.tracked_mean(j), ref.mean[j], 1e-9,
+                      "tracked mean");
+    ok &= check_close(engine.tracked_variance(j), std::max(0.0, ref.var[j]),
+                      1e-9, "tracked variance");
+    if (!ok) return false;
+  }
+  for (int q = 0; q < 25; ++q) {
+    Vector zq(7);
+    for (double& v : zq) v = rng.uniform();
+    const gp::Prediction pe = engine.predict(zq);
+    const gp::Prediction pr = ref.predict(zq);
+    ok &= check_close(pe.mean, pr.mean, 1e-9, "predict mean");
+    ok &= check_close(pe.variance, pr.variance, 1e-9, "predict variance");
+    if (!ok) return false;
+  }
+  return ok;
+}
+
+std::vector<PhaseResult> run_phases(const Config& cfg) {
+  Rng rng(42);
+  env::GridSpec spec;
+  spec.levels_per_dim = cfg.grid_levels;
+  env::ControlGrid grid(spec);
+  const env::Context ctx{};
+  const auto cand_vecs = grid.candidate_features(ctx);
+  const auto cand_mat = std::make_shared<const linalg::Matrix>(
+      grid.candidate_feature_matrix(ctx));
+  const std::size_t m = grid.size();
+
+  std::shared_ptr<common::ThreadPool> pool;
+  if (cfg.threads > 1) pool = std::make_shared<common::ThreadPool>(cfg.threads);
+
+  const auto zs = draw_inputs(cfg.n_obs, rng);
+  Rng yrng(43);
+  Vector ys(cfg.n_obs);
+  for (double& v : ys) v = yrng.normal();
+
+  // Conditioned engine + reference with tracking active.
+  gp::GpRegressor engine(make_kernel(), 1e-3);
+  engine.set_thread_pool(pool);
+  RefGp ref(make_kernel(), 1e-3);
+  for (std::size_t i = 0; i < cfg.n_obs; ++i) {
+    engine.add(zs[i], ys[i]);
+    ref.add(zs[i], ys[i]);
+  }
+
+  std::vector<PhaseResult> out;
+  std::fprintf(stderr, "phases: n=%zu m=%zu threads=%zu reps=%d\n", cfg.n_obs,
+               m, cfg.threads, cfg.reps);
+
+  // -- track: O(m n^2) rebuild on context switch ----------------------------
+  {
+    PhaseResult p{"track", 0.0, 0.0};
+    p.baseline_ms =
+        timed(cfg.reps, [&] { ref.track(cand_vecs); }, [](int) {});
+    p.engine_ms =
+        timed(cfg.reps, [&] { engine.track_candidates(cand_mat); },
+              [](int) {});
+    out.push_back(p);
+  }
+
+  // -- add: O(m n) per-period fold (tracking active from the phase above) ---
+  {
+    PhaseResult p{"add", 0.0, 0.0};
+    const auto extra = draw_inputs(static_cast<std::size_t>(cfg.reps) * 2, rng);
+    std::size_t bi = 0, ei = 0;
+    p.baseline_ms = timed(
+        cfg.reps, [&] { ref.add(extra[bi++], 0.1); }, [](int) {});
+    p.engine_ms = timed(
+        cfg.reps, [&] { engine.add(extra[ei++], 0.1); }, [](int) {});
+    out.push_back(p);
+  }
+
+  // -- predict: O(n^2) cold posterior, batched over queries ------------------
+  {
+    PhaseResult p{"predict", 0.0, 0.0};
+    const std::size_t q = cfg.smoke ? 50 : 500;
+    const auto queries = draw_inputs(q, rng);
+    p.baseline_ms = timed(
+        cfg.reps,
+        [&] {
+          double acc = 0.0;
+          for (const Vector& zq : queries) acc += ref.predict(zq).mean;
+          g_sink = acc;
+        },
+        [](int) {});
+    p.engine_ms = timed(
+        cfg.reps,
+        [&] {
+          double acc = 0.0;
+          for (const Vector& zq : queries) acc += engine.predict(zq).mean;
+          g_sink = acc;
+        },
+        [](int) {});
+    out.push_back(p);
+  }
+
+  // -- hyperopt: pre-production LML probes, serial vs pooled -----------------
+  {
+    PhaseResult p{"hyperopt", 0.0, 0.0};
+    const std::size_t hn = cfg.smoke ? 20 : 60;
+    const auto hz = draw_inputs(hn, rng);
+    Vector hy(hn);
+    for (double& v : hy) v = yrng.normal();
+    gp::HyperoptOptions opts;
+    opts.num_random_starts = cfg.smoke ? 8 : 24;
+    opts.refine_rounds = cfg.smoke ? 1 : 2;
+    p.baseline_ms = timed(
+        cfg.reps,
+        [&] {
+          Rng hrng(99);
+          gp::fit_hyperparameters(hz, hy, hrng, opts);
+        },
+        [](int) {});
+    opts.pool = pool;
+    p.engine_ms = timed(
+        cfg.reps,
+        [&] {
+          Rng hrng(99);
+          gp::fit_hyperparameters(hz, hy, hrng, opts);
+        },
+        [](int) {});
+    out.push_back(p);
+  }
+
+  // -- full_period: 3 surrogates x (scan all m posteriors + fold one add) ----
+  {
+    PhaseResult p{"full_period", 0.0, 0.0};
+
+    std::vector<RefGp> base_gps;
+    std::vector<gp::GpRegressor> eng_gps;
+    for (int s = 0; s < 3; ++s) {
+      base_gps.emplace_back(make_kernel(), 1e-3);
+      eng_gps.emplace_back(make_kernel(), 1e-3);
+      for (std::size_t i = 0; i < cfg.n_obs; ++i) {
+        base_gps.back().add(zs[i], ys[i]);
+        eng_gps.back().add(zs[i], ys[i]);
+      }
+      base_gps.back().track(cand_vecs);
+      eng_gps.back().set_thread_pool(pool);
+      eng_gps.back().track_candidates(cand_mat);
+    }
+    const auto extra = draw_inputs(static_cast<std::size_t>(cfg.reps), rng);
+
+    std::size_t bi = 0;
+    p.baseline_ms = timed(
+        cfg.reps,
+        [&] {
+          double acc = 0.0;
+          for (RefGp& g : base_gps) {
+            for (std::size_t j = 0; j < m; ++j) acc += g.mean[j] + g.var[j];
+            g.add(extra[bi], 0.1);
+          }
+          ++bi;
+          g_sink = acc;
+        },
+        [](int) {});
+
+    std::size_t ei = 0;
+    p.engine_ms = timed(
+        cfg.reps,
+        [&] {
+          double acc = 0.0;
+          auto period = [&](gp::GpRegressor& g) {
+            double local = 0.0;
+            for (std::size_t j = 0; j < m; ++j) {
+              const gp::Prediction pr = g.tracked_prediction(j);
+              local += pr.mean + pr.variance;
+            }
+            g.add(extra[ei], 0.1);
+            return local;
+          };
+          if (pool) {
+            // The three surrogates update concurrently, as EdgeBol does.
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0;
+            pool->run_tasks({[&] { a0 = period(eng_gps[0]); },
+                             [&] { a1 = period(eng_gps[1]); },
+                             [&] { a2 = period(eng_gps[2]); }});
+            acc = a0 + a1 + a2;
+          } else {
+            for (auto& g : eng_gps) acc += period(g);
+          }
+          ++ei;
+          g_sink = acc;
+        },
+        [](int) {});
+    out.push_back(p);
+  }
+
+  return out;
+}
+
+void write_json(const Config& cfg, const std::vector<PhaseResult>& phases,
+                std::size_t m) {
+  std::ofstream os(cfg.out);
+  os.precision(6);
+  os << "{\n"
+     << "  \"n_obs\": " << cfg.n_obs << ",\n"
+     << "  \"n_candidates\": " << m << ",\n"
+     << "  \"dims\": 7,\n"
+     << "  \"threads\": " << cfg.threads << ",\n"
+     << "  \"smoke\": " << (cfg.smoke ? "true" : "false") << ",\n"
+     << "  \"phases\": [\n";
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseResult& p = phases[i];
+    const double speedup =
+        p.engine_ms > 0.0 ? p.baseline_ms / p.engine_ms : 0.0;
+    os << "    {\"name\": \"" << p.name << "\", \"baseline_ms\": "
+       << std::fixed << p.baseline_ms << ", \"engine_ms\": " << p.engine_ms
+       << ", \"speedup\": " << speedup << "}"
+       << (i + 1 < phases.size() ? "," : "") << "\n";
+    os.unsetf(std::ios::fixed);
+  }
+  os << "  ]\n}\n";
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  Config cfg;
+  cfg.threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      cfg.threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--threads N] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.smoke) {
+    cfg.n_obs = 40;
+    cfg.grid_levels = 5;  // 625 candidates
+    cfg.reps = 2;
+  }
+
+  if (!run_correctness(cfg)) {
+    std::fprintf(stderr, "bench_micro_gp: engine/reference mismatch\n");
+    return 1;
+  }
+  std::fprintf(stderr, "correctness: engine matches reference to 1e-9\n");
+
+  const std::vector<PhaseResult> phases = run_phases(cfg);
+  env::GridSpec spec;
+  spec.levels_per_dim = cfg.grid_levels;
+  const std::size_t m = spec.levels_per_dim * spec.levels_per_dim *
+                        spec.levels_per_dim * spec.levels_per_dim;
+  write_json(cfg, phases, m);
+
+  for (const PhaseResult& p : phases) {
+    std::fprintf(stderr, "%-12s baseline %10.3f ms   engine %10.3f ms   %.2fx\n",
+                 p.name.c_str(), p.baseline_ms, p.engine_ms,
+                 p.engine_ms > 0.0 ? p.baseline_ms / p.engine_ms : 0.0);
+  }
+  std::fprintf(stderr, "wrote %s\n", cfg.out.c_str());
+  return 0;
+}

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus an ASan+UBSan pass over the test suite.
+# Tier-1 verification, an optimized-build perf sanity pass, and an
+# ASan+UBSan pass over the test suite.
 #
-#   scripts/check.sh            # tier-1 + sanitizers
-#   scripts/check.sh --fast     # tier-1 only
+#   scripts/check.sh            # tier-1 + release smoke + sanitizers
+#   scripts/check.sh --fast     # tier-1 + release smoke only
 #
-# Both builds live under build/ and build-asan/ so repeat runs are
-# incremental.
+# Builds live under build/, build-release/, and build-asan/ so repeat runs
+# are incremental.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -14,6 +15,15 @@ echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+echo "== release (-O2): tier-1 tests + GP engine smoke bench =="
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS_RELEASE="-O2 -DNDEBUG" >/dev/null
+cmake --build build-release -j >/dev/null
+ctest --test-dir build-release --output-on-failure -j "$(nproc)"
+# Engine-vs-reference correctness gate (1e-9) + per-phase timings; exits
+# non-zero on mismatch. BENCH_gp.json lands in build-release/.
+(cd build-release && ./bench/bench_micro_gp --smoke)
 
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="

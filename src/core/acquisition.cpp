@@ -10,9 +10,14 @@ double lcb_value(const gp::Prediction& p, double beta) {
   return p.mean - beta * p.stddev();
 }
 
-std::size_t safeopt_select(
-    const SafeOptInputs& in,
-    const std::function<std::vector<std::size_t>(std::size_t)>& neighbors) {
+namespace {
+
+// Shared core of the two safeopt_select overloads. `HasUnsafeNeighbor` is
+// invoked only for non-minimizer safe points, with a predicate telling
+// whether a given index is safe.
+template <typename HasUnsafeNeighbor>
+std::size_t safeopt_select_impl(const SafeOptInputs& in,
+                                const HasUnsafeNeighbor& has_unsafe_neighbor) {
   if (in.cost == nullptr || in.delay == nullptr || in.map == nullptr ||
       in.safe_set == nullptr)
     throw std::invalid_argument("safeopt_select: null inputs");
@@ -45,15 +50,7 @@ std::size_t safeopt_select(
   for (std::size_t i : safe) {
     const bool minimizer =
         (*in.cost)[i].mean - in.beta * (*in.cost)[i].stddev() <= min_ucb;
-    bool expander = false;
-    if (!minimizer) {
-      for (std::size_t nb : neighbors(i)) {
-        if (!is_safe(nb)) {
-          expander = true;
-          break;
-        }
-      }
-    }
+    const bool expander = !minimizer && has_unsafe_neighbor(i, is_safe);
     if (!minimizer && !expander) continue;
     const double w = width(i);
     if (w > best_width) {
@@ -62,6 +59,36 @@ std::size_t safeopt_select(
     }
   }
   return best;
+}
+
+}  // namespace
+
+std::size_t safeopt_select(
+    const SafeOptInputs& in,
+    const std::function<std::vector<std::size_t>(std::size_t)>& neighbors) {
+  return safeopt_select_impl(
+      in, [&neighbors](std::size_t i, const auto& is_safe) {
+        for (std::size_t nb : neighbors(i)) {
+          if (!is_safe(nb)) return true;
+        }
+        return false;
+      });
+}
+
+std::size_t safeopt_select(const SafeOptInputs& in,
+                           std::span<const std::size_t> adjacency_offsets,
+                           std::span<const std::size_t> adjacency) {
+  if (in.cost != nullptr && adjacency_offsets.size() != in.cost->size() + 1)
+    throw std::invalid_argument("safeopt_select: adjacency size mismatch");
+  return safeopt_select_impl(
+      in, [&](std::size_t i, const auto& is_safe) {
+        const std::size_t lo = adjacency_offsets[i];
+        const std::size_t hi = adjacency_offsets[i + 1];
+        for (std::size_t a = lo; a < hi; ++a) {
+          if (!is_safe(adjacency[a])) return true;
+        }
+        return false;
+      });
 }
 
 std::size_t lcb_argmin(const std::vector<gp::Prediction>& cost_posterior,

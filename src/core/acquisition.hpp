@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "gp/gp_regressor.hpp"
@@ -48,5 +49,13 @@ struct SafeOptInputs {
 std::size_t safeopt_select(
     const SafeOptInputs& in,
     const std::function<std::vector<std::size_t>(std::size_t)>& neighbors);
+
+/// Allocation-free variant over a precomputed CSR adjacency (e.g.
+/// env::ControlGrid::adjacency_offsets()/adjacency()): neighbors of i are
+/// adjacency[offsets[i] .. offsets[i+1]). This is the decision-loop path —
+/// the std::function form allocates a vector per safe point per period.
+std::size_t safeopt_select(const SafeOptInputs& in,
+                           std::span<const std::size_t> adjacency_offsets,
+                           std::span<const std::size_t> adjacency);
 
 }  // namespace edgebol::core

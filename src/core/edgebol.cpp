@@ -104,6 +104,13 @@ EdgeBol::EdgeBol(env::ControlGrid grid, EdgeBolConfig config)
     if (i >= grid_.size())
       throw std::invalid_argument("EdgeBol: S0 index out of range");
   }
+
+  if (cfg_.num_threads > 1) {
+    pool_ = std::make_shared<common::ThreadPool>(cfg_.num_threads);
+    cost_gp_.set_thread_pool(pool_);
+    delay_gp_.set_thread_pool(pool_);
+    map_gp_.set_thread_pool(pool_);
+  }
 }
 
 void EdgeBol::ensure_tracking(const env::Context& context) {
@@ -112,10 +119,21 @@ void EdgeBol::ensure_tracking(const env::Context& context) {
       within_tolerance(*tracked_context_features_, f,
                        cfg_.tracking_tolerance))
     return;
-  const std::vector<linalg::Vector> cands = grid_.candidate_features(context);
-  cost_gp_.track_candidates(cands);
-  delay_gp_.track_candidates(cands);
-  map_gp_.track_candidates(cands);
+  // One packed copy of the candidate features, shared by all three
+  // surrogates; their O(T^2 |X|) cache rebuilds run concurrently (each
+  // rebuild is itself parallel over candidate blocks — nested use of the
+  // same pool).
+  const auto cands = std::make_shared<const linalg::Matrix>(
+      grid_.candidate_feature_matrix(context));
+  if (pool_) {
+    pool_->run_tasks({[&] { cost_gp_.track_candidates(cands); },
+                      [&] { delay_gp_.track_candidates(cands); },
+                      [&] { map_gp_.track_candidates(cands); }});
+  } else {
+    cost_gp_.track_candidates(cands);
+    delay_gp_.track_candidates(cands);
+    map_gp_.track_candidates(cands);
+  }
   tracked_context_features_ = f;
 }
 
@@ -199,10 +217,17 @@ Decision EdgeBol::select(const env::Context& context) {
   const std::size_t m = grid_.size();
 
   std::vector<gp::Prediction> delay_post(m), map_post(m), cost_post(m);
-  for (std::size_t j = 0; j < m; ++j) {
-    delay_post[j] = delay_gp_.tracked_prediction(j);
-    map_post[j] = map_gp_.tracked_prediction(j);
-    cost_post[j] = cost_gp_.tracked_prediction(j);
+  const auto scan = [&](std::size_t j0, std::size_t j1) {
+    for (std::size_t j = j0; j < j1; ++j) {
+      delay_post[j] = delay_gp_.tracked_prediction(j);
+      map_post[j] = map_gp_.tracked_prediction(j);
+      cost_post[j] = cost_gp_.tracked_prediction(j);
+    }
+  };
+  if (pool_) {
+    pool_->parallel_for(m, /*grain=*/1024, scan);
+  } else {
+    scan(0, m);
   }
 
   const double d_max_scaled =
@@ -238,8 +263,8 @@ Decision EdgeBol::select(const env::Context& context) {
     in.map = &map_post;
     in.safe_set = &safe;
     in.beta = cfg_.beta_sqrt;
-    dec.policy_index = safeopt_select(
-        in, [this](std::size_t i) { return grid_.neighbors(i); });
+    dec.policy_index =
+        safeopt_select(in, grid_.adjacency_offsets(), grid_.adjacency());
   } else {
     dec.policy_index = lcb_argmin(cost_post, safe, cfg_.beta_sqrt);
   }
@@ -276,10 +301,25 @@ void EdgeBol::observe(const env::Context& context,
     if (!informative) return;
   }
   const double u = cfg_.weights.cost(m.server_power_w, m.bs_power_w);
-  cost_gp_.add(z, u / cost_scale_);
-  delay_gp_.add(z,
-                std::log(std::min(m.delay_s, kDelayClipS) / cfg_.delay_scale));
-  map_gp_.add(z, m.map);
+  const double y_cost = u / cost_scale_;
+  const double y_delay =
+      std::log(std::min(m.delay_s, kDelayClipS) / cfg_.delay_scale);
+  const double y_map = m.map;
+  // The three surrogates are independent: their O(T^2 + T|X|) rank-one
+  // updates can run concurrently. A failed add (non-SPD extension) must not
+  // leave a *partial* observation — run_tasks already waits for all tasks
+  // and rethrows the first error, and each GP rolls back internally, so the
+  // surviving surrogates simply keep one extra point; update() treats the
+  // rethrow exactly like the serial path's.
+  if (pool_) {
+    pool_->run_tasks({[&] { cost_gp_.add(z, y_cost); },
+                      [&] { delay_gp_.add(z, y_delay); },
+                      [&] { map_gp_.add(z, y_map); }});
+  } else {
+    cost_gp_.add(z, y_cost);
+    delay_gp_.add(z, y_delay);
+    map_gp_.add(z, y_map);
+  }
 }
 
 void EdgeBol::update(const env::Context& context, std::size_t policy_index,

@@ -18,10 +18,12 @@
 
 #include <cstddef>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "core/safe_set.hpp"
 #include "env/control_grid.hpp"
 #include "env/testbed.hpp"
@@ -141,6 +143,14 @@ struct EdgeBolConfig {
 
   /// Degraded-mode hardening (KPI gate, watchdog, last-safe fallback).
   ResilienceConfig resilience{};
+
+  /// Worker threads for the GP posterior engine (tracked-cache rebuilds on
+  /// context switches, per-period folds, and the three surrogates' updates
+  /// run concurrently). 0 or 1 keeps everything on the calling thread. The
+  /// decision trajectory is bit-identical for any value — the parallel
+  /// partitioning never depends on the thread count (see
+  /// common::ThreadPool).
+  std::size_t num_threads = 1;
 };
 
 /// What the agent decided in one time period.
@@ -215,6 +225,7 @@ class EdgeBol {
   env::ControlGrid grid_;
   EdgeBolConfig cfg_;
   double cost_scale_ = 1.0;
+  std::shared_ptr<common::ThreadPool> pool_;  // null when num_threads <= 1
   gp::GpRegressor cost_gp_;
   gp::GpRegressor delay_gp_;
   gp::GpRegressor map_gp_;

@@ -62,6 +62,32 @@ ControlGrid::ControlGrid(GridSpec spec) : spec_(spec) {
       }
     }
   }
+
+  // Precompute the axis-aligned adjacency once (CSR): SafeOpt-style
+  // expander scans touch every safe point's neighbors each decision period,
+  // and allocating a fresh vector per point was measurable.
+  adj_offsets_.reserve(policies_.size() + 1);
+  adj_.reserve(policies_.size() * 8);
+  adj_offsets_.push_back(0);
+  for (std::size_t i = 0; i < policies_.size(); ++i) {
+    const std::size_t m = i % k;
+    const std::size_t g = (i / k) % k;
+    const std::size_t a = (i / (k * k)) % k;
+    const std::size_t r = i / (k * k * k);
+    auto encode = [&](std::size_t ri, std::size_t ai, std::size_t gi,
+                      std::size_t mi) {
+      return ((ri * k + ai) * k + gi) * k + mi;
+    };
+    auto push_axis = [&](std::size_t v, auto make) {
+      if (v > 0) adj_.push_back(make(v - 1));
+      if (v + 1 < k) adj_.push_back(make(v + 1));
+    };
+    push_axis(r, [&](std::size_t v) { return encode(v, a, g, m); });
+    push_axis(a, [&](std::size_t v) { return encode(r, v, g, m); });
+    push_axis(g, [&](std::size_t v) { return encode(r, a, v, m); });
+    push_axis(m, [&](std::size_t v) { return encode(r, a, g, v); });
+    adj_offsets_.push_back(adj_.size());
+  }
 }
 
 const ControlPolicy& ControlGrid::policy(std::size_t index) const {
@@ -98,28 +124,17 @@ std::size_t ControlGrid::max_performance_index() const {
 }
 
 std::vector<std::size_t> ControlGrid::neighbors(std::size_t index) const {
+  const std::span<const std::size_t> s = neighbors_span(index);
+  return std::vector<std::size_t>(s.begin(), s.end());
+}
+
+std::span<const std::size_t> ControlGrid::neighbors_span(
+    std::size_t index) const {
   if (index >= policies_.size())
     throw std::out_of_range("ControlGrid::neighbors");
-  const std::size_t k = spec_.levels_per_dim;
-  // Policies are enumerated res-major: index = ((r*k + a)*k + g)*k + m.
-  const std::size_t m = index % k;
-  const std::size_t g = (index / k) % k;
-  const std::size_t a = (index / (k * k)) % k;
-  const std::size_t r = index / (k * k * k);
-  std::vector<std::size_t> out;
-  auto encode = [&](std::size_t ri, std::size_t ai, std::size_t gi,
-                    std::size_t mi) {
-    return ((ri * k + ai) * k + gi) * k + mi;
-  };
-  auto push_axis = [&](std::size_t v, auto make) {
-    if (v > 0) out.push_back(make(v - 1));
-    if (v + 1 < k) out.push_back(make(v + 1));
-  };
-  push_axis(r, [&](std::size_t v) { return encode(v, a, g, m); });
-  push_axis(a, [&](std::size_t v) { return encode(r, v, g, m); });
-  push_axis(g, [&](std::size_t v) { return encode(r, a, v, m); });
-  push_axis(m, [&](std::size_t v) { return encode(r, a, g, v); });
-  return out;
+  return std::span<const std::size_t>(adj_.data() + adj_offsets_[index],
+                                      adj_offsets_[index + 1] -
+                                          adj_offsets_[index]);
 }
 
 std::vector<linalg::Vector> ControlGrid::candidate_features(
@@ -127,6 +142,24 @@ std::vector<linalg::Vector> ControlGrid::candidate_features(
   std::vector<linalg::Vector> out;
   out.reserve(policies_.size());
   for (const ControlPolicy& p : policies_) out.push_back(joint_features(c, p));
+  return out;
+}
+
+linalg::Matrix ControlGrid::candidate_feature_matrix(const Context& c) const {
+  const linalg::Vector ctx = c.to_features();
+  const std::size_t d = ctx.size() + ControlPolicy::kFeatureDims;
+  linalg::Matrix out;
+  out.reserve_rows(policies_.size(), d);
+  linalg::Vector row(d);
+  std::copy(ctx.begin(), ctx.end(), row.begin());
+  for (const ControlPolicy& p : policies_) {
+    // Inline ControlPolicy::to_features to avoid a temporary per policy.
+    row[ctx.size() + 0] = p.resolution;
+    row[ctx.size() + 1] = p.airtime;
+    row[ctx.size() + 2] = p.gpu_speed;
+    row[ctx.size() + 3] = static_cast<double>(p.mcs_cap) / ran::kMaxUlMcs;
+    out.append_row(row);
+  }
   return out;
 }
 

@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "env/context.hpp"
 #include "env/policy.hpp"
+#include "linalg/matrix.hpp"
 
 namespace edgebol::env {
 
@@ -46,16 +48,34 @@ class ControlGrid {
 
   /// Indices of the axis-aligned grid neighbours of `index` (one level up or
   /// down in exactly one dimension; 4-8 results). Used by SafeOpt-style
-  /// expander sets.
+  /// expander sets. Allocates; hot paths should use neighbors_span().
   std::vector<std::size_t> neighbors(std::size_t index) const;
+
+  /// Allocation-free view of the same adjacency, precomputed once at
+  /// construction (CSR layout over all grid points).
+  std::span<const std::size_t> neighbors_span(std::size_t index) const;
+
+  /// The full CSR adjacency: neighbors of i are
+  /// adjacency()[adjacency_offsets()[i] .. adjacency_offsets()[i+1]).
+  std::span<const std::size_t> adjacency_offsets() const {
+    return adj_offsets_;
+  }
+  std::span<const std::size_t> adjacency() const { return adj_; }
 
   /// GP input vectors [context, control] for every grid policy under the
   /// given context. Order matches policy indices.
   std::vector<linalg::Vector> candidate_features(const Context& c) const;
 
+  /// The same features packed as one row-major (size() x 7) matrix — the
+  /// form the GP tracked-candidate engine consumes without per-point
+  /// allocation.
+  linalg::Matrix candidate_feature_matrix(const Context& c) const;
+
  private:
   GridSpec spec_;
   std::vector<ControlPolicy> policies_;
+  std::vector<std::size_t> adj_offsets_;  // size() + 1 entries
+  std::vector<std::size_t> adj_;          // CSR-packed neighbor lists
 };
 
 }  // namespace edgebol::env

@@ -6,6 +6,17 @@
 
 namespace edgebol::gp {
 
+namespace {
+
+// Candidate-column block width for the packed cache kernels. Fixed (never a
+// function of the thread count) so the parallel partition — and therefore
+// the result, bit for bit — is identical for any pool size. 512 columns keep
+// a block's active rows within L1/L2 while leaving ~29 blocks of work per
+// rebuild of the 11^4 grid.
+constexpr std::size_t kColumnGrain = 512;
+
+}  // namespace
+
 double Prediction::stddev() const {
   return std::sqrt(std::max(0.0, variance));
 }
@@ -21,13 +32,15 @@ GpRegressor::GpRegressor(const GpRegressor& other)
     : kernel_(other.kernel_->clone()),
       noise_var_(other.noise_var_),
       z_(other.z_),
+      zdata_(other.zdata_),
       y_(other.y_),
       chol_(other.chol_),
       w_(other.w_),
       cands_(other.cands_),
-      acol_(other.acol_),
+      amat_(other.amat_),
       tracked_mean_(other.tracked_mean_),
-      tracked_var_(other.tracked_var_) {}
+      tracked_var_(other.tracked_var_),
+      pool_(other.pool_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   if (this == &other) return *this;
@@ -36,39 +49,87 @@ GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
   return *this;
 }
 
+void GpRegressor::set_thread_pool(std::shared_ptr<common::ThreadPool> pool) {
+  pool_ = std::move(pool);
+}
+
+void GpRegressor::over_columns(
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t m = num_tracked();
+  if (m == 0) return;
+  if (pool_) {
+    pool_->parallel_for(m, kColumnGrain, fn);
+  } else {
+    // Same block width serially: a block's cache rows stay L1/L2-resident
+    // across the row sweep (the unblocked sweep would stream the full
+    // n x m cache through memory once per training row).
+    for (std::size_t j0 = 0; j0 < m; j0 += kColumnGrain) {
+      fn(j0, std::min(m, j0 + kColumnGrain));
+    }
+  }
+}
+
+void GpRegressor::reserve_cache_rows(std::size_t rows) {
+  const std::size_t needed = rows * num_tracked();
+  if (needed > amat_.capacity()) {
+    amat_.reserve(std::max(needed, 2 * amat_.capacity()));
+  }
+}
+
 void GpRegressor::add(const Vector& z, double y) {
   if (z.size() != kernel_->dims())
     throw std::invalid_argument("GpRegressor::add: input dimension mismatch");
   const std::size_t n = y_.size();
 
-  Vector kvec(n);
-  for (std::size_t i = 0; i < n; ++i) kvec[i] = (*kernel_)(z_[i], z);
+  scratch_k_.resize(n);
+  kernel_->eval_batch(zdata_.data(), n, z, scratch_k_.data());
   const double kzz = (*kernel_)(z, z) + noise_var_;
 
-  chol_.extend(kvec, kzz);
-  const Matrix& l = chol_.lower();
-  const double pivot = l(n, n);
+  chol_.extend(scratch_k_, kzz);
+  const double* lrow = chol_.row_data(n);
+  const double pivot = chol_.diag(n);
 
   // Extend w = L^{-1} y by forward substitution on the new row.
   double s = y;
-  for (std::size_t i = 0; i < n; ++i) s -= l(n, i) * w_[i];
+  for (std::size_t i = 0; i < n; ++i) s -= lrow[i] * w_[i];
   const double w_new = s / pivot;
   w_.push_back(w_new);
 
-  // Extend the tracked-candidate cache with the new row of A = L^{-1} K_tc
-  // and fold it into the cached posterior moments.
-  for (std::size_t j = 0; j < cands_.size(); ++j) {
-    double v = (*kernel_)(z, cands_[j]);
-    const Vector& aj = acol_[j];
-    for (std::size_t i = 0; i < n; ++i) v -= l(n, i) * aj[i];
-    const double a_new = v / pivot;
-    acol_[j].push_back(a_new);
-    tracked_mean_[j] += a_new * w_new;
-    tracked_var_[j] -= a_new * a_new;
+  // Extend the tracked cache with the new row of A = L^{-1} K_tc and fold
+  // it into the cached posterior moments, blocked over candidate columns.
+  if (num_tracked() > 0) {
+    reserve_cache_rows(n + 1);
+    amat_.resize((n + 1) * num_tracked());
+    over_columns([&](std::size_t j0, std::size_t j1) {
+      fold_columns(z, w_new, pivot, j0, j1);
+    });
   }
 
   z_.push_back(z);
+  zdata_.insert(zdata_.end(), z.begin(), z.end());
   y_.push_back(y);
+}
+
+void GpRegressor::fold_columns(const Vector& z, double w_new, double pivot,
+                               std::size_t j0, std::size_t j1) {
+  const std::size_t n = y_.size();  // rows already in the cache
+  const std::size_t m = num_tracked();
+  const std::size_t d = kernel_->dims();
+  const double* lrow = chol_.row_data(n);
+  double* arow = amat_.data() + n * m;
+
+  // New cache row over this block: a_n = (k(z, c_j) - sum_i l_ni a_ij) / p.
+  kernel_->eval_batch(cands_->data().data() + j0 * d, j1 - j0, z, arow + j0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lni = lrow[i];
+    const double* ai = amat_.data() + i * m;
+    for (std::size_t j = j0; j < j1; ++j) arow[j] -= lni * ai[j];
+  }
+  for (std::size_t j = j0; j < j1; ++j) {
+    arow[j] /= pivot;
+    tracked_mean_[j] += arow[j] * w_new;
+    tracked_var_[j] -= arow[j] * arow[j];
+  }
 }
 
 Prediction GpRegressor::predict(const Vector& z) const {
@@ -79,11 +140,12 @@ Prediction GpRegressor::predict(const Vector& z) const {
   const double prior = (*kernel_)(z, z);
   if (n == 0) return Prediction{0.0, prior};
 
-  Vector kvec(n);
-  for (std::size_t i = 0; i < n; ++i) kvec[i] = (*kernel_)(z_[i], z);
-  const Vector v = chol_.solve_lower(kvec);
-  const double mean = linalg::dot(v, w_);
-  const double var = std::max(0.0, prior - linalg::dot(v, v));
+  scratch_k_.resize(n);
+  kernel_->eval_batch(zdata_.data(), n, z, scratch_k_.data());
+  chol_.solve_lower_into(scratch_k_, scratch_v_);
+  const double mean = linalg::dot(scratch_v_, w_);
+  const double var =
+      std::max(0.0, prior - linalg::dot(scratch_v_, scratch_v_));
   return Prediction{mean, var};
 }
 
@@ -95,18 +157,32 @@ double GpRegressor::log_marginal_likelihood() const {
 }
 
 void GpRegressor::track_candidates(std::vector<Vector> candidates) {
+  const std::size_t d = kernel_->dims();
+  auto packed = std::make_shared<Matrix>();
+  packed->reserve_rows(candidates.size(), d);
   for (const Vector& c : candidates) {
-    if (c.size() != kernel_->dims())
+    if (c.size() != d)
       throw std::invalid_argument(
           "GpRegressor::track_candidates: dimension mismatch");
+    packed->append_row(c);
   }
+  track_candidates(std::shared_ptr<const Matrix>(std::move(packed)));
+}
+
+void GpRegressor::track_candidates(std::shared_ptr<const Matrix> candidates) {
+  if (!candidates)
+    throw std::invalid_argument("GpRegressor::track_candidates: null matrix");
+  if (candidates->rows() > 0 && candidates->cols() != kernel_->dims())
+    throw std::invalid_argument(
+        "GpRegressor::track_candidates: dimension mismatch");
   cands_ = std::move(candidates);
   rebuild_tracked_cache();
 }
 
 void GpRegressor::clear_tracked_candidates() {
-  cands_.clear();
-  acol_.clear();
+  cands_.reset();
+  amat_.clear();
+  amat_.shrink_to_fit();
   tracked_mean_.clear();
   tracked_var_.clear();
 }
@@ -120,26 +196,48 @@ Prediction GpRegressor::tracked_prediction(std::size_t j) const {
 }
 
 void GpRegressor::rebuild_tracked_cache() {
-  const std::size_t m = cands_.size();
+  const std::size_t m = num_tracked();
   const std::size_t n = y_.size();
   tracked_mean_.assign(m, 0.0);
   tracked_var_.assign(m, 0.0);
-  acol_.assign(m, Vector{});
-  if (m == 0) return;
+  if (m == 0) {
+    amat_.clear();
+    return;
+  }
+  reserve_cache_rows(n);
+  amat_.resize(n * m);
+  over_columns([&](std::size_t j0, std::size_t j1) {
+    rebuild_columns(j0, j1);
+  });
+}
 
-  const Matrix& l = chol_.lower();
-  for (std::size_t j = 0; j < m; ++j) {
-    const Vector& cj = cands_[j];
-    tracked_var_[j] = (*kernel_)(cj, cj);
-    Vector& aj = acol_[j];
-    aj.resize(n);
-    // Forward substitution: a_j = L^{-1} k(train, c_j).
-    for (std::size_t i = 0; i < n; ++i) {
-      double v = (*kernel_)(z_[i], cj);
-      for (std::size_t k = 0; k < i; ++k) v -= l(i, k) * aj[k];
-      aj[i] = v / l(i, i);
-      tracked_mean_[j] += aj[i] * w_[i];
-      tracked_var_[j] -= aj[i] * aj[i];
+void GpRegressor::rebuild_columns(std::size_t j0, std::size_t j1) {
+  const std::size_t m = num_tracked();
+  const std::size_t n = y_.size();
+  const std::size_t d = kernel_->dims();
+  const double* cdata = cands_->data().data();
+
+  const double prior = kernel_->prior_variance();
+  for (std::size_t j = j0; j < j1; ++j) tracked_var_[j] = prior;
+
+  // Blocked forward substitution A = L^{-1} K(train, cands): column j only
+  // ever combines with column j, so the per-column FP sequence — and the
+  // result — is independent of both the blocking and the thread count.
+  for (std::size_t i = 0; i < n; ++i) {
+    double* ai = amat_.data() + i * m;
+    kernel_->eval_batch(cdata + j0 * d, j1 - j0, z_[i], ai + j0);
+    const double* li = chol_.row_data(i);
+    for (std::size_t k = 0; k < i; ++k) {
+      const double lik = li[k];
+      const double* ak = amat_.data() + k * m;
+      for (std::size_t j = j0; j < j1; ++j) ai[j] -= lik * ak[j];
+    }
+    const double lii = li[i];
+    const double wi = w_[i];
+    for (std::size_t j = j0; j < j1; ++j) {
+      ai[j] /= lii;
+      tracked_mean_[j] += ai[j] * wi;
+      tracked_var_[j] -= ai[j] * ai[j];
     }
   }
 }

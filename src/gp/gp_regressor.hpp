@@ -10,12 +10,28 @@
 // at every time period, the regressor can additionally "track" a fixed
 // candidate matrix: their posterior means/variances are cached and updated
 // in O(T |X|) per new observation instead of O(T^2 |X|) from scratch.
+//
+// The tracked cache is the decision loop's hot path. It is kept packed —
+// candidates as one row-major matrix, the substitution state A = L^{-1}
+// K(train, cands) as one contiguous row-major (T x |X|) buffer — so the
+// O(T |X|) fold of add() and the O(T^2 |X|) rebuild on context switch run as
+// blocked, vectorizable row operations, optionally parallelized over
+// candidate-column blocks on a common::ThreadPool. Parallel partitioning is
+// a function of |X| only (never the thread count) and each column's
+// floating-point operation sequence is independent of the blocking, so
+// results are bit-identical for any thread count, including the serial path.
+//
+// Instances are not safe for concurrent use (even predict(), which is
+// const, reuses internal scratch buffers); distinct instances may be used
+// from different threads freely, which is how the three EdgeBOL surrogates
+// update concurrently.
 
 #pragma once
 
 #include <memory>
 #include <vector>
 
+#include "common/thread_pool.hpp"
 #include "gp/kernel.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
@@ -43,6 +59,10 @@ class GpRegressor {
   GpRegressor(GpRegressor&&) noexcept = default;
   GpRegressor& operator=(GpRegressor&&) noexcept = default;
 
+  /// Parallelize tracked-cache maintenance on `pool` (nullptr restores the
+  /// serial path). Results are bit-identical either way.
+  void set_thread_pool(std::shared_ptr<common::ThreadPool> pool);
+
   /// Condition on one observation y at input z. O(T^2) plus O(T m) for m
   /// tracked candidates.
   void add(const Vector& z, double y);
@@ -65,28 +85,46 @@ class GpRegressor {
   /// add() calls. Replaces any previous tracking.
   /// Cost: O(T^2 m) once, then O(T m) per add().
   void track_candidates(std::vector<Vector> candidates);
+
+  /// Packed variant: one row-major (m x dims) matrix, shared so several
+  /// regressors tracking the same grid (EdgeBOL's three surrogates) hold a
+  /// single copy of the candidate features.
+  void track_candidates(std::shared_ptr<const Matrix> candidates);
+
   void clear_tracked_candidates();
-  bool has_tracked_candidates() const { return !cands_.empty(); }
-  std::size_t num_tracked() const { return cands_.size(); }
+  bool has_tracked_candidates() const { return num_tracked() > 0; }
+  std::size_t num_tracked() const { return cands_ ? cands_->rows() : 0; }
   double tracked_mean(std::size_t j) const { return tracked_mean_[j]; }
   double tracked_variance(std::size_t j) const;
   Prediction tracked_prediction(std::size_t j) const;
 
  private:
   void rebuild_tracked_cache();
+  // Rebuild / fold the tracked cache for candidate columns [j0, j1).
+  void rebuild_columns(std::size_t j0, std::size_t j1);
+  void fold_columns(const Vector& z, double w_new, double pivot,
+                    std::size_t j0, std::size_t j1);
+  // Runs fn over candidate-column blocks (fixed width, thread pool if set).
+  void over_columns(const std::function<void(std::size_t, std::size_t)>& fn);
+  void reserve_cache_rows(std::size_t rows);
 
   std::unique_ptr<Kernel> kernel_;
   double noise_var_;
 
   std::vector<Vector> z_;        // T training inputs
+  std::vector<double> zdata_;    // the same inputs packed row-major (T x d)
   Vector y_;                     // T training targets
   linalg::CholeskyFactor chol_;  // factor of K + zeta^2 I
   Vector w_;                     // L^{-1} y, extended per observation
 
-  std::vector<Vector> cands_;    // m tracked candidates
-  std::vector<Vector> acol_;     // acol_[j][i] = (L^{-1} K(train, cand))_ij
+  std::shared_ptr<const Matrix> cands_;  // m tracked candidates, packed
+  std::vector<double> amat_;     // A = L^{-1} K(train, cands), row-major T x m
   Vector tracked_mean_;          // m
   Vector tracked_var_;           // m (clamped at >= 0 on read)
+
+  std::shared_ptr<common::ThreadPool> pool_;
+  mutable Vector scratch_k_;     // kernel row, reused across predict()/add()
+  mutable Vector scratch_v_;     // triangular-solve output for predict()
 };
 
 }  // namespace edgebol::gp

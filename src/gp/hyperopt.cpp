@@ -40,6 +40,25 @@ double log_uniform(Rng& rng, double lo, double hi) {
   return std::exp(rng.uniform(std::log(lo), std::log(hi)));
 }
 
+// Evaluates every probe's LML, on the pool when one is configured. Probes
+// are whole O(n^3) GP builds, so grain 1 keeps all threads busy; the output
+// slot per probe is fixed, so the fill is deterministic by construction.
+std::vector<double> evaluate_probes(const std::vector<GpHyperparams>& probes,
+                                    const std::vector<Vector>& z,
+                                    const Vector& y,
+                                    const HyperoptOptions& opts) {
+  std::vector<double> lml(probes.size());
+  auto eval_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) lml[i] = safe_lml(probes[i], z, y);
+  };
+  if (opts.pool) {
+    opts.pool->parallel_for(probes.size(), 1, eval_range);
+  } else {
+    eval_range(0, probes.size());
+  }
+  return lml;
+}
+
 }  // namespace
 
 GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
@@ -57,7 +76,13 @@ GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
   best.lengthscales.assign(dims, 1.0);
   double best_lml = safe_lml(best, z, y);
 
-  // Phase 1: log-uniform random probing of the whole box.
+  // Phase 1: log-uniform random probing of the whole box. All random draws
+  // happen up front on the caller's Rng (same draw order as a serial loop),
+  // then the probes — each an independent GP build — are scored
+  // concurrently. The winner is folded in probe order, so the selected
+  // incumbent matches the serial scan exactly.
+  std::vector<GpHyperparams> probes;
+  probes.reserve(static_cast<std::size_t>(std::max(opts.num_random_starts, 0)));
   for (int s = 0; s < opts.num_random_starts; ++s) {
     GpHyperparams hp;
     hp.lengthscales.resize(dims);
@@ -67,18 +92,25 @@ GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
     }
     hp.amplitude = log_uniform(rng, opts.amplitude_min, opts.amplitude_max);
     hp.noise_variance = log_uniform(rng, opts.noise_min, opts.noise_max);
-    const double lml = safe_lml(hp, z, y);
-    if (lml > best_lml) {
-      best_lml = lml;
-      best = hp;
+    probes.push_back(std::move(hp));
+  }
+  const std::vector<double> probe_lml = evaluate_probes(probes, z, y, opts);
+  for (std::size_t s = 0; s < probes.size(); ++s) {
+    if (probe_lml[s] > best_lml) {
+      best_lml = probe_lml[s];
+      best = probes[s];
     }
   }
 
   // Phase 2: coordinate-wise multiplicative refinement with a shrinking
-  // step. Each coordinate is probed up/down in log-space and moved greedily.
+  // step. Each coordinate's up/down pair is evaluated from the same
+  // incumbent (concurrently when a pool is set), then applied greedily in
+  // the fixed order (up first), keeping the refinement path identical for
+  // any thread count.
   double step = 2.0;
   for (int round = 0; round < opts.refine_rounds; ++round) {
     for (std::size_t coord = 0; coord < dims + 2; ++coord) {
+      std::vector<GpHyperparams> pair;
       for (double factor : {step, 1.0 / step}) {
         GpHyperparams hp = best;
         if (coord < dims) {
@@ -92,10 +124,13 @@ GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
           hp.noise_variance = std::clamp(hp.noise_variance * factor,
                                          opts.noise_min, opts.noise_max);
         }
-        const double lml = safe_lml(hp, z, y);
-        if (lml > best_lml) {
-          best_lml = lml;
-          best = hp;
+        pair.push_back(std::move(hp));
+      }
+      const std::vector<double> pair_lml = evaluate_probes(pair, z, y, opts);
+      for (std::size_t k = 0; k < pair.size(); ++k) {
+        if (pair_lml[k] > best_lml) {
+          best_lml = pair_lml[k];
+          best = pair[k];
         }
       }
     }

@@ -6,10 +6,21 @@
 // The optimizer is derivative-free: multi-start random search in log-space
 // followed by coordinate-wise multiplicative refinement. With the small
 // pre-production datasets the paper assumes, this is both robust and fast.
+//
+// Likelihood probes are independent O(n^3) GP builds, so they parallelize
+// on a common::ThreadPool: phase 1 pre-draws every probe's hyperparameters
+// from the Rng sequentially (the draw sequence is identical to the serial
+// path) and evaluates the probes concurrently, picking the winner in probe
+// order; phase 2 evaluates each coordinate's up/down pair from the same
+// incumbent concurrently and applies the greedy updates in a fixed order.
+// The fitted result is therefore bit-identical for any thread count.
 
 #pragma once
 
+#include <memory>
+
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "gp/gp_regressor.hpp"
 
 namespace edgebol::gp {
@@ -40,6 +51,10 @@ struct HyperoptOptions {
   double amplitude_max = 10.0;
   double noise_min = 1e-5;
   double noise_max = 1.0;
+
+  /// When set, LML probes are evaluated concurrently on this pool. The
+  /// result is bit-identical to pool == nullptr (see the header comment).
+  std::shared_ptr<common::ThreadPool> pool;
 };
 
 /// Log marginal likelihood of (z, y) under the given hyperparameters.

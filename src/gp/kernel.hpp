@@ -24,6 +24,23 @@ class Kernel {
   /// Covariance between two points. Both must have dims() entries.
   virtual double operator()(const Vector& a, const Vector& b) const = 0;
 
+  /// Batched evaluation against packed row-major points: out[i] = k(x_i, z)
+  /// where x_i = xs[i*dims() .. (i+1)*dims()). The default implementation
+  /// loops over operator(); Matern32Kernel/RbfKernel override it with
+  /// devirtualized, vectorizable chunked loops (internal chunk: 256 points).
+  /// Results are identical whether a range is evaluated whole or in blocks,
+  /// provided block boundaries fall on chunk multiples — the GP engine's
+  /// column grain (512) guarantees this. When the library is built with
+  /// vectorized math (see src/CMakeLists.txt) batched values may differ from
+  /// the scalar operator() at the last-ulp level.
+  virtual void eval_batch(const double* xs, std::size_t n, const Vector& z,
+                          double* out) const;
+
+  /// Cross-covariance of two packed row-major point sets:
+  /// out[i * ny + j] = k(x_i, y_j). Default loops over eval_batch.
+  virtual void eval_cross(const double* xs, std::size_t nx, const double* ys,
+                          std::size_t ny, double* out) const;
+
   /// Prior variance k(z, z); for stationary kernels this is the amplitude.
   virtual double prior_variance() const = 0;
 
@@ -47,6 +64,8 @@ class Matern32Kernel final : public Kernel {
   Matern32Kernel(Vector lengthscales, double amplitude = 1.0);
 
   double operator()(const Vector& a, const Vector& b) const override;
+  void eval_batch(const double* xs, std::size_t n, const Vector& z,
+                  double* out) const override;
   double prior_variance() const override { return amplitude_; }
   std::size_t dims() const override { return lengthscales_.size(); }
   std::unique_ptr<Kernel> clone() const override;
@@ -55,6 +74,7 @@ class Matern32Kernel final : public Kernel {
 
  private:
   Vector lengthscales_;
+  Vector inv_lengthscales_;  // reciprocals, shared by scalar & batched paths
   double amplitude_;
 };
 
@@ -65,6 +85,8 @@ class RbfKernel final : public Kernel {
   RbfKernel(Vector lengthscales, double amplitude = 1.0);
 
   double operator()(const Vector& a, const Vector& b) const override;
+  void eval_batch(const double* xs, std::size_t n, const Vector& z,
+                  double* out) const override;
   double prior_variance() const override { return amplitude_; }
   std::size_t dims() const override { return lengthscales_.size(); }
   std::unique_ptr<Kernel> clone() const override;
@@ -73,6 +95,7 @@ class RbfKernel final : public Kernel {
 
  private:
   Vector lengthscales_;
+  Vector inv_lengthscales_;  // reciprocals, shared by scalar & batched paths
   double amplitude_;
 };
 

@@ -43,17 +43,20 @@ Vector backward_solve_transposed(const Matrix& lower, const Vector& y) {
 
 bool CholeskyFactor::try_factor(const Matrix& a, double jitter) {
   const std::size_t n = a.rows();
-  l_ = Matrix(n, n, 0.0);
+  n_ = n;
+  packed_.assign(n * (n + 1) / 2, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
+    double* ri = mutable_row(i);
     for (std::size_t j = 0; j <= i; ++j) {
+      const double* rj = row_data(j);
       double s = a(i, j);
       if (i == j) s += jitter;
-      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      for (std::size_t k = 0; k < j; ++k) s -= ri[k] * rj[k];
       if (i == j) {
         if (s <= kPivotFloor) return false;
-        l_(i, i) = std::sqrt(s);
+        ri[i] = std::sqrt(s);
       } else {
-        l_(i, j) = s / l_(j, j);
+        ri[j] = s / rj[j];
       }
     }
   }
@@ -74,14 +77,38 @@ CholeskyFactor::CholeskyFactor(const Matrix& a) {
   throw std::runtime_error("CholeskyFactor: matrix not SPD");
 }
 
+Matrix CholeskyFactor::lower() const {
+  Matrix l(n_, n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* ri = row_data(i);
+    for (std::size_t j = 0; j <= i; ++j) l(i, j) = ri[j];
+  }
+  return l;
+}
+
+void CholeskyFactor::reserve(std::size_t n) {
+  packed_.reserve(n * (n + 1) / 2);
+}
+
 void CholeskyFactor::extend(const Vector& off_diag, double diag) {
-  const std::size_t n = size();
+  const std::size_t n = n_;
   if (off_diag.size() != n)
     throw std::invalid_argument("CholeskyFactor::extend: length mismatch");
 
-  // New row of L: l = L^{-1} off_diag, new pivot = sqrt(diag - l.l).
-  Vector l = n > 0 ? forward_solve(l_, off_diag) : Vector{};
-  double pivot2 = diag - dot(l, l);
+  // New row of L: l = L^{-1} off_diag (forward substitution straight into
+  // the appended packed row), new pivot = sqrt(diag - l.l).
+  packed_.resize(packed_.size() + n + 1, 0.0);
+  n_ = n + 1;
+  double* row = mutable_row(n);
+  double ll = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = row_data(i);
+    double s = off_diag[i];
+    for (std::size_t j = 0; j < i; ++j) s -= ri[j] * row[j];
+    row[i] = s / ri[i];
+    ll += row[i] * row[i];
+  }
+  double pivot2 = diag - ll;
   double jitter = 0.0;
   if (pivot2 <= kPivotFloor) {
     for (double j : kJitterLadder) {
@@ -90,32 +117,54 @@ void CholeskyFactor::extend(const Vector& off_diag, double diag) {
         break;
       }
     }
-    if (pivot2 + jitter <= kPivotFloor)
+    if (pivot2 + jitter <= kPivotFloor) {
+      // Roll the half-appended row back before reporting failure.
+      packed_.resize(packed_.size() - (n + 1));
+      n_ = n;
       throw std::runtime_error("CholeskyFactor::extend: matrix not SPD");
+    }
     pivot2 += jitter;
   }
   if (jitter > jitter_used_) jitter_used_ = jitter;
-
-  Matrix grown(n + 1, n + 1, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j <= i; ++j) grown(i, j) = l_(i, j);
-  }
-  for (std::size_t j = 0; j < n; ++j) grown(n, j) = l[j];
-  grown(n, n) = std::sqrt(pivot2);
-  l_ = std::move(grown);
+  row[n] = std::sqrt(pivot2);
 }
 
 Vector CholeskyFactor::solve(const Vector& b) const {
-  return backward_solve_transposed(l_, forward_solve(l_, b));
+  Vector y;
+  solve_lower_into(b, y);
+  // Backward substitution on the packed transpose: x_i uses column i of L,
+  // i.e. entry (j, i) of every later row j.
+  Vector x(n_, 0.0);
+  for (std::size_t ii = n_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n_; ++j) s -= entry(j, i) * x[j];
+    x[i] = s / diag(i);
+  }
+  return x;
 }
 
 Vector CholeskyFactor::solve_lower(const Vector& b) const {
-  return forward_solve(l_, b);
+  Vector y;
+  solve_lower_into(b, y);
+  return y;
+}
+
+void CholeskyFactor::solve_lower_into(const Vector& b, Vector& out) const {
+  if (b.size() != n_)
+    throw std::invalid_argument("solve_lower: dimension mismatch");
+  out.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    const double* ri = row_data(i);
+    double s = b[i];
+    for (std::size_t j = 0; j < i; ++j) s -= ri[j] * out[j];
+    out[i] = s / ri[i];
+  }
 }
 
 double CholeskyFactor::log_det() const {
   double s = 0.0;
-  for (std::size_t i = 0; i < size(); ++i) s += std::log(l_(i, i));
+  for (std::size_t i = 0; i < n_; ++i) s += std::log(diag(i));
   return 2.0 * s;
 }
 

@@ -2,6 +2,11 @@
 // incremental row/column extension that makes the online GP update cheap:
 // when a new observation arrives, the kernel matrix grows by one row/column
 // and the factor can be extended in O(n^2) instead of refactored in O(n^3).
+//
+// The factor is stored packed (row i holds its i+1 lower-triangular entries
+// contiguously), so extension appends one row in amortized O(n) — no
+// re-striding or full-matrix copy — and forward substitution walks
+// contiguous memory.
 
 #pragma once
 
@@ -37,8 +42,23 @@ class CholeskyFactor {
   /// Batch factorization of an SPD matrix.
   explicit CholeskyFactor(const Matrix& a);
 
-  std::size_t size() const { return l_.rows(); }
-  const Matrix& lower() const { return l_; }
+  std::size_t size() const { return n_; }
+
+  /// Materializes the factor as a dense lower-triangular matrix (zeros above
+  /// the diagonal). O(n^2); meant for tests and diagnostics — hot paths use
+  /// row_data()/diag().
+  Matrix lower() const;
+
+  /// Pointer to the packed row i: entries L(i, 0..i) contiguously.
+  const double* row_data(std::size_t i) const {
+    return packed_.data() + i * (i + 1) / 2;
+  }
+  double diag(std::size_t i) const { return row_data(i)[i]; }
+  double entry(std::size_t i, std::size_t j) const { return row_data(i)[j]; }
+
+  /// Pre-allocates packed storage for a factor of `n` rows (growth hint for
+  /// the online pattern; avoids reallocation during a run of extend()).
+  void reserve(std::size_t n);
 
   /// Extend the factor for A grown by one row/column.
   /// `off_diag` is the new column above the diagonal (length == size()),
@@ -51,6 +71,10 @@ class CholeskyFactor {
   /// Solve L y = b only (used to form predictive variances).
   Vector solve_lower(const Vector& b) const;
 
+  /// Allocation-free variant: resizes `out` to size() and solves into it.
+  /// `out` must not alias `b`.
+  void solve_lower_into(const Vector& b, Vector& out) const;
+
   /// log(det(A)) = 2 * sum(log(diag(L))). Useful for GP marginal likelihood.
   double log_det() const;
 
@@ -60,8 +84,12 @@ class CholeskyFactor {
 
  private:
   bool try_factor(const Matrix& a, double jitter);
+  double* mutable_row(std::size_t i) {
+    return packed_.data() + i * (i + 1) / 2;
+  }
 
-  Matrix l_;
+  std::size_t n_ = 0;
+  std::vector<double> packed_;  // n(n+1)/2 entries, row-packed
   double jitter_used_ = 0.0;
 };
 

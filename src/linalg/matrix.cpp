@@ -24,6 +24,11 @@ void Matrix::append_row(const Vector& row) {
   ++rows_;
 }
 
+void Matrix::reserve_rows(std::size_t rows, std::size_t cols_hint) {
+  const std::size_t width = cols_ > 0 ? cols_ : cols_hint;
+  data_.reserve(rows * width);
+}
+
 Vector Matrix::row(std::size_t r) const {
   if (r >= rows_) throw std::out_of_range("Matrix::row");
   return Vector(data_.begin() + static_cast<std::ptrdiff_t>(r * cols_),

@@ -38,6 +38,11 @@ class Matrix {
   /// Appends a row (must match the column count; an empty matrix adopts it).
   void append_row(const Vector& row);
 
+  /// Capacity hint for a run of append_row calls: pre-allocates storage for
+  /// `rows` total rows of the current (or anticipated) width without
+  /// changing the logical shape.
+  void reserve_rows(std::size_t rows, std::size_t cols_hint = 0);
+
   Vector row(std::size_t r) const;
   Vector col(std::size_t c) const;
 
