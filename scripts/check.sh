@@ -25,11 +25,23 @@ ctest --test-dir build-release --output-on-failure -j "$(nproc)"
 # non-zero on mismatch. BENCH_gp.json lands in build-release/.
 (cd build-release && ./bench/bench_micro_gp --smoke)
 
+# Perf gate: every phase of the smoke bench must keep the engine at >= 0.95x
+# of the reference implementation (timings are best-of-5, so a failure here
+# is a real regression, not scheduler noise).
+awk -F'"speedup": ' '/"speedup"/ {
+  split($2, v, /[,}]/);
+  if (v[1] + 0 < 0.95) { bad = 1; print "perf gate: speedup " v[1] " < 0.95" }
+}
+END { exit bad }' build-release/BENCH_gp.json
+echo "perf gate: all phase speedups >= 0.95"
+
 if [[ "${1:-}" == "--fast" ]]; then
   echo "== skipped sanitizer pass (--fast) =="
   exit 0
 fi
 
+# Covers the Givens-downdate paths (test_cholesky RemoveRow*, test_gp_budget)
+# under ASan+UBSan along with everything else.
 echo "== sanitizers: ASan + UBSan test pass =="
 cmake -B build-asan -S . -DEDGEBOL_SANITIZE=ON >/dev/null
 cmake --build build-asan -j >/dev/null

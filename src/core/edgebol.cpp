@@ -91,6 +91,10 @@ EdgeBol::EdgeBol(env::ControlGrid grid, EdgeBolConfig config)
     throw std::invalid_argument("EdgeBol: beta_sqrt must be >= 0");
   if (cfg_.delay_scale <= 0.0)
     throw std::invalid_argument("EdgeBol: delay scale must be > 0");
+  if (cfg_.num_threads == 0)
+    throw std::invalid_argument(
+        "EdgeBol: num_threads must be >= 1 — it counts the calling thread "
+        "(use 1 for a serial agent)");
 
   // Automatic cost scale: the platform's plausible maximum cost, so scaled
   // observations land in ~[0, 1] (the GP prior amplitude).
@@ -104,6 +108,12 @@ EdgeBol::EdgeBol(env::ControlGrid grid, EdgeBolConfig config)
     if (i >= grid_.size())
       throw std::invalid_argument("EdgeBol: S0 index out of range");
   }
+  if (cfg_.gp_budget != 0 && cfg_.gp_budget < s0_.size())
+    throw std::invalid_argument(
+        "EdgeBol: gp_budget (" + std::to_string(cfg_.gp_budget) +
+        ") is below the safe-seed size |S0| (" + std::to_string(s0_.size()) +
+        ") — the budget must be able to retain every seed observation; use 0 "
+        "for unbounded");
 
   if (cfg_.num_threads > 1) {
     pool_ = std::make_shared<common::ThreadPool>(cfg_.num_threads);
@@ -320,6 +330,38 @@ void EdgeBol::observe(const env::Context& context,
     delay_gp_.add(z, y_delay);
     map_gp_.add(z, y_map);
   }
+  enforce_budget();
+}
+
+void EdgeBol::enforce_budget() {
+  if (cfg_.gp_budget == 0) return;
+  // The three surrogates must keep conditioning on the SAME observation set
+  // (save_observations zips their targets by index), so the per-GP
+  // auto-eviction stays off and the cost surrogate arbitrates: it picks the
+  // victim index, and the same index is removed from all three. The choice
+  // is computed serially, so budgeted trajectories stay bit-identical for
+  // any num_threads. The loop only iterates when load_observations replayed
+  // more than one observation past the budget.
+  while (cost_gp_.num_observations() > cfg_.gp_budget) {
+    const std::size_t victim = cost_gp_.eviction_candidate(cfg_.gp_eviction);
+    // After a partial add failure (gp_update_failures) a surrogate can hold
+    // one observation more or fewer than its peers; guard each removal so a
+    // degraded agent still converges to the budget instead of throwing.
+    const auto evict = [&](gp::GpRegressor& g) {
+      if (g.num_observations() > cfg_.gp_budget &&
+          victim < g.num_observations()) {
+        g.remove_observation(victim);
+      }
+    };
+    if (pool_) {
+      pool_->run_tasks({[&] { evict(cost_gp_); }, [&] { evict(delay_gp_); },
+                        [&] { evict(map_gp_); }});
+    } else {
+      evict(cost_gp_);
+      evict(delay_gp_);
+      evict(map_gp_);
+    }
+  }
 }
 
 void EdgeBol::update(const env::Context& context, std::size_t policy_index,
@@ -403,6 +445,7 @@ void EdgeBol::load_observations(std::istream& is) {
     delay_gp_.add(z, y_delay);
     map_gp_.add(z, y_map);
   }
+  enforce_budget();  // a budgeted agent retains at most gp_budget of them
   tracked_context_features_.reset();  // caches no longer match the data
 }
 

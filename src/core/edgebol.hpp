@@ -133,6 +133,22 @@ struct EdgeBolConfig {
   /// 1000s-period runs. 0 (default) stores everything, as the paper does.
   double novelty_threshold = 0.0;
 
+  /// Observation budget B per GP surrogate (0 = unbounded, the paper's
+  /// setting). Once the surrogates hold more than B observations, each
+  /// update evicts one via an exact O(B^2 + B|X|) Cholesky downdate, so
+  /// steady-state per-period latency and memory are flat for unbounded
+  /// horizons. Unlike `novelty_threshold` (which filters what gets stored),
+  /// the budget bounds what stays stored — the two compose. Must be 0 or at
+  /// least the safe-seed size |S0|; EdgeBol's constructor rejects smaller
+  /// values.
+  std::size_t gp_budget = 0;
+
+  /// Which observation a full budget evicts. The cost surrogate arbitrates
+  /// the choice and the same index is removed from all three surrogates, so
+  /// they always condition on the same observation set (save/load and the
+  /// paper's shared-input assumption depend on that).
+  gp::EvictionPolicy gp_eviction = gp::EvictionPolicy::kOldest;
+
   /// Candidate scores over the whole grid are cached per context; the cache
   /// is rebuilt (O(T^2 |X|)) only when the normalized context features move
   /// by more than this tolerance since the cached context. Movements below
@@ -146,10 +162,10 @@ struct EdgeBolConfig {
 
   /// Worker threads for the GP posterior engine (tracked-cache rebuilds on
   /// context switches, per-period folds, and the three surrogates' updates
-  /// run concurrently). 0 or 1 keeps everything on the calling thread. The
-  /// decision trajectory is bit-identical for any value — the parallel
-  /// partitioning never depends on the thread count (see
-  /// common::ThreadPool).
+  /// run concurrently). Counts the calling thread: 1 keeps everything on
+  /// the calling thread; 0 is rejected at construction. The decision
+  /// trajectory is bit-identical for any value — the parallel partitioning
+  /// never depends on the thread count (see common::ThreadPool).
   std::size_t num_threads = 1;
 };
 
@@ -218,6 +234,9 @@ class EdgeBol {
   void ensure_tracking(const env::Context& context);
   void observe(const env::Context& context, const env::ControlPolicy& policy,
                const env::Measurement& measurement);
+  // Evict (coordinated across the three surrogates) until none exceeds
+  // cfg_.gp_budget. No-op when the budget is 0.
+  void enforce_budget();
   bool validate_measurement(const env::Measurement& m);
   bool violates_constraints(const env::Measurement& m) const;
   std::size_t conservative_index() const;

@@ -1,6 +1,7 @@
 #include "gp/gp_regressor.hpp"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
@@ -40,6 +41,9 @@ GpRegressor::GpRegressor(const GpRegressor& other)
       amat_(other.amat_),
       tracked_mean_(other.tracked_mean_),
       tracked_var_(other.tracked_var_),
+      budget_(other.budget_),
+      eviction_policy_(other.eviction_policy_),
+      evictions_(other.evictions_),
       pool_(other.pool_) {}
 
 GpRegressor& GpRegressor::operator=(const GpRegressor& other) {
@@ -108,6 +112,117 @@ void GpRegressor::add(const Vector& z, double y) {
   z_.push_back(z);
   zdata_.insert(zdata_.end(), z.begin(), z.end());
   y_.push_back(y);
+
+  if (budget_ > 0 && y_.size() > budget_) {
+    remove_observation(eviction_candidate(eviction_policy_));
+  }
+}
+
+void GpRegressor::set_observation_budget(std::size_t budget,
+                                         EvictionPolicy policy) {
+  budget_ = budget;
+  eviction_policy_ = policy;
+  while (budget_ > 0 && y_.size() > budget_) {
+    remove_observation(eviction_candidate(eviction_policy_));
+  }
+}
+
+std::size_t GpRegressor::eviction_candidate(EvictionPolicy policy) const {
+  const std::size_t n = y_.size();
+  if (n == 0)
+    throw std::logic_error("GpRegressor::eviction_candidate: no observations");
+  if (policy == EvictionPolicy::kOldest) return 0;
+
+  // kMinLeverage: score_i = alpha_i^2 / P_ii, the squared perturbation the
+  // posterior mean suffers when observation i is deleted. alpha is one
+  // O(n^2) solve; P_ii = ||L^{-1} e_i||^2 comes from a trailing forward
+  // substitution per i (O(n^3)/6 total — flat, since n <= B). Everything is
+  // serial, so the choice never depends on the thread count.
+  const Vector alpha = chol_.solve(y_);
+  Vector x(n, 0.0);
+  std::size_t best = 0;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 / chol_.diag(i);
+    double p_ii = x[i] * x[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      const double* rk = chol_.row_data(k);
+      double s = 0.0;
+      for (std::size_t j = i; j < k; ++j) s -= rk[j] * x[j];
+      x[k] = s / rk[k];
+      p_ii += x[k] * x[k];
+    }
+    const double score = alpha[i] * alpha[i] / p_ii;
+    if (score < best_score) {
+      best_score = score;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void GpRegressor::remove_observation(std::size_t i) {
+  const std::size_t n = y_.size();
+  if (i >= n)
+    throw std::invalid_argument(
+        "GpRegressor::remove_observation: index out of range");
+  const std::size_t d = kernel_->dims();
+  chol_.remove_row(i, rot_scratch_);
+
+  // The rotations that re-triangularized L also keep w = L^{-1} y
+  // consistent: mix the same coordinate pairs, then drop the last entry
+  // (the component of the removed observation).
+  for (std::size_t r = 0; r < rot_scratch_.size(); ++r) {
+    const double c = rot_scratch_[r].c;
+    const double s = rot_scratch_[r].s;
+    const double a = w_[i + r];
+    const double b = w_[i + r + 1];
+    w_[i + r] = c * a + s * b;
+    w_[i + r + 1] = c * b - s * a;
+  }
+  const double w_last = w_.back();
+  w_.pop_back();
+
+  // Same treatment for the cache A = L^{-1} K(train, cands), block-parallel
+  // over candidate columns; the rotated-out last row leaves the cached
+  // moments through the rank-1 corrections. Per-column op order is fixed
+  // (rotations in sequence, then the fold-out), so results are bit-identical
+  // for any thread count.
+  if (num_tracked() > 0) {
+    over_columns([&](std::size_t j0, std::size_t j1) {
+      downdate_columns(i, n, w_last, j0, j1);
+    });
+    amat_.resize((n - 1) * num_tracked());
+  }
+
+  z_.erase(z_.begin() + static_cast<std::ptrdiff_t>(i));
+  zdata_.erase(zdata_.begin() + static_cast<std::ptrdiff_t>(i * d),
+               zdata_.begin() + static_cast<std::ptrdiff_t>((i + 1) * d));
+  y_.erase(y_.begin() + static_cast<std::ptrdiff_t>(i));
+  ++evictions_;
+}
+
+void GpRegressor::downdate_columns(std::size_t first, std::size_t rows,
+                                   double w_last, std::size_t j0,
+                                   std::size_t j1) {
+  const std::size_t m = num_tracked();
+  for (std::size_t r = 0; r < rot_scratch_.size(); ++r) {
+    const double c = rot_scratch_[r].c;
+    const double s = rot_scratch_[r].s;
+    double* ak = amat_.data() + (first + r) * m;
+    double* ak1 = ak + m;
+    for (std::size_t j = j0; j < j1; ++j) {
+      const double a = ak[j];
+      const double b = ak1[j];
+      ak[j] = c * a + s * b;
+      ak1[j] = c * b - s * a;
+    }
+  }
+  const double* last = amat_.data() + (rows - 1) * m;
+  for (std::size_t j = j0; j < j1; ++j) {
+    tracked_mean_[j] -= last[j] * w_last;
+    tracked_var_[j] += last[j] * last[j];
+  }
 }
 
 void GpRegressor::fold_columns(const Vector& z, double w_new, double pivot,

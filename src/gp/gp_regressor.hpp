@@ -21,6 +21,12 @@
 // floating-point operation sequence is independent of the blocking, so
 // results are bit-identical for any thread count, including the serial path.
 //
+// For unbounded horizons the regressor supports an observation budget B:
+// once T > B each add() evicts one observation (policy-selected) through a
+// Givens-rotation Cholesky downdate, with the same rotations folded through
+// the tracked cache, so per-period cost and memory stay flat at O(B^2 +
+// B |X|) forever while the posterior remains exact for the retained set.
+//
 // Instances are not safe for concurrent use (even predict(), which is
 // const, reuses internal scratch buffers); distinct instances may be used
 // from different threads freely, which is how the three EdgeBOL surrogates
@@ -48,6 +54,21 @@ struct Prediction {
   double stddev() const;
 };
 
+/// Which observation a budgeted regressor evicts once it holds more than its
+/// budget (see GpRegressor::set_observation_budget).
+enum class EvictionPolicy {
+  /// Sliding window: always drop the oldest observation (index 0). O(1)
+  /// selection; the right default for drifting environments.
+  kOldest,
+  /// Drop the observation whose removal least perturbs the posterior mean:
+  /// argmin_i alpha_i^2 / P_ii with alpha = (K + zeta^2 I)^{-1} y and
+  /// P = (K + zeta^2 I)^{-1} (the deletion score of sparse-GP pruning,
+  /// computable from the existing factor in O(T^3) — flat in the horizon
+  /// since T <= B). Keeps the informative support points; ties break toward
+  /// the oldest for determinism.
+  kMinLeverage,
+};
+
 class GpRegressor {
  public:
   /// `noise_variance` is the observation noise zeta^2 (must be > 0: it also
@@ -64,8 +85,37 @@ class GpRegressor {
   void set_thread_pool(std::shared_ptr<common::ThreadPool> pool);
 
   /// Condition on one observation y at input z. O(T^2) plus O(T m) for m
-  /// tracked candidates.
+  /// tracked candidates. With an observation budget set and full, the add
+  /// is followed by one eviction (same asymptotic cost), so steady-state
+  /// per-period work is flat for unbounded horizons.
   void add(const Vector& z, double y);
+
+  /// Bound the stored observation count. Once num_observations() exceeds
+  /// `budget`, every add() evicts one observation chosen by `policy`; if the
+  /// regressor is already over the new budget it is trimmed immediately.
+  /// The posterior stays EXACT for the retained set (this is a hard
+  /// eviction, not an approximation of the full-data posterior). 0 restores
+  /// the unbounded behaviour.
+  void set_observation_budget(std::size_t budget,
+                              EvictionPolicy policy = EvictionPolicy::kOldest);
+  std::size_t observation_budget() const { return budget_; }
+  EvictionPolicy eviction_policy() const { return eviction_policy_; }
+  /// Total observations evicted so far (by budget enforcement or explicit
+  /// remove_observation calls).
+  std::size_t evictions() const { return evictions_; }
+
+  /// The index `policy` would evict right now. Requires at least one
+  /// observation. Deterministic (serial) regardless of the thread pool.
+  std::size_t eviction_candidate(EvictionPolicy policy) const;
+
+  /// Remove observation i exactly: the Cholesky factor is downdated with
+  /// Givens rotations in O(T^2) (no refactorization) and the same rotations
+  /// fold through w and the tracked-candidate cache in O(T m) — the same
+  /// order as the add() fold. The posterior afterwards equals (to rounding)
+  /// a fresh regressor built from the retained observations; cache
+  /// downdates are block-parallel on the pool and bit-identical for any
+  /// thread count.
+  void remove_observation(std::size_t i);
 
   /// Posterior mean/variance at z. O(T^2). With no data this returns the
   /// prior (mean 0, variance k(z,z)).
@@ -104,6 +154,11 @@ class GpRegressor {
   void rebuild_columns(std::size_t j0, std::size_t j1);
   void fold_columns(const Vector& z, double w_new, double pivot,
                     std::size_t j0, std::size_t j1);
+  // Apply the pending eviction rotations (rot_scratch_, starting at row
+  // `first`) to cache columns [j0, j1) and fold out the resulting last row
+  // (`rows` = row count before the removal, w_last = rotated-out w entry).
+  void downdate_columns(std::size_t first, std::size_t rows, double w_last,
+                        std::size_t j0, std::size_t j1);
   // Runs fn over candidate-column blocks (fixed width, thread pool if set).
   void over_columns(const std::function<void(std::size_t, std::size_t)>& fn);
   void reserve_cache_rows(std::size_t rows);
@@ -122,9 +177,14 @@ class GpRegressor {
   Vector tracked_mean_;          // m
   Vector tracked_var_;           // m (clamped at >= 0 on read)
 
+  std::size_t budget_ = 0;       // 0 = unbounded
+  EvictionPolicy eviction_policy_ = EvictionPolicy::kOldest;
+  std::size_t evictions_ = 0;
+
   std::shared_ptr<common::ThreadPool> pool_;
   mutable Vector scratch_k_;     // kernel row, reused across predict()/add()
   mutable Vector scratch_v_;     // triangular-solve output for predict()
+  std::vector<linalg::GivensRotation> rot_scratch_;  // eviction rotations
 };
 
 }  // namespace edgebol::gp

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numbers>
 #include <stdexcept>
+
+#include "linalg/cholesky.hpp"
 
 namespace edgebol::gp {
 
@@ -17,19 +20,56 @@ std::unique_ptr<Kernel> GpHyperparams::make_kernel() const {
   return std::make_unique<Matern32Kernel>(lengthscales, amplitude);
 }
 
-double log_marginal_likelihood(const GpHyperparams& hp,
-                               const std::vector<Vector>& z, const Vector& y) {
-  GpRegressor gp(hp.make_kernel(), hp.noise_variance);
-  for (std::size_t i = 0; i < z.size(); ++i) gp.add(z[i], y[i]);
-  return gp.log_marginal_likelihood();
-}
-
 namespace {
+
+// Buffers one LML probe needs: the Gram matrix, its factor, and the solve
+// output. A probe is an independent O(n^3) build, but nothing about it has
+// to allocate — reusing one workspace per thread across the dozens of
+// probes a fit makes keeps the hyperopt phase allocation-free in steady
+// state (the pre-workspace engine rebuilt a GpRegressor per probe: a kernel
+// clone, n input copies and a growing factor each time).
+struct LmlWorkspace {
+  linalg::Matrix gram;        // lower triangle filled per probe
+  std::vector<double> zdata;  // inputs packed row-major, once per probe
+  linalg::CholeskyFactor chol;
+  Vector w;
+};
+
+double lml_with_workspace(const GpHyperparams& hp,
+                          const std::vector<Vector>& z, const Vector& y,
+                          LmlWorkspace& ws) {
+  const std::size_t n = z.size();
+  if (n == 0) return 0.0;
+  const std::size_t d = z.front().size();
+  const auto kernel = hp.make_kernel();
+  if (kernel->dims() != d)
+    throw std::invalid_argument(
+        "log_marginal_likelihood: hyperparameter/input dimension mismatch");
+
+  ws.zdata.resize(n * d);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::copy(z[i].begin(), z[i].end(), ws.zdata.begin() + i * d);
+  }
+  // Only the lower triangle is filled (the factorization reads nothing
+  // else); row i is one batched kernel sweep against points 0..i.
+  if (ws.gram.rows() != n) ws.gram = linalg::Matrix(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    kernel->eval_batch(ws.zdata.data(), i + 1, z[i], &ws.gram(i, 0));
+    ws.gram(i, i) += hp.noise_variance;
+  }
+  ws.chol.factorize(ws.gram);  // reuses packed storage; throws on non-SPD
+  ws.chol.solve_lower_into(y, ws.w);
+  return -0.5 * linalg::dot(ws.w, ws.w) - 0.5 * ws.chol.log_det() -
+         0.5 * static_cast<double>(n) * std::log(2.0 * std::numbers::pi);
+}
 
 double safe_lml(const GpHyperparams& hp, const std::vector<Vector>& z,
                 const Vector& y) {
+  // One workspace per thread: pool workers and the calling thread each keep
+  // their buffers warm across every probe of the fit (and across fits).
+  thread_local LmlWorkspace ws;
   try {
-    return log_marginal_likelihood(hp, z, y);
+    return lml_with_workspace(hp, z, y, ws);
   } catch (const std::runtime_error&) {
     // Numerically non-SPD corner of the hyperparameter space.
     return -std::numeric_limits<double>::infinity();
@@ -60,6 +100,12 @@ std::vector<double> evaluate_probes(const std::vector<GpHyperparams>& probes,
 }
 
 }  // namespace
+
+double log_marginal_likelihood(const GpHyperparams& hp,
+                               const std::vector<Vector>& z, const Vector& y) {
+  LmlWorkspace ws;
+  return lml_with_workspace(hp, z, y, ws);
+}
 
 GpHyperparams fit_hyperparameters(const std::vector<Vector>& z,
                                   const Vector& y, Rng& rng,

@@ -1,5 +1,6 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -63,10 +64,13 @@ bool CholeskyFactor::try_factor(const Matrix& a, double jitter) {
   return true;
 }
 
-CholeskyFactor::CholeskyFactor(const Matrix& a) {
+CholeskyFactor::CholeskyFactor(const Matrix& a) { factorize(a); }
+
+void CholeskyFactor::factorize(const Matrix& a) {
   const std::size_t n = a.rows();
   if (a.cols() != n)
     throw std::invalid_argument("CholeskyFactor: matrix not square");
+  jitter_used_ = 0.0;
   if (try_factor(a, 0.0)) return;
   for (double jitter : kJitterLadder) {
     if (try_factor(a, jitter)) {
@@ -127,6 +131,49 @@ void CholeskyFactor::extend(const Vector& off_diag, double diag) {
   }
   if (jitter > jitter_used_) jitter_used_ = jitter;
   row[n] = std::sqrt(pivot2);
+}
+
+void CholeskyFactor::remove_row(std::size_t i,
+                                std::vector<GivensRotation>& rotations) {
+  if (i >= n_)
+    throw std::invalid_argument("CholeskyFactor::remove_row: index out of range");
+  const std::size_t n = n_;
+  rotations.clear();
+  rotations.reserve(n - 1 - i);
+
+  // With row i of L deleted, new row k >= i is old row k+1: it carries one
+  // entry past the diagonal, at old column k+1. Zero that superdiagonal
+  // column by column with rotations of old column pairs (j, j+1); each
+  // rotation only touches old rows >= j+1 (earlier rows already have zeros
+  // in both columns), so everything happens in place in packed storage.
+  for (std::size_t j = i; j + 1 < n; ++j) {
+    const double* lead = row_data(j + 1);
+    const double a = lead[j];
+    const double b = lead[j + 1];  // the old (positive) diagonal L(j+1, j+1)
+    const double r = std::hypot(a, b);
+    if (!(r > kPivotFloor))
+      throw std::runtime_error("CholeskyFactor::remove_row: degenerate factor");
+    const double c = a / r;
+    const double s = b / r;
+    rotations.push_back({c, s});
+    for (std::size_t k = j + 1; k < n; ++k) {
+      double* row = mutable_row(k);
+      const double x = row[j];
+      const double y = row[j + 1];
+      row[j] = c * x + s * y;      // new diagonal at k == j+1: r > 0
+      row[j + 1] = c * y - s * x;  // zeroed at k == j+1
+    }
+  }
+
+  // Compact: new row k (k >= i) is old row k+1 truncated to columns 0..k
+  // (its old column k+1 entry is now zero). Source and destination packed
+  // ranges abut, so a plain forward copy is safe.
+  for (std::size_t k = i; k + 1 < n; ++k) {
+    const double* src = row_data(k + 1);
+    std::copy(src, src + k + 1, packed_.data() + k * (k + 1) / 2);
+  }
+  n_ = n - 1;
+  packed_.resize(n_ * (n_ + 1) / 2);
 }
 
 Vector CholeskyFactor::solve(const Vector& b) const {

@@ -2,6 +2,10 @@
 // incremental row/column extension that makes the online GP update cheap:
 // when a new observation arrives, the kernel matrix grows by one row/column
 // and the factor can be extended in O(n^2) instead of refactored in O(n^3).
+// The inverse operation — removing one row/column via Givens-rotation
+// downdates, also O(n^2) — is what bounds a budgeted online GP: together,
+// extend + remove_row keep steady-state per-update cost flat for unbounded
+// horizons.
 //
 // The factor is stored packed (row i holds its i+1 lower-triangular entries
 // contiguously), so extension appends one row in amortized O(n) — no
@@ -13,6 +17,15 @@
 #include "linalg/matrix.hpp"
 
 namespace edgebol::linalg {
+
+/// One plane rotation produced by CholeskyFactor::remove_row(). Rotation r
+/// of the returned sequence acts on coordinates (k, k+1) of the factor's
+/// row space, k = removed_index + r:
+///   (v_k, v_{k+1}) <- (c v_k + s v_{k+1},  c v_{k+1} - s v_k).
+struct GivensRotation {
+  double c = 1.0;
+  double s = 0.0;
+};
 
 /// Solve L y = b where L is lower triangular (forward substitution).
 Vector forward_solve(const Matrix& lower, const Vector& b);
@@ -42,6 +55,11 @@ class CholeskyFactor {
   /// Batch factorization of an SPD matrix.
   explicit CholeskyFactor(const Matrix& a);
 
+  /// Batch factorization into an existing object, reusing the packed storage
+  /// (for workspaces that factor many same-size matrices without
+  /// reallocating). Same jitter/throw behaviour as the constructor.
+  void factorize(const Matrix& a);
+
   std::size_t size() const { return n_; }
 
   /// Materializes the factor as a dense lower-triangular matrix (zeros above
@@ -64,6 +82,21 @@ class CholeskyFactor {
   /// `off_diag` is the new column above the diagonal (length == size()),
   /// `diag` is the new diagonal entry.
   void extend(const Vector& off_diag, double diag);
+
+  /// Downdate the factor for A with row/column `i` removed, in O((n-i)^2)
+  /// via Givens rotations — no refactorization. Deleting row i of L leaves
+  /// an almost-lower-triangular matrix M with one superdiagonal entry per
+  /// row below i; rotations on adjacent column pairs (j, j+1), j = i..n-2,
+  /// restore triangularity while preserving M M^T = A-without-row/col-i.
+  ///
+  /// `rotations` receives the applied sequence (cleared first, in
+  /// application order; see GivensRotation for the convention). Because the
+  /// rotations are orthogonal, any cached solution v = L^{-1} r stays
+  /// consistent under the SAME row mixing: apply each rotation to
+  /// (v_k, v_{k+1}) in order, then drop the last entry. This is what lets
+  /// the GP engine downdate its packed candidate cache in O(n m) instead of
+  /// rebuilding it in O(n^2 m).
+  void remove_row(std::size_t i, std::vector<GivensRotation>& rotations);
 
   /// Solve A x = b via the factor (two triangular solves).
   Vector solve(const Vector& b) const;

@@ -179,6 +179,76 @@ TEST(Cholesky, WellConditionedMatrixUsesNoJitter) {
   EXPECT_DOUBLE_EQ(f.jitter_used(), 0.0);
 }
 
+// A with row/column i deleted (the matrix remove_row's factor must match).
+Matrix delete_row_col(const Matrix& a, std::size_t i) {
+  const std::size_t n = a.rows();
+  Matrix out(n - 1, n - 1);
+  for (std::size_t r = 0, rr = 0; r < n; ++r) {
+    if (r == i) continue;
+    for (std::size_t c = 0, cc = 0; c < n; ++c) {
+      if (c == i) continue;
+      out(rr, cc) = a(r, c);
+      ++cc;
+    }
+    ++rr;
+  }
+  return out;
+}
+
+TEST(Cholesky, RemoveRowMatchesReducedFactorization) {
+  Rng rng(11);
+  const std::size_t n = 9;
+  const Matrix a = random_spd(n, rng);
+  std::vector<GivensRotation> rot;
+  for (std::size_t i : {std::size_t{0}, n / 2, n - 1}) {  // first/middle/last
+    CholeskyFactor f(a);
+    f.remove_row(i, rot);
+    ASSERT_EQ(f.size(), n - 1);
+    EXPECT_EQ(rot.size(), n - 1 - i);
+    const CholeskyFactor fresh(delete_row_col(a, i));
+    // Both factors are lower-triangular with positive diagonal and satisfy
+    // L L^T = A-reduced, so they must agree entrywise (uniqueness).
+    EXPECT_LT(f.lower().max_abs_diff(fresh.lower()), 1e-9) << "i=" << i;
+  }
+}
+
+TEST(Cholesky, RemoveRowSolveMatchesReducedSystem) {
+  Rng rng(13);
+  const std::size_t n = 7;
+  const Matrix a = random_spd(n, rng);
+  Vector b(n - 1);
+  for (double& v : b) v = rng.normal();
+  CholeskyFactor f(a);
+  std::vector<GivensRotation> rot;
+  f.remove_row(2, rot);
+  const Vector x = f.solve(b);
+  const Vector ax = matvec(delete_row_col(a, 2), x);
+  EXPECT_LT(max_abs_diff(ax, b), 1e-8);
+}
+
+TEST(Cholesky, RemoveRowRepeatedlyDownToOne) {
+  Rng rng(17);
+  Matrix a = random_spd(6, rng);
+  CholeskyFactor f(a);
+  std::vector<GivensRotation> rot;
+  while (f.size() > 1) {
+    a = delete_row_col(a, 0);
+    f.remove_row(0, rot);
+    const CholeskyFactor fresh(a);
+    EXPECT_LT(f.lower().max_abs_diff(fresh.lower()), 1e-9);
+  }
+  EXPECT_NEAR(f.diag(0), std::sqrt(a(0, 0)), 1e-9);
+}
+
+TEST(Cholesky, RemoveRowOutOfRangeThrows) {
+  Rng rng(19);
+  CholeskyFactor f(random_spd(4, rng));
+  std::vector<GivensRotation> rot;
+  EXPECT_THROW(f.remove_row(4, rot), std::invalid_argument);
+  CholeskyFactor empty;
+  EXPECT_THROW(empty.remove_row(0, rot), std::invalid_argument);
+}
+
 TEST(Cholesky, DimensionMismatchThrows) {
   Matrix l = Matrix::identity(2);
   EXPECT_THROW(forward_solve(l, {1.0}), std::invalid_argument);

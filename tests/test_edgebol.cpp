@@ -259,6 +259,41 @@ TEST(EdgeBol, Validation) {
   EXPECT_THROW(agent.set_constraints({-1.0, 0.5}), std::invalid_argument);
 }
 
+TEST(EdgeBol, ValidationOfBudgetAndThreads) {
+  // num_threads counts the calling thread; 0 is a configuration error.
+  EdgeBolConfig cfg;
+  cfg.num_threads = 0;
+  EXPECT_THROW(EdgeBol(small_grid(), cfg), std::invalid_argument);
+
+  // A budget below |S0| could not even hold the safe seed.
+  cfg = EdgeBolConfig{};
+  cfg.initial_safe_set = {0, 1, 2};
+  cfg.gp_budget = 2;
+  EXPECT_THROW(EdgeBol(small_grid(), cfg), std::invalid_argument);
+
+  // Budget == |S0| and budget == 0 (unbounded) are both fine.
+  cfg.gp_budget = 3;
+  EXPECT_NO_THROW(EdgeBol(small_grid(), cfg));
+  cfg.gp_budget = 0;
+  EXPECT_NO_THROW(EdgeBol(small_grid(), cfg));
+}
+
+TEST(EdgeBol, BudgetBoundsObservationsInTheLoop) {
+  EdgeBolConfig cfg;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints = {0.4, 0.5};
+  cfg.gp_budget = 10;
+  EdgeBol agent(small_grid(), cfg);
+  env::Testbed tb = env::make_static_testbed(35.0);
+  for (int t = 0; t < 30; ++t) {
+    const env::Context c = tb.context();
+    const Decision d = agent.select(c);
+    agent.update(c, d.policy_index, tb.step(d.policy));
+    EXPECT_LE(agent.num_observations(), cfg.gp_budget);
+  }
+  EXPECT_EQ(agent.num_observations(), cfg.gp_budget);
+}
+
 TEST(EdgeBol, SafeOptAcquisitionStaysSafeButConvergesSlower) {
   env::Testbed tb_lcb = env::make_static_testbed(35.0);
   env::Testbed tb_so = env::make_static_testbed(35.0);

@@ -1,0 +1,260 @@
+// Observation-budget guarantees of the GP engine:
+//
+//  1. Eviction is EXACT — after any remove_observation (downdate, no
+//     refactorization) the posterior over the tracked grid matches a fresh
+//     regressor built from just the retained observations.
+//  2. The budget is a hard bound — budgeted runs never hold more than B
+//     observations, and kOldest retains exactly the newest B inputs.
+//  3. Parallelism never changes results — budgeted tracked caches and
+//     EdgeBol decision trajectories are bit-identical for thread counts
+//     {1, 2, 8}, eviction downdates included.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/edgebol.hpp"
+#include "env/scenarios.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
+
+namespace edgebol {
+namespace {
+
+using linalg::Vector;
+
+std::unique_ptr<gp::Kernel> make_kernel() {
+  return std::make_unique<gp::Matern32Kernel>(Vector(7, 1.1), 0.9);
+}
+
+std::vector<Vector> draw_points(std::size_t n, Rng& rng) {
+  std::vector<Vector> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vector z(7);
+    for (double& v : z) v = rng.uniform();
+    out.push_back(std::move(z));
+  }
+  return out;
+}
+
+std::shared_ptr<const linalg::Matrix> pack(const std::vector<Vector>& pts) {
+  linalg::Matrix m;
+  m.reserve_rows(pts.size(), 7);
+  for (const Vector& p : pts) m.append_row(p);
+  return std::make_shared<const linalg::Matrix>(std::move(m));
+}
+
+// Fresh regressor conditioned on exactly gp's retained observations; its
+// tracked posterior is the ground truth the downdated cache must match.
+void expect_matches_fresh(const gp::GpRegressor& gp,
+                          const std::vector<Vector>& cands, double tol) {
+  gp::GpRegressor fresh(make_kernel(), gp.noise_variance());
+  for (std::size_t i = 0; i < gp.num_observations(); ++i) {
+    fresh.add(gp.inputs()[i], gp.targets()[i]);
+  }
+  fresh.track_candidates(pack(cands));
+  for (std::size_t j = 0; j < cands.size(); ++j) {
+    EXPECT_NEAR(gp.tracked_mean(j), fresh.tracked_mean(j), tol) << "j=" << j;
+    EXPECT_NEAR(gp.tracked_variance(j), fresh.tracked_variance(j), tol)
+        << "j=" << j;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// remove_observation at the edges and the middle, tracked == fresh.
+// ---------------------------------------------------------------------------
+
+TEST(GpBudget, RemoveObservationMatchesFresh) {
+  Rng rng(101);
+  const auto cands = draw_points(40, rng);
+  const auto zs = draw_points(14, rng);
+  for (std::size_t victim : {std::size_t{0}, std::size_t{7}, std::size_t{13}}) {
+    gp::GpRegressor gp(make_kernel(), 2e-3);
+    Rng yrng(55);
+    for (const Vector& z : zs) gp.add(z, yrng.normal());
+    gp.track_candidates(pack(cands));
+    gp.remove_observation(victim);
+    ASSERT_EQ(gp.num_observations(), zs.size() - 1);
+    EXPECT_EQ(gp.evictions(), 1u);
+    expect_matches_fresh(gp, cands, 1e-8);
+    // predict() shares the downdated factor with the tracked cache.
+    const gp::Prediction p = gp.predict(cands[0]);
+    EXPECT_NEAR(p.mean, gp.tracked_mean(0), 1e-9);
+    EXPECT_NEAR(p.variance, gp.tracked_variance(0), 1e-9);
+  }
+}
+
+TEST(GpBudget, RemoveObservationOutOfRangeThrows) {
+  gp::GpRegressor gp(make_kernel(), 1e-3);
+  EXPECT_THROW(gp.remove_observation(0), std::invalid_argument);
+  Rng rng(3);
+  const auto zs = draw_points(3, rng);
+  for (const Vector& z : zs) gp.add(z, 0.5);
+  EXPECT_THROW(gp.remove_observation(3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Budget enforcement: hard bound, sliding-window retention, exactness for
+// both policies under interleaved adds.
+// ---------------------------------------------------------------------------
+
+TEST(GpBudget, OldestPolicyKeepsSlidingWindow) {
+  Rng rng(202);
+  const std::size_t budget = 9;
+  const auto zs = draw_points(25, rng);
+  gp::GpRegressor gp(make_kernel(), 2e-3);
+  gp.set_observation_budget(budget);  // kOldest default
+  Rng yrng(77);
+  for (std::size_t i = 0; i < zs.size(); ++i) {
+    gp.add(zs[i], yrng.normal());
+    EXPECT_LE(gp.num_observations(), budget);
+  }
+  ASSERT_EQ(gp.num_observations(), budget);
+  EXPECT_EQ(gp.evictions(), zs.size() - budget);
+  // Exactly the newest `budget` inputs, in arrival order.
+  for (std::size_t i = 0; i < budget; ++i) {
+    EXPECT_EQ(gp.inputs()[i], zs[zs.size() - budget + i]);
+  }
+}
+
+TEST(GpBudget, SetBudgetTrimsImmediately) {
+  Rng rng(203);
+  const auto cands = draw_points(25, rng);
+  const auto zs = draw_points(12, rng);
+  gp::GpRegressor gp(make_kernel(), 2e-3);
+  Rng yrng(5);
+  for (const Vector& z : zs) gp.add(z, yrng.normal());
+  gp.track_candidates(pack(cands));
+  gp.set_observation_budget(7, gp::EvictionPolicy::kMinLeverage);
+  EXPECT_EQ(gp.num_observations(), 7u);
+  EXPECT_EQ(gp.evictions(), 5u);
+  expect_matches_fresh(gp, cands, 1e-8);
+}
+
+void run_budgeted_property(gp::EvictionPolicy policy,
+                           std::shared_ptr<common::ThreadPool> pool) {
+  Rng rng(404);
+  const auto cands = draw_points(50, rng);
+  const auto zs = draw_points(30, rng);
+  gp::GpRegressor gp(make_kernel(), 2e-3);
+  gp.set_thread_pool(pool);
+  gp.set_observation_budget(11, policy);
+  gp.track_candidates(pack(cands));
+  Rng yrng(88);
+  for (std::size_t i = 0; i < zs.size(); ++i) {
+    gp.add(zs[i], yrng.normal());
+    EXPECT_LE(gp.num_observations(), 11u);
+  }
+  expect_matches_fresh(gp, cands, 1e-8);
+}
+
+TEST(GpBudget, BudgetedPosteriorMatchesFreshOldest) {
+  run_budgeted_property(gp::EvictionPolicy::kOldest, nullptr);
+}
+
+TEST(GpBudget, BudgetedPosteriorMatchesFreshMinLeverage) {
+  run_budgeted_property(gp::EvictionPolicy::kMinLeverage, nullptr);
+}
+
+TEST(GpBudget, BudgetedPosteriorMatchesFreshPooled) {
+  const auto pool = std::make_shared<common::ThreadPool>(4);
+  run_budgeted_property(gp::EvictionPolicy::kOldest, pool);
+  run_budgeted_property(gp::EvictionPolicy::kMinLeverage, pool);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity across thread counts {1, 2, 8}, downdates included.
+// ---------------------------------------------------------------------------
+
+TEST(GpBudget, BudgetedCacheBitIdenticalAcrossPools) {
+  for (const gp::EvictionPolicy policy :
+       {gp::EvictionPolicy::kOldest, gp::EvictionPolicy::kMinLeverage}) {
+    std::vector<std::vector<double>> means, vars;
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      Rng rng(909);
+      gp::GpRegressor gp(make_kernel(), 1e-3);
+      if (threads > 1) {
+        gp.set_thread_pool(std::make_shared<common::ThreadPool>(threads));
+      }
+      gp.set_observation_budget(10, policy);
+      const auto cands = draw_points(70, rng);
+      const auto zs = draw_points(26, rng);
+      gp.track_candidates(pack(cands));
+      Rng yrng(66);
+      for (const Vector& z : zs) gp.add(z, yrng.normal());
+      std::vector<double> m(cands.size()), v(cands.size());
+      for (std::size_t j = 0; j < cands.size(); ++j) {
+        m[j] = gp.tracked_mean(j);
+        v[j] = gp.tracked_variance(j);
+      }
+      means.push_back(std::move(m));
+      vars.push_back(std::move(v));
+    }
+    EXPECT_EQ(means[0], means[1]);  // exact, not approximate
+    EXPECT_EQ(means[0], means[2]);
+    EXPECT_EQ(vars[0], vars[1]);
+    EXPECT_EQ(vars[0], vars[2]);
+  }
+}
+
+struct Trajectory {
+  std::vector<std::size_t> picks;
+  std::vector<std::size_t> safe_sizes;
+  std::vector<std::size_t> obs_counts;
+  std::vector<double> kpis;
+
+  bool operator==(const Trajectory&) const = default;
+};
+
+Trajectory run_budgeted_trajectory(std::size_t num_threads,
+                                   gp::EvictionPolicy policy) {
+  env::GridSpec spec;
+  spec.levels_per_dim = 4;  // 256 candidates keeps the test quick
+  core::EdgeBolConfig cfg;
+  cfg.num_threads = num_threads;
+  cfg.gp_budget = 12;
+  cfg.gp_eviction = policy;
+  core::EdgeBol agent(env::ControlGrid(spec), cfg);
+  env::Testbed tb = env::make_static_testbed(35.0);
+
+  const env::Context ctx_a{2.0, 12.0, 3.0};
+  const env::Context ctx_b{6.0, 9.0, 8.0};
+
+  Trajectory tr;
+  for (int t = 0; t < 30; ++t) {
+    const env::Context& c = (t / 5) % 2 == 0 ? ctx_a : ctx_b;
+    const core::Decision d = agent.select(c);
+    const env::Measurement m = tb.step(d.policy);
+    agent.update(c, d.policy_index, m);
+    EXPECT_LE(agent.num_observations(), cfg.gp_budget);
+    tr.picks.push_back(d.policy_index);
+    tr.safe_sizes.push_back(d.safe_set_size);
+    tr.obs_counts.push_back(agent.num_observations());
+    tr.kpis.push_back(m.delay_s);
+    tr.kpis.push_back(m.map);
+    tr.kpis.push_back(m.server_power_w);
+    tr.kpis.push_back(m.bs_power_w);
+  }
+  return tr;
+}
+
+TEST(GpBudget, EdgeBolBudgetedTrajectoryBitIdenticalAcrossThreadCounts) {
+  for (const gp::EvictionPolicy policy :
+       {gp::EvictionPolicy::kOldest, gp::EvictionPolicy::kMinLeverage}) {
+    const Trajectory t1 = run_budgeted_trajectory(1, policy);
+    const Trajectory t2 = run_budgeted_trajectory(2, policy);
+    const Trajectory t8 = run_budgeted_trajectory(8, policy);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t1, t8);
+  }
+}
+
+}  // namespace
+}  // namespace edgebol
