@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""Project-specific invariant lints the compiler cannot enforce.
+
+Rules (see DESIGN.md "Concurrency invariants & analysis tooling"):
+
+  R1 determinism   std::rand / std::random_device / srand are forbidden
+                   everywhere except src/common/rng.* — all randomness must
+                   flow through the seeded project RNG so runs replay
+                   bit-identically.
+  R2 allocation    raw `new` / `delete` are forbidden outside src/linalg and
+                   src/common — everything else goes through containers or
+                   the linalg/common owners (`= delete`d special members are
+                   of course fine).
+  R3 telemetry     std::cout is forbidden in src/ — library code reports via
+                   telemetry / return values; stream output belongs to
+                   bench/, examples/, tests/ and tools taking an ostream.
+  R4 headers       every .hpp under src/ and include/ must be self-contained:
+                   a TU consisting of just `#include "x.hpp"` compiles.
+  R5 sync comment  every ThreadPool dispatch (`parallel_for` / `run_tasks`)
+                   in src/ must carry a `// sync:` comment within the 10
+                   lines above the call naming why the shared state it
+                   touches is safe (disjoint writes, guarded by which mutex,
+                   join-before-read, ...). Mutable state captured by
+                   reference without a stated discipline is how silent races
+                   land.
+
+Usage:
+    scripts/invariant_lint.py [--skip-header-check] [paths...]
+
+Exits 0 when clean; 1 with one `file:line: [rule] message` per violation.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CODE_DIRS = ["src", "bench", "tests", "examples"]
+CXX = os.environ.get("CXX", "g++")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string literals, and char literals, preserving
+    newlines so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def rel(path: str) -> str:
+    return os.path.relpath(path, REPO)
+
+
+def iter_sources(paths, exts=(".cpp", ".hpp")):
+    for root in paths:
+        for dirpath, _dirs, files in os.walk(root):
+            for f in sorted(files):
+                if f.endswith(exts):
+                    yield os.path.join(dirpath, f)
+
+
+def check_rng(path, code, errors):
+    if rel(path).startswith(os.path.join("src", "common", "rng")):
+        return
+    for m in re.finditer(r"\bstd::rand\b|\brandom_device\b|\bsrand\s*\(", code):
+        line = code.count("\n", 0, m.start()) + 1
+        errors.append(f"{rel(path)}:{line}: [rng] '{m.group(0)}' outside "
+                      "src/common/rng.* — use edgebol::common::Rng")
+
+
+def check_new_delete(path, code, errors):
+    r = rel(path)
+    if r.startswith(os.path.join("src", "linalg")) or \
+       r.startswith(os.path.join("src", "common")):
+        return
+    # `new Type(...)` / `new Type[...]` — require an identifier after `new`
+    # so `= delete`, placement-new-free code, and words like `renew` don't
+    # trip it.
+    for m in re.finditer(r"\bnew\s+[A-Za-z_:][\w:<>, ]*[\[(;{]?", code):
+        line = code.count("\n", 0, m.start()) + 1
+        errors.append(f"{r}:{line}: [alloc] raw 'new' outside linalg/common "
+                      "— use containers or the owning allocator")
+    for m in re.finditer(r"\bdelete(\s*\[\s*\])?\s+[A-Za-z_*(]", code):
+        # `= delete;` for special members never matches (followed by `;`),
+        # but guard against `operator delete` declarations anyway.
+        prefix = code[max(0, m.start() - 16):m.start()]
+        if re.search(r"=\s*$|operator\s*$", prefix):
+            continue
+        line = code.count("\n", 0, m.start()) + 1
+        errors.append(f"{r}:{line}: [alloc] raw 'delete' outside "
+                      "linalg/common — use owning containers")
+
+
+def check_cout(path, code, errors):
+    if not rel(path).startswith("src" + os.sep):
+        return
+    for m in re.finditer(r"\bstd::cout\b", code):
+        line = code.count("\n", 0, m.start()) + 1
+        errors.append(f"{rel(path)}:{line}: [telemetry] std::cout in src/ — "
+                      "library code takes an ostream or reports telemetry")
+
+
+def check_parallel_sync_comment(path, raw_text, code, errors):
+    """R5: pool dispatches in src/ need a nearby `// sync:` comment."""
+    r = rel(path)
+    if not r.startswith("src" + os.sep):
+        return
+    if r.startswith(os.path.join("src", "common", "thread_pool")):
+        return  # the implementation itself
+    raw_lines = raw_text.splitlines()
+    for m in re.finditer(r"(?:\.|->)\s*(parallel_for|run_tasks)\s*\(", code):
+        line = code.count("\n", 0, m.start()) + 1
+        window = raw_lines[max(0, line - 11):line]
+        if not any(re.search(r"//.*\bsync:", w) for w in window):
+            errors.append(
+                f"{r}:{line}: [sync] {m.group(1)} dispatch without a "
+                "'// sync:' comment in the preceding 10 lines naming the "
+                "sharing discipline (disjoint writes / mutex / join order)")
+
+
+def check_headers_self_contained(errors):
+    headers = sorted(
+        list(iter_sources([os.path.join(REPO, "src")], exts=(".hpp",))) +
+        list(iter_sources([os.path.join(REPO, "include")], exts=(".hpp",))))
+    with tempfile.TemporaryDirectory() as tmp:
+        tu = os.path.join(tmp, "self_contained.cpp")
+        for h in headers:
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{h}"\n')
+            proc = subprocess.run(
+                [CXX, "-std=c++20", "-fsyntax-only",
+                 "-I", os.path.join(REPO, "src"),
+                 "-I", os.path.join(REPO, "include"), tu],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                first = proc.stderr.strip().splitlines()
+                detail = first[0] if first else "compile failed"
+                errors.append(f"{rel(h)}:1: [header] not self-contained: "
+                              f"{detail}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*",
+                    help="dirs/files to lint (default: src bench tests "
+                         "examples)")
+    ap.add_argument("--skip-header-check", action="store_true",
+                    help="skip the (slower) header self-containment compile")
+    args = ap.parse_args()
+
+    roots = [os.path.join(REPO, d) for d in CODE_DIRS]
+    files = [p for p in (args.paths or []) if os.path.isfile(p)]
+    if args.paths and not files:
+        roots = [os.path.abspath(p) for p in args.paths]
+    elif not args.paths:
+        files = []
+
+    errors = []
+    sources = files if files else list(iter_sources(roots))
+    for path in sources:
+        with open(path, encoding="utf-8") as f:
+            raw = f.read()
+        code = strip_comments_and_strings(raw)
+        check_rng(path, code, errors)
+        check_new_delete(path, code, errors)
+        check_cout(path, code, errors)
+        check_parallel_sync_comment(path, raw, code, errors)
+
+    if not args.skip_header_check and not files:
+        check_headers_self_contained(errors)
+
+    for e in errors:
+        print(e)
+    n = len(sources)
+    if errors:
+        print(f"invariant lint: {len(errors)} violation(s) in {n} files",
+              file=sys.stderr)
+        return 1
+    print(f"invariant lint: clean ({n} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Static analysis entry point: clang-tidy (curated set in .clang-tidy),
+# project invariant lints (scripts/invariant_lint.py), and — with --check —
+# clang-format verification.
+#
+#   scripts/lint.sh            # clang-tidy + invariant lints
+#   scripts/lint.sh --check    # ... plus clang-format --dry-run (no rewrite)
+#   scripts/lint.sh --fix      # ... instead reformat files in place
+#
+# clang-tidy and clang-format are optional toolchain components: when absent
+# those tiers report SKIP and the script still exits by the remaining tiers'
+# verdict (the invariant lints always run). clang-tidy consumes
+# compile_commands.json from build/ (configured on demand).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="${1:-}"
+fail=0
+
+# Lintable translation units: our own .cpp files, no generated code.
+mapfile -t tus < <(find src bench tests examples -name '*.cpp' | sort)
+
+echo "== lint: clang-tidy (${#tus[@]} TUs) =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  [[ -f build/compile_commands.json ]] || cmake -B build -S . >/dev/null
+  if ! clang-tidy -p build --quiet "${tus[@]}"; then
+    echo "lint: clang-tidy FAILED"
+    fail=1
+  else
+    echo "lint: clang-tidy clean"
+  fi
+else
+  echo "lint: SKIP clang-tidy (not installed; config in .clang-tidy)"
+fi
+
+echo "== lint: project invariants =="
+if ! python3 scripts/invariant_lint.py; then
+  fail=1
+fi
+
+if [[ "$mode" == "--check" || "$mode" == "--fix" ]]; then
+  echo "== lint: clang-format =="
+  if command -v clang-format >/dev/null 2>&1; then
+    mapfile -t fmt_files < <(find src bench tests examples include \
+      \( -name '*.cpp' -o -name '*.hpp' \) | sort)
+    if [[ "$mode" == "--fix" ]]; then
+      clang-format -i "${fmt_files[@]}"
+      echo "lint: clang-format applied to ${#fmt_files[@]} files"
+    elif ! clang-format --dry-run --Werror "${fmt_files[@]}"; then
+      echo "lint: clang-format check FAILED (run scripts/lint.sh --fix)"
+      fail=1
+    else
+      echo "lint: clang-format clean"
+    fi
+  else
+    echo "lint: SKIP clang-format (not installed; config in .clang-format)"
+  fi
+fi
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "== lint failed =="
+  exit 1
+fi
+echo "== lint passed =="

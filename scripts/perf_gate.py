@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf gate over a bench JSON report (BENCH_gp.json).
+
+Parses the report as real JSON (replacing the old awk field scrape, which
+silently matched nothing when the emitter's spacing changed) and fails if any
+phase's engine-vs-reference speedup is below the threshold, naming the
+offending phase(s).
+
+Usage:
+    scripts/perf_gate.py build-release/BENCH_gp.json [--min-speedup 0.95] \
+        [--floor track=0.85 ...]
+
+--floor overrides the threshold for a single named phase. Use it for phases
+whose true engine/reference ratio sits at parity, where the global floor
+would flake on timing noise rather than catch regressions; the override
+should still be tight enough that a real slowdown trips it.
+
+Exit codes: 0 = all phases pass, 1 = at least one phase below threshold,
+2 = report missing/malformed (treated as a hard failure by check.sh).
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_floor(spec: str):
+    name, sep, value = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"--floor expects NAME=VALUE, got {spec!r}")
+    try:
+        return name, float(value)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"--floor {spec!r}: {e}") from e
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="path to BENCH_gp.json")
+    ap.add_argument("--min-speedup", type=float, default=0.95,
+                    help="minimum engine/reference speedup per phase")
+    ap.add_argument("--floor", type=parse_floor, action="append", default=[],
+                    metavar="NAME=VALUE",
+                    help="per-phase threshold override (repeatable)")
+    args = ap.parse_args()
+    floors = dict(args.floor)
+
+    try:
+        with open(args.report, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"perf gate: cannot read {args.report}: {e}", file=sys.stderr)
+        return 2
+
+    phases = data.get("phases")
+    if not isinstance(phases, list) or not phases:
+        print(f"perf gate: {args.report} has no 'phases' array", file=sys.stderr)
+        return 2
+
+    failures = []
+    for phase in phases:
+        name = phase.get("name", "<unnamed>")
+        speedup = phase.get("speedup")
+        if not isinstance(speedup, (int, float)):
+            print(f"perf gate: phase '{name}' has no numeric 'speedup'",
+                  file=sys.stderr)
+            return 2
+        threshold = floors.get(name, args.min_speedup)
+        marker = "ok" if speedup >= threshold else "FAIL"
+        print(f"perf gate: {name:<12} speedup {speedup:7.3f}  "
+              f"(floor {threshold:.2f})  [{marker}]")
+        if speedup < threshold:
+            failures.append((name, speedup, threshold))
+
+    unknown = sorted(set(floors) - {p.get("name") for p in phases})
+    if unknown:
+        print(f"perf gate: --floor names not in report: {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    if failures:
+        worst = min(failures, key=lambda f: f[1] / f[2])
+        print(f"perf gate: FAILED — {len(failures)} phase(s) below their "
+              f"floor, worst: '{worst[0]}' at {worst[1]:.3f}x "
+              f"(floor {worst[2]:.2f}x)", file=sys.stderr)
+        return 1
+    print(f"perf gate: all {len(phases)} phases at or above their floors "
+          f"(default {args.min_speedup:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

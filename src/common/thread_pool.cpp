@@ -16,14 +16,19 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Drain first: workers abandon unclaimed blocks the moment stop_ is
+    // set, so raising it while a group is open would strand a caller
+    // blocked in parallel_for (and destroy mu_/cv_ under it). Wait until
+    // every group retired and every caller left the pooled path.
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_groups_.empty() && active_ == 0; });
     stop_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_one_block(const std::shared_ptr<Group>& g,
+void ThreadPool::run_one_block(std::shared_ptr<Group> g,
                                std::unique_lock<std::mutex>& lock) {
   const std::size_t b = g->next++;
   if (g->next >= g->num_blocks) {
@@ -78,6 +83,7 @@ void ThreadPool::parallel_for(
   g->num_blocks = num_blocks;
 
   std::unique_lock<std::mutex> lock(mu_);
+  ++active_;
   open_groups_.push_back(g);
   cv_.notify_all();
   while (g->done < g->num_blocks) {
@@ -91,6 +97,8 @@ void ThreadPool::parallel_for(
       cv_.wait(lock);
     }
   }
+  // Wake a destructor waiting on the drain predicate.
+  if (--active_ == 0) cv_.notify_all();
   if (g->error) {
     std::exception_ptr err = g->error;
     lock.unlock();

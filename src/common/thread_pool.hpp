@@ -32,6 +32,12 @@ class ThreadPool {
   /// the pool spawns num_threads - 1 workers. 0 and 1 both mean "serial"
   /// (no workers; parallel_for degenerates to an in-order loop).
   explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains before stopping: waits for every in-flight parallel_for /
+  /// run_tasks (including ones issued from other threads) to finish, then
+  /// joins the workers. Queued-but-unclaimed blocks are executed, never
+  /// dropped, so destruction with work outstanding cannot deadlock a caller
+  /// blocked in parallel_for.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -73,12 +79,17 @@ class ThreadPool {
 
   void worker_loop();
   // Claims and runs one block of `g`. Pre: lock held; post: lock held.
-  void run_one_block(const std::shared_ptr<Group>& g,
+  // Takes the group by value: callers pass the shared_ptr living inside
+  // open_groups_, and claiming the last block erases that element — a
+  // by-reference parameter would dangle across the erase (and the body
+  // call, which may push/erase further groups while the lock is dropped).
+  void run_one_block(std::shared_ptr<Group> g,
                      std::unique_lock<std::mutex>& lock);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::shared_ptr<Group>> open_groups_;  // groups with unclaimed blocks
+  std::size_t active_ = 0;  // callers currently inside the pooled path
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };

@@ -136,6 +136,8 @@ void EdgeBol::ensure_tracking(const env::Context& context) {
   const auto cands = std::make_shared<const linalg::Matrix>(
       grid_.candidate_feature_matrix(context));
   if (pool_) {
+    // sync: each task mutates a distinct surrogate; the shared `cands`
+    // matrix is const and read-only; run_tasks joins before return.
     pool_->run_tasks({[&] { cost_gp_.track_candidates(cands); },
                       [&] { delay_gp_.track_candidates(cands); },
                       [&] { map_gp_.track_candidates(cands); }});
@@ -235,6 +237,8 @@ Decision EdgeBol::select(const env::Context& context) {
     }
   };
   if (pool_) {
+    // sync: block [j0, j1) writes only delay/map/cost_post[j] for its own
+    // indices; tracked_prediction is const on all three surrogates.
     pool_->parallel_for(m, /*grain=*/1024, scan);
   } else {
     scan(0, m);
@@ -322,6 +326,8 @@ void EdgeBol::observe(const env::Context& context,
   // surviving surrogates simply keep one extra point; update() treats the
   // rethrow exactly like the serial path's.
   if (pool_) {
+    // sync: one task per distinct surrogate; z is read-only shared;
+    // run_tasks joins all three and rethrows the first error.
     pool_->run_tasks({[&] { cost_gp_.add(z, y_cost); },
                       [&] { delay_gp_.add(z, y_delay); },
                       [&] { map_gp_.add(z, y_map); }});
@@ -354,6 +360,8 @@ void EdgeBol::enforce_budget() {
       }
     };
     if (pool_) {
+      // sync: victim chosen serially above; each task downdates a distinct
+      // surrogate; run_tasks joins before the loop re-checks the budget.
       pool_->run_tasks({[&] { evict(cost_gp_); }, [&] { evict(delay_gp_); },
                         [&] { evict(map_gp_); }});
     } else {

@@ -62,6 +62,9 @@ void GpRegressor::over_columns(
   const std::size_t m = num_tracked();
   if (m == 0) return;
   if (pool_) {
+    // sync: blocks write disjoint column ranges [j0, j1) of the tracked
+    // A-cache / mean / var rows; parallel_for joins before returning, so the
+    // caller reads only after every block retired.
     pool_->parallel_for(m, kColumnGrain, fn);
   } else {
     // Same block width serially: a block's cache rows stay L1/L2-resident

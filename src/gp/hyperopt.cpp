@@ -92,6 +92,8 @@ std::vector<double> evaluate_probes(const std::vector<GpHyperparams>& probes,
     for (std::size_t i = begin; i < end; ++i) lml[i] = safe_lml(probes[i], z, y);
   };
   if (opts.pool) {
+    // sync: probe i writes only lml[i] (disjoint per index); Gram/factor
+    // scratch is thread_local, and z/y are read-only shared.
     opts.pool->parallel_for(probes.size(), 1, eval_range);
   } else {
     eval_range(0, probes.size());

@@ -13,8 +13,11 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace edgebol::common {
@@ -124,6 +127,85 @@ TEST(ThreadPool, ExceptionPropagatesFromRunTasks) {
   tasks.push_back([] { throw std::invalid_argument("task failed"); });
   tasks.push_back([] {});
   EXPECT_THROW(pool.run_tasks(tasks), std::invalid_argument);
+}
+
+TEST(ThreadPool, EmptyRangeNeverInvokesBody) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    for (std::size_t grain : {std::size_t{1}, std::size_t{64}}) {
+      pool.parallel_for(0, grain,
+                        [&](std::size_t, std::size_t) { calls.fetch_add(1); });
+    }
+    EXPECT_EQ(calls.load(), 0);
+    pool.run_tasks({});
+  }
+}
+
+TEST(ThreadPool, ZeroGrainThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10, 0, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeIsOneExactBlock) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    std::size_t seen_begin = 99, seen_end = 99;
+    pool.parallel_for(7, 100, [&](std::size_t i0, std::size_t i1) {
+      calls.fetch_add(1);
+      seen_begin = i0;
+      seen_end = i1;
+    });
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(seen_begin, 0u);
+    EXPECT_EQ(seen_end, 7u);  // clamped to n, not grain
+  }
+}
+
+TEST(ThreadPool, ExceptionInNestedTaskDoesNotDeadlockHelpers) {
+  // A task body that rethrows from a nested parallel_for while sibling tasks
+  // still have queued work: the work-helping waits in run_tasks must retire
+  // every block and surface the error instead of deadlocking.
+  ThreadPool pool(4);
+  for (int rep = 0; rep < 25; ++rep) {
+    std::atomic<int> sibling_indices{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&pool] {
+      pool.parallel_for(100, 5, [](std::size_t i0, std::size_t) {
+        if (i0 == 50) throw std::runtime_error("inner boom");
+      });
+    });
+    tasks.push_back([&pool, &sibling_indices] {
+      pool.parallel_for(100, 5, [&](std::size_t i0, std::size_t i1) {
+        sibling_indices.fetch_add(static_cast<int>(i1 - i0));
+      });
+    });
+    EXPECT_THROW(pool.run_tasks(tasks), std::runtime_error);
+    // The non-throwing sibling still ran to completion.
+    EXPECT_EQ(sibling_indices.load(), 100);
+  }
+}
+
+TEST(ThreadPool, DestructionWithInFlightWorkDrains) {
+  // Destroying the pool while another thread's parallel_for still has queued
+  // blocks must execute every block (never drop), then stop the workers —
+  // without deadlocking either side.
+  std::atomic<int> executed{0};
+  auto pool = std::make_unique<ThreadPool>(4);
+  ThreadPool& ref = *pool;
+  std::thread caller([&executed, &ref] {
+    ref.parallel_for(64, 1, [&executed](std::size_t, std::size_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+      executed.fetch_add(1);
+    });
+  });
+  // Only destroy once the group is demonstrably in flight.
+  while (executed.load() == 0) std::this_thread::yield();
+  pool.reset();
+  caller.join();
+  EXPECT_EQ(executed.load(), 64);
 }
 
 TEST(ThreadPool, SharedPoolIsSingleton) {
