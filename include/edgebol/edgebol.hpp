@@ -6,6 +6,7 @@
 // Layering (bottom to top):
 //   common/linalg  -> gp            (Gaussian-process online regression)
 //   fault                           (deterministic chaos injection)
+//   net                             (asynchronous TCP message plane)
 //   ran/edge/service -> env         (the calibrated testbed simulator)
 //   oran                            (A1/E2/O1 control-plane plumbing)
 //   core                            (the EdgeBOL algorithm itself)
@@ -43,12 +44,19 @@
 #include "gp/kernel.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
+#include "net/chaos.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
 #include "oran/apps.hpp"
 #include "oran/messages.hpp"
 #include "oran/oran_env.hpp"
 #include "oran/ric.hpp"
+#include "oran/ric_node.hpp"
 #include "ran/bs_power_model.hpp"
 #include "ran/channel.hpp"
 #include "ran/cqi.hpp"

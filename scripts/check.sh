@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Full verification ladder: lint, tier-1 tests, optimized perf gate, and the
-# sanitizer tiers (ASan+UBSan+LSan, then TSan at thread counts 2 and 8).
+# Full verification ladder: lint, tier-1 tests, optimized perf gate (GP
+# engine speedups + transport latency/recovery ceilings), the sanitizer
+# tiers (ASan+UBSan+LSan, then TSan at thread counts 2 and 8), and the
+# multi-process transport smoke under both sanitizers.
 #
 #   scripts/check.sh            # every tier
 #   scripts/check.sh --fast     # lint + tier-1 + release smoke only
@@ -84,6 +86,15 @@ for attempt in 1 2 3; do
   echo "perf gate: attempt $attempt/3 below threshold; re-measuring"
 done
 [[ "$gate_ok" == 1 ]]
+# Transport bench: p99 indication-to-policy latency under an o1 flood plus
+# recovery time after a seeded 4s E2 partition. Smoke p99 measures 30-45ms
+# on an idle box; the 500ms ceiling is generous headroom for shared-CPU
+# noise while still catching a real event-loop or backpressure regression
+# (a blocking send on the hot path lands in the seconds). Recovery after
+# the window is ~1s; 15s means reconnect/backoff supervision broke.
+(cd build-release && ./tools/bench_transport --smoke)
+python3 scripts/perf_gate.py build-release/BENCH_transport.json \
+  --ceiling p99_loaded_ms=500 --ceiling recovery_ms=15000
 end_tier pass
 
 if [[ "$FAST" == 1 ]]; then
@@ -116,6 +127,16 @@ for threads in 2 8; do
     EDGEBOL_THREADS="$threads" \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
 done
+end_tier pass
+
+begin_tier "transport (multi-process smoke)"
+# Real three-OS-process O-RAN plane over TCP under both sanitizers: the
+# loopback-equivalence check plus a partitioned run. Cross-process socket
+# lifetimes, reconnect supervision, and shutdown ordering only get
+# exercised here — in-process tests can't see them.
+ASAN_OPTIONS=detect_leaks=1 scripts/transport_smoke.sh build-asan
+TSAN_OPTIONS="suppressions=$PWD/tsan.supp halt_on_error=1" \
+  scripts/transport_smoke.sh build-tsan
 end_tier pass
 
 echo

@@ -23,6 +23,13 @@ Rules (see DESIGN.md "Concurrency invariants & analysis tooling"):
                    join-before-read, ...). Mutable state captured by
                    reference without a stated discipline is how silent races
                    land.
+  R6 syscalls      ::-qualified socket/fd syscalls (::socket, ::connect,
+                   ::read, ::poll, ...) are forbidden outside
+                   src/net/socket.* — everything rides the EINTR-safe
+                   wrappers there. Inside socket.*, every blocking-capable
+                   call site must mention EINTR within 8 lines either way:
+                   a raw syscall without a stated interruption story is a
+                   hang or a lost frame waiting for a signal to land.
 
 Usage:
     scripts/invariant_lint.py [--skip-header-check] [paths...]
@@ -38,7 +45,7 @@ import sys
 import tempfile
 
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-CODE_DIRS = ["src", "bench", "tests", "examples"]
+CODE_DIRS = ["src", "bench", "tests", "examples", "tools"]
 CXX = os.environ.get("CXX", "g++")
 
 
@@ -170,6 +177,45 @@ def check_parallel_sync_comment(path, raw_text, code, errors):
                 "sharing discipline (disjoint writes / mutex / join order)")
 
 
+SOCKET_SYSCALLS = (
+    "socket", "connect", "accept", "bind", "listen", "recv", "recvmsg",
+    "send", "sendmsg", "read", "write", "poll", "select", "close",
+    "shutdown", "setsockopt", "getsockopt", "getsockname", "fcntl",
+)
+BLOCKING_SYSCALLS = (
+    "connect", "accept", "recv", "recvmsg", "send", "sendmsg", "read",
+    "write", "poll", "select", "close",
+)
+
+
+def check_socket_syscalls(path, raw_text, code, errors):
+    """R6: raw syscalls live in src/net/socket.* only, with EINTR stories."""
+    r = rel(path)
+    call = re.compile(
+        r"(?<![\w)])::(" + "|".join(SOCKET_SYSCALLS) + r")\s*\(")
+    if not r.startswith(os.path.join("src", "net", "socket")):
+        for m in call.finditer(code):
+            line = code.count("\n", 0, m.start()) + 1
+            errors.append(
+                f"{r}:{line}: [syscall] raw '::{m.group(1)}' outside "
+                "src/net/socket.* — use the EINTR-safe wrappers in "
+                "edgebol::net")
+        return
+    raw_lines = raw_text.splitlines()
+    blocking = set(BLOCKING_SYSCALLS)
+    for m in call.finditer(code):
+        if m.group(1) not in blocking:
+            continue
+        line = code.count("\n", 0, m.start()) + 1
+        window = raw_lines[max(0, line - 9):line + 8]
+        if not any("EINTR" in w for w in window):
+            errors.append(
+                f"{r}:{line}: [syscall] blocking-capable '::{m.group(1)}' "
+                "without an EINTR mention within 8 lines — state the "
+                "interruption story (retry / descriptor released / not "
+                "restartable)")
+
+
 def check_headers_self_contained(errors):
     headers = sorted(
         list(iter_sources([os.path.join(REPO, "src")], exts=(".hpp",))) +
@@ -217,6 +263,7 @@ def main() -> int:
         check_new_delete(path, code, errors)
         check_cout(path, code, errors)
         check_parallel_sync_comment(path, raw, code, errors)
+        check_socket_syscalls(path, raw, code, errors)
 
     if not args.skip_header_check and not files:
         check_headers_self_contained(errors)

@@ -1,22 +1,33 @@
 #!/usr/bin/env python3
-"""Perf gate over a bench JSON report (BENCH_gp.json).
+"""Perf gate over a bench JSON report (BENCH_gp.json, BENCH_transport.json).
 
 Parses the report as real JSON (replacing the old awk field scrape, which
-silently matched nothing when the emitter's spacing changed) and fails if any
-phase's engine-vs-reference speedup is below the threshold, naming the
-offending phase(s).
+silently matched nothing when the emitter's spacing changed) and gates in one
+of two modes:
+
+speedup mode (default, BENCH_gp.json):
+    fails if any phase's engine-vs-reference speedup is below the threshold,
+    naming the offending phase(s).
+
+ceiling mode (--ceiling, BENCH_transport.json):
+    reads the report's top-level "metrics" object and fails if any named
+    metric exceeds its ceiling (lower is better: latencies, recovery times).
 
 Usage:
     scripts/perf_gate.py build-release/BENCH_gp.json [--min-speedup 0.95] \
         [--floor track=0.85 ...]
+    scripts/perf_gate.py build-release/BENCH_transport.json \
+        --ceiling p99_loaded_ms=500 [--ceiling recovery_ms=15000 ...]
 
 --floor overrides the threshold for a single named phase. Use it for phases
 whose true engine/reference ratio sits at parity, where the global floor
 would flake on timing noise rather than catch regressions; the override
 should still be tight enough that a real slowdown trips it.
 
-Exit codes: 0 = all phases pass, 1 = at least one phase below threshold,
-2 = report missing/malformed (treated as a hard failure by check.sh).
+Exit codes: 0 = pass, 1 = at least one phase/metric out of bounds,
+2 = report missing/truncated/malformed (treated as a hard failure by
+check.sh — a bench that failed to produce a report must never pass the
+gate by accident).
 """
 
 import argparse
@@ -24,57 +35,74 @@ import json
 import sys
 
 
-def parse_floor(spec: str):
-    name, sep, value = spec.partition("=")
-    if not sep or not name:
-        raise argparse.ArgumentTypeError(
-            f"--floor expects NAME=VALUE, got {spec!r}")
+def parse_named_float(flag: str):
+    def parse(spec: str):
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects NAME=VALUE, got {spec!r}")
+        try:
+            return name, float(value)
+        except ValueError as e:
+            raise argparse.ArgumentTypeError(f"{flag} {spec!r}: {e}") from e
+    return parse
+
+
+def load_report(path: str):
+    """Returns the parsed top-level dict, or None after printing why not.
+
+    Every failure path here prints one actionable line instead of letting a
+    traceback escape: a missing, truncated, binary-garbage, or
+    wrong-shaped report is a gate failure, not a crash.
+    """
     try:
-        return name, float(value)
-    except ValueError as e:
-        raise argparse.ArgumentTypeError(
-            f"--floor {spec!r}: {e}") from e
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("report", help="path to BENCH_gp.json")
-    ap.add_argument("--min-speedup", type=float, default=0.95,
-                    help="minimum engine/reference speedup per phase")
-    ap.add_argument("--floor", type=parse_floor, action="append", default=[],
-                    metavar="NAME=VALUE",
-                    help="per-phase threshold override (repeatable)")
-    args = ap.parse_args()
-    floors = dict(args.floor)
-
-    try:
-        with open(args.report, encoding="utf-8") as f:
+        with open(path, encoding="utf-8") as f:
             data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"perf gate: cannot read {args.report}: {e}", file=sys.stderr)
-        return 2
+    except OSError as e:
+        print(f"perf gate: cannot read {path}: {e}", file=sys.stderr)
+        return None
+    except json.JSONDecodeError as e:
+        print(f"perf gate: {path} is not valid JSON (truncated bench run?): "
+              f"{e}", file=sys.stderr)
+        return None
+    except (UnicodeDecodeError, ValueError) as e:
+        print(f"perf gate: {path} is not UTF-8 JSON: {e}", file=sys.stderr)
+        return None
+    if not isinstance(data, dict):
+        print(f"perf gate: {path} top level is {type(data).__name__}, "
+              f"expected an object", file=sys.stderr)
+        return None
+    return data
 
+
+def gate_speedups(data, report, min_speedup, floors) -> int:
     phases = data.get("phases")
     if not isinstance(phases, list) or not phases:
-        print(f"perf gate: {args.report} has no 'phases' array", file=sys.stderr)
+        print(f"perf gate: {report} has no 'phases' array", file=sys.stderr)
         return 2
 
     failures = []
+    names = set()
     for phase in phases:
+        if not isinstance(phase, dict):
+            print(f"perf gate: {report} phase entry is not an object",
+                  file=sys.stderr)
+            return 2
         name = phase.get("name", "<unnamed>")
+        names.add(name)
         speedup = phase.get("speedup")
         if not isinstance(speedup, (int, float)):
             print(f"perf gate: phase '{name}' has no numeric 'speedup'",
                   file=sys.stderr)
             return 2
-        threshold = floors.get(name, args.min_speedup)
+        threshold = floors.get(name, min_speedup)
         marker = "ok" if speedup >= threshold else "FAIL"
         print(f"perf gate: {name:<12} speedup {speedup:7.3f}  "
               f"(floor {threshold:.2f})  [{marker}]")
         if speedup < threshold:
             failures.append((name, speedup, threshold))
 
-    unknown = sorted(set(floors) - {p.get("name") for p in phases})
+    unknown = sorted(set(floors) - names)
     if unknown:
         print(f"perf gate: --floor names not in report: {', '.join(unknown)}",
               file=sys.stderr)
@@ -87,8 +115,67 @@ def main() -> int:
               f"(floor {worst[2]:.2f}x)", file=sys.stderr)
         return 1
     print(f"perf gate: all {len(phases)} phases at or above their floors "
-          f"(default {args.min_speedup:.2f}x)")
+          f"(default {min_speedup:.2f}x)")
     return 0
+
+
+def gate_ceilings(data, report, ceilings) -> int:
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        print(f"perf gate: {report} has no 'metrics' object",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, ceiling in sorted(ceilings.items()):
+        value = metrics.get(name)
+        if not isinstance(value, (int, float)):
+            print(f"perf gate: metric '{name}' missing or non-numeric in "
+                  f"{report} (have: {', '.join(sorted(metrics))})",
+                  file=sys.stderr)
+            return 2
+        marker = "ok" if value <= ceiling else "FAIL"
+        print(f"perf gate: {name:<18} {value:10.3f}  "
+              f"(ceiling {ceiling:.3f})  [{marker}]")
+        if value > ceiling:
+            failures.append((name, value, ceiling))
+
+    if failures:
+        worst = max(failures, key=lambda f: f[1] / f[2])
+        print(f"perf gate: FAILED — {len(failures)} metric(s) above their "
+              f"ceiling, worst: '{worst[0]}' at {worst[1]:.3f} "
+              f"(ceiling {worst[2]:.3f})", file=sys.stderr)
+        return 1
+    print(f"perf gate: all {len(ceilings)} metrics at or below their "
+          f"ceilings")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="path to a BENCH_*.json report")
+    ap.add_argument("--min-speedup", type=float, default=0.95,
+                    help="minimum engine/reference speedup per phase")
+    ap.add_argument("--floor", type=parse_named_float("--floor"),
+                    action="append", default=[], metavar="NAME=VALUE",
+                    help="per-phase speedup threshold override (repeatable)")
+    ap.add_argument("--ceiling", type=parse_named_float("--ceiling"),
+                    action="append", default=[], metavar="NAME=VALUE",
+                    help="gate a 'metrics' entry at <= VALUE instead of "
+                         "gating phase speedups (repeatable)")
+    args = ap.parse_args()
+
+    data = load_report(args.report)
+    if data is None:
+        return 2
+    if args.ceiling:
+        if args.floor:
+            print("perf gate: --ceiling and --floor are separate modes; "
+                  "pass one or the other", file=sys.stderr)
+            return 2
+        return gate_ceilings(data, args.report, dict(args.ceiling))
+    return gate_speedups(data, args.report, args.min_speedup,
+                         dict(args.floor))
 
 
 if __name__ == "__main__":

@@ -68,4 +68,8 @@ RunSummary Orchestrator::run(oran::OranManagedTestbed& testbed, int periods) {
   return run_impl(testbed, periods);
 }
 
+RunSummary Orchestrator::run(oran::NonRtRicNode& node, int periods) {
+  return run_impl(node, periods);
+}
+
 }  // namespace edgebol::core

@@ -14,6 +14,7 @@
 #include "core/edgebol.hpp"
 #include "env/testbed.hpp"
 #include "oran/oran_env.hpp"
+#include "oran/ric_node.hpp"
 
 namespace edgebol::core {
 
@@ -54,6 +55,11 @@ class Orchestrator {
 
   /// Run through the O-RAN control plane instead.
   RunSummary run(oran::OranManagedTestbed& testbed, int periods);
+
+  /// Run against a remote environment over the asynchronous message plane
+  /// (the learner node fronts the A1/O1/svc links; handshake() must have
+  /// succeeded already).
+  RunSummary run(oran::NonRtRicNode& node, int periods);
 
   /// Optional per-period observer (called after update()).
   void set_callback(std::function<void(const PeriodRecord&)> cb);

@@ -53,6 +53,31 @@ struct TelemetryFaultRates {
   }
 };
 
+/// A scheduled loss-of-connectivity window on a transport link, in wall
+/// milliseconds since the chaos shim was armed. While a window is open every
+/// frame (heartbeats included) is dropped, so the peer-timeout machinery
+/// fires naturally. With `reset` set, the shim additionally forces a local
+/// disconnect at the window start — a reconnect storm, not just silence.
+struct PartitionWindow {
+  std::int64_t start_ms = 0;
+  std::int64_t duration_ms = 0;
+  bool reset = false;
+};
+
+/// Transport-level chaos: frame fates plus reordering, timed delivery delay,
+/// and partition/reconnect-storm windows. Applied by net::ChaosShim on the
+/// sending side of a TcpTransport.
+struct TransportFaultRates {
+  FrameFaultRates frames{};   // drop/delay/duplicate/corrupt draws
+  double reorder = 0.0;       // frame held back and sent after its successor
+  std::int64_t delay_ms = 20; // timed hold for kDelay fates
+  std::vector<PartitionWindow> partitions{};
+
+  bool any() const {
+    return frames.any() || reorder > 0.0 || !partitions.empty();
+  }
+};
+
 /// Scheduled environment disturbances, by orchestration period.
 enum class EnvEventKind {
   kGpuThermalThrottle,  // magnitude scales the effective GPU speed (< 1)
@@ -75,10 +100,11 @@ struct FaultPlan {
   FrameFaultRates o1{};         // O1 reporting hop
   TelemetryFaultRates telemetry{};
   std::vector<EnvEvent> events{};
+  TransportFaultRates transport{};  // socket-level chaos (TcpTransport only)
 
   bool enabled() const {
     return a1.any() || e2.any() || o1.any() || telemetry.any() ||
-           !events.empty();
+           !events.empty() || transport.any();
   }
 };
 

@@ -1,0 +1,150 @@
+#include "net/event_loop.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace edgebol::net {
+
+EventLoop::EventLoop() : epoch_(std::chrono::steady_clock::now()) {
+  if (!make_wakeup_pipe(&wake_rd_, &wake_wr_)) {
+    // Without a wakeup pipe cross-thread posts cannot interrupt poll();
+    // refuse to limp along half-working.
+    throw std::runtime_error("EventLoop: wakeup pipe creation failed");
+  }
+  thread_ = std::thread([this] { run(); });
+}
+
+EventLoop::~EventLoop() {
+  stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void EventLoop::stop() {
+  stopping_.store(true, std::memory_order_release);
+  wakeup_write(wake_wr_.get());
+}
+
+std::int64_t EventLoop::now_ms() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void EventLoop::post(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    // stopped_ flips under this mutex, so the check and the push are one
+    // atomic step: either the loop's final drain sees our task, or we see
+    // the flag and run inline (single-threaded teardown makes that safe).
+    if (!stopped_.load(std::memory_order_relaxed)) {
+      tasks_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task) {
+    task();
+    return;
+  }
+  wakeup_write(wake_wr_.get());
+}
+
+void EventLoop::watch(int fd, short events, FdCallback cb) {
+  assert(on_loop_thread());
+  watches_[fd] = Watch{events, std::move(cb)};
+}
+
+void EventLoop::set_events(int fd, short events) {
+  assert(on_loop_thread());
+  auto it = watches_.find(fd);
+  if (it != watches_.end()) it->second.events = events;
+}
+
+void EventLoop::unwatch(int fd) {
+  assert(on_loop_thread());
+  watches_.erase(fd);
+}
+
+std::uint64_t EventLoop::add_timer(std::int64_t delay_ms, Task task) {
+  assert(on_loop_thread());
+  const std::uint64_t id = next_timer_id_++;
+  timers_[id] = Timer{now_ms() + delay_ms, std::move(task)};
+  return id;
+}
+
+void EventLoop::cancel_timer(std::uint64_t id) {
+  assert(on_loop_thread());
+  timers_.erase(id);
+}
+
+int EventLoop::next_poll_timeout_ms() const {
+  if (timers_.empty()) return -1;  // sleep until a wakeup byte arrives
+  std::int64_t next_due = timers_.begin()->second.due_ms;
+  for (const auto& [id, timer] : timers_) {
+    (void)id;
+    if (timer.due_ms < next_due) next_due = timer.due_ms;
+  }
+  const std::int64_t wait = next_due - now_ms();
+  if (wait <= 0) return 0;
+  return static_cast<int>(wait > 60000 ? 60000 : wait);
+}
+
+void EventLoop::run_posted_tasks() {
+  std::vector<Task> batch;
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    batch.swap(tasks_);
+  }
+  for (Task& task : batch) task();
+}
+
+void EventLoop::run_due_timers() {
+  const std::int64_t now = now_ms();
+  // Collect ids first: a firing timer may add or cancel other timers.
+  std::vector<std::uint64_t> due;
+  for (const auto& [id, timer] : timers_) {
+    if (timer.due_ms <= now) due.push_back(id);
+  }
+  for (std::uint64_t id : due) {
+    auto it = timers_.find(id);
+    if (it == timers_.end()) continue;  // cancelled by an earlier firing
+    Task task = std::move(it->second.task);
+    timers_.erase(it);
+    task();
+  }
+}
+
+void EventLoop::run() {
+  std::vector<struct pollfd> pfds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfds.push_back({wake_rd_.get(), POLLIN, 0});
+    for (const auto& [fd, watch] : watches_) {
+      pfds.push_back({fd, watch.events, 0});
+    }
+    (void)poll_fds(pfds.data(), pfds.size(), next_poll_timeout_ms());
+
+    if (pfds[0].revents != 0) wakeup_drain(wake_rd_.get());
+    run_posted_tasks();
+    run_due_timers();
+
+    // Dispatch fd events through a fresh lookup: a task or an earlier
+    // callback this iteration may have unwatched (and closed) the fd.
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if (pfds[i].revents == 0) continue;
+      auto it = watches_.find(pfds[i].fd);
+      if (it == watches_.end()) continue;
+      it->second.cb(pfds[i].revents);
+    }
+  }
+  // Flip stopped_ under the task mutex: every post() either already pushed
+  // (the drain below runs it) or will see the flag and run inline. No task
+  // can be stranded.
+  {
+    std::lock_guard<std::mutex> lock(tasks_mu_);
+    stopped_.store(true, std::memory_order_relaxed);
+  }
+  run_posted_tasks();
+}
+
+}  // namespace edgebol::net

@@ -1,0 +1,111 @@
+// Single-threaded poll() event loop driving the TCP message plane.
+//
+// One loop owns one background thread; every fd watch, timer, and socket
+// operation of the transports registered with it happens on that thread.
+// Other threads talk to the loop exclusively through post(), which enqueues
+// a task and wakes the poll via a self-pipe. This confinement is the whole
+// concurrency story of src/net: transports need a mutex only for the queues
+// they share with application threads, never for socket state.
+//
+// poll() rather than epoll: a node multiplexes a handful of descriptors
+// (three interfaces + listener + wakeup pipe), far below where epoll wins,
+// and poll keeps the loop portable and trivially auditable.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace edgebol::net {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+  /// Called with the revents bits that fired for the watched fd.
+  using FdCallback = std::function<void(short)>;
+
+  /// Spawns the loop thread; ready on return.
+  EventLoop();
+
+  /// Stops and joins the loop thread. Transports using this loop must be
+  /// destroyed first.
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Enqueue a task for the loop thread (thread-safe). After the loop has
+  /// stopped, the task runs inline on the caller — at that point the loop
+  /// thread is joined and single-threaded teardown makes that safe.
+  void post(Task task);
+
+  /// Ask the loop thread to exit. Idempotent; the destructor joins.
+  void stop();
+
+  /// Milliseconds on the steady clock since loop construction.
+  std::int64_t now_ms() const;
+
+  bool on_loop_thread() const {
+    return std::this_thread::get_id() == thread_.get_id();
+  }
+
+  // --- Loop-thread-only interface (transports call these from callbacks
+  // --- and posted tasks; asserted in debug builds) -----------------------
+
+  /// Watch `fd` for `events` (POLLIN/POLLOUT). One watch per fd.
+  void watch(int fd, short events, FdCallback cb);
+
+  /// Change the event mask of an existing watch.
+  void set_events(int fd, short events);
+
+  /// Remove a watch. Safe to call from inside its own callback.
+  void unwatch(int fd);
+
+  /// One-shot timer after `delay_ms`; returns a cancellation id.
+  std::uint64_t add_timer(std::int64_t delay_ms, Task task);
+
+  /// Cancel a pending timer; no-op if it already fired or never existed.
+  void cancel_timer(std::uint64_t id);
+
+ private:
+  struct Watch {
+    short events = 0;
+    FdCallback cb;
+  };
+  struct Timer {
+    std::int64_t due_ms = 0;
+    Task task;
+  };
+
+  void run();
+  void run_posted_tasks();
+  void run_due_timers();
+  int next_poll_timeout_ms() const;
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  // Loop-thread-only state.
+  std::map<int, Watch> watches_;
+  std::map<std::uint64_t, Timer> timers_;
+  std::uint64_t next_timer_id_ = 1;
+
+  // Cross-thread task queue.
+  std::mutex tasks_mu_;
+  std::vector<Task> tasks_;
+
+  Fd wake_rd_;
+  Fd wake_wr_;
+  std::thread thread_;
+};
+
+}  // namespace edgebol::net

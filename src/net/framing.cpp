@@ -1,0 +1,79 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+namespace edgebol::net {
+
+namespace {
+
+void put_u32_be(char* dst, std::uint32_t v) {
+  dst[0] = static_cast<char>((v >> 24) & 0xff);
+  dst[1] = static_cast<char>((v >> 16) & 0xff);
+  dst[2] = static_cast<char>((v >> 8) & 0xff);
+  dst[3] = static_cast<char>(v & 0xff);
+}
+
+std::uint32_t get_u32_be(const char* src) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(src[0]))
+          << 24) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(src[1]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(src[2]))
+          << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(src[3]));
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& payload) {
+  std::string out;
+  append_frame(&out, payload);
+  return out;
+}
+
+void append_frame(std::string* out, const std::string& payload) {
+  char prefix[4];
+  put_u32_be(prefix, static_cast<std::uint32_t>(payload.size()));
+  out->append(prefix, 4);
+  out->append(payload);
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes) {}
+
+void FrameDecoder::feed(const char* data, std::size_t len) {
+  if (poisoned_) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer.
+  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+    buf_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buf_.append(data, len);
+}
+
+bool FrameDecoder::next(std::string* out) {
+  if (poisoned_) return false;
+  const std::size_t avail = buf_.size() - consumed_;
+  if (avail < 4) return false;
+  const std::uint32_t len = get_u32_be(buf_.data() + consumed_);
+  if (len > max_frame_bytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  if (avail < 4 + static_cast<std::size_t>(len)) return false;
+  out->assign(buf_, consumed_ + 4, len);
+  consumed_ += 4 + len;
+  if (consumed_ == buf_.size()) {
+    buf_.clear();
+    consumed_ = 0;
+  }
+  return true;
+}
+
+void FrameDecoder::reset() {
+  buf_.clear();
+  consumed_ = 0;
+  poisoned_ = false;
+}
+
+}  // namespace edgebol::net

@@ -1,0 +1,56 @@
+// Length-prefixed framing for the O-RAN message plane.
+//
+// Wire format: a 4-byte big-endian payload length followed by the payload
+// bytes. A zero-length frame is reserved for transport heartbeats and never
+// surfaces to the application. The decoder is incremental — feed it
+// arbitrary byte chunks off a stream socket and pop complete frames — and
+// poisons itself on an oversized length prefix (corrupt stream or hostile
+// peer); the connection must then be reset, because resynchronizing a
+// length-prefixed stream is not possible.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace edgebol::net {
+
+/// Default cap on one frame's payload (1 MiB; every control-plane message
+/// here is < 1 KiB, so the cap only exists to bound a corrupted prefix).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Serialize one frame (length prefix + payload).
+std::string encode_frame(const std::string& payload);
+
+/// Append an encoded frame to `out` without an intermediate allocation.
+void append_frame(std::string* out, const std::string& payload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Append raw stream bytes.
+  void feed(const char* data, std::size_t len);
+
+  /// Pop the next complete frame into `out`. Returns false when no complete
+  /// frame is buffered (or the decoder is poisoned).
+  bool next(std::string* out);
+
+  /// True once an oversized length prefix was seen; feed/next become no-ops
+  /// until reset().
+  bool poisoned() const { return poisoned_; }
+
+  /// Forget all buffered bytes and the poisoned flag (new connection).
+  void reset();
+
+  std::size_t buffered_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  std::size_t max_frame_bytes_;
+  std::string buf_;
+  std::size_t consumed_ = 0;  // prefix of buf_ already handed out
+  bool poisoned_ = false;
+};
+
+}  // namespace edgebol::net

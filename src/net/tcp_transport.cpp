@@ -1,0 +1,575 @@
+#include "net/tcp_transport.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace edgebol::net {
+
+namespace {
+
+// High-water mark on encoded-but-unwritten bytes: once the peer stalls past
+// this, frames stay in the bounded tx queue and backpressure reaches the
+// sender instead of ballooning an unbounded byte buffer.
+constexpr std::size_t kOutBufHighWater = 64u * 1024u;
+
+}  // namespace
+
+std::unique_ptr<TcpTransport> TcpTransport::listen(EventLoop* loop,
+                                                   std::uint16_t port,
+                                                   TcpTransportConfig cfg) {
+  return std::make_unique<TcpTransport>(loop, std::move(cfg),
+                                        /*is_server=*/true, "", port);
+}
+
+std::unique_ptr<TcpTransport> TcpTransport::connect(EventLoop* loop,
+                                                    const std::string& host,
+                                                    std::uint16_t port,
+                                                    TcpTransportConfig cfg) {
+  return std::make_unique<TcpTransport>(loop, std::move(cfg),
+                                        /*is_server=*/false, host, port);
+}
+
+TcpTransport::TcpTransport(EventLoop* loop, TcpTransportConfig cfg,
+                           bool is_server, std::string host,
+                           std::uint16_t port)
+    : loop_(loop),
+      cfg_(std::move(cfg)),
+      is_server_(is_server),
+      host_(std::move(host)),
+      bound_port_(port),
+      decoder_(cfg_.max_frame_bytes) {
+  if (cfg_.chaos.any()) {
+    chaos_ = std::make_unique<ChaosShim>(cfg_.chaos, cfg_.chaos_seed);
+  }
+  if (is_server_) {
+    // Bind synchronously so local_port() is valid the moment the factory
+    // returns (tests and the demo scripts depend on it for port 0).
+    listen_fd_ = tcp_listen(bound_port_);
+    if (!listen_fd_.valid()) {
+      state_ = LinkState::kClosed;
+      closed_ = true;
+      return;
+    }
+    bound_port_ = net::local_port(listen_fd_.get());
+    state_ = LinkState::kListening;
+  } else {
+    state_ = LinkState::kConnecting;
+  }
+  loop_->post([this] { setup_on_loop(); });
+}
+
+TcpTransport::~TcpTransport() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_tx_.notify_all();
+  cv_rx_.notify_all();
+  // No send()/receive() may run concurrently with destruction (class
+  // contract), so every kick/resume task is already queued and FIFO order
+  // puts this barrier after all of them. Posted outside mu_ because a
+  // stopped loop runs it inline, and teardown takes mu_ itself.
+  loop_->post([this] { teardown_on_loop(); });
+  std::unique_lock<std::mutex> down_lock(down_mu_);
+  down_cv_.wait(down_lock, [this] { return down_; });
+}
+
+// ---------------------------------------------------------------------------
+// Application-thread interface
+
+SendResult TcpTransport::send(const std::string& frame) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_) return SendResult::kClosed;
+  if (frame.size() > cfg_.max_frame_bytes) {
+    ++stats_.send_rejected;
+    return SendResult::kRejected;
+  }
+  SendResult res = SendResult::kQueued;
+  if (tx_.size() >= cfg_.max_send_queue) {
+    switch (cfg_.send_policy) {
+      case BackpressurePolicy::kBlock:
+        ++stats_.send_block_waits;
+        cv_tx_.wait(lock, [this] {
+          return closed_ || tx_.size() < cfg_.max_send_queue;
+        });
+        if (closed_) return SendResult::kClosed;
+        break;
+      case BackpressurePolicy::kShedOldest:
+        tx_.pop_front();
+        ++stats_.send_shed;
+        res = SendResult::kShed;
+        break;
+      case BackpressurePolicy::kReject:
+        ++stats_.send_rejected;
+        return SendResult::kRejected;
+    }
+  }
+  tx_.push_back(frame);
+  if (!kick_pending_) {
+    kick_pending_ = true;
+    loop_->post([this] {
+      {
+        std::lock_guard<std::mutex> kick_lock(mu_);
+        kick_pending_ = false;
+      }
+      pump_tx();
+    });
+  }
+  return res;
+}
+
+std::vector<std::string> TcpTransport::drain() {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(rx_.size());
+  while (!rx_.empty()) {
+    out.push_back(std::move(rx_.front()));
+    rx_.pop_front();
+  }
+  if (rx_paused_ && !closed_) {
+    rx_paused_ = false;
+    loop_->post([this] {
+      if (conn_fd_.valid()) update_conn_events();
+    });
+  }
+  return out;
+}
+
+std::optional<std::string> TcpTransport::receive(int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_rx_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                  [this] { return closed_ || !rx_.empty(); });
+  if (rx_.empty()) return std::nullopt;
+  std::string frame = std::move(rx_.front());
+  rx_.pop_front();
+  if (rx_paused_ && !closed_ && rx_.size() <= cfg_.max_recv_queue / 2) {
+    rx_paused_ = false;
+    loop_->post([this] {
+      if (conn_fd_.valid()) update_conn_events();
+    });
+  }
+  return frame;
+}
+
+bool TcpTransport::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_ == LinkState::kEstablished;
+}
+
+LinkState TcpTransport::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+TransportStats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TcpTransport::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    closed_ = true;  // refuse new frames; queued ones still flush
+  }
+  cv_tx_.notify_all();
+  cv_rx_.notify_all();
+  loop_->post([this] {
+    draining_ = true;
+    {
+      std::lock_guard<std::mutex> state_lock(mu_);
+      if (state_ == LinkState::kEstablished) state_ = LinkState::kDraining;
+    }
+    pump_tx();
+  });
+}
+
+void TcpTransport::force_disconnect() {
+  loop_->post([this] {
+    if (conn_fd_.valid()) disconnect(/*failure=*/true);
+  });
+}
+
+void TcpTransport::notify_ready() {
+  if (cfg_.ready != nullptr) cfg_.ready->notify();
+}
+
+// ---------------------------------------------------------------------------
+// Loop-thread-only machinery
+
+void TcpTransport::setup_on_loop() {
+  assert(loop_->on_loop_thread());
+  if (is_server_) {
+    if (!listen_fd_.valid()) return;
+    loop_->watch(listen_fd_.get(), POLLIN,
+                 [this](short) { on_listen_readable(); });
+  } else {
+    start_connect();
+  }
+}
+
+void TcpTransport::start_connect() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    state_ = LinkState::kConnecting;
+  }
+  bool in_progress = false;
+  Fd fd = tcp_connect(host_, bound_port_, &in_progress);
+  if (!fd.valid()) {
+    schedule_reconnect();
+    return;
+  }
+  conn_fd_ = std::move(fd);
+  if (in_progress) {
+    loop_->watch(conn_fd_.get(), POLLOUT,
+                 [this](short) { on_connect_writable(); });
+  } else {
+    on_connected();
+  }
+}
+
+void TcpTransport::on_connect_writable() {
+  if (!connect_finished(conn_fd_.get())) {
+    loop_->unwatch(conn_fd_.get());
+    conn_fd_.reset();
+    schedule_reconnect();
+    return;
+  }
+  on_connected();
+}
+
+void TcpTransport::schedule_reconnect() {
+  backoff_ms_ = backoff_ms_ == 0
+                    ? cfg_.reconnect_base_ms
+                    : std::min(backoff_ms_ * 2, cfg_.reconnect_max_ms);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;
+    state_ = LinkState::kBackoff;
+    ++stats_.reconnects;
+  }
+  reconnect_timer_ = loop_->add_timer(backoff_ms_, [this] {
+    reconnect_timer_ = 0;
+    start_connect();
+  });
+  notify_ready();
+}
+
+void TcpTransport::on_listen_readable() {
+  for (;;) {
+    Fd client = accept_client(listen_fd_.get());
+    if (!client.valid()) break;
+    if (conn_fd_.valid()) {
+      // Adopt the newest peer: after a silent client-side death the old
+      // socket may linger half-open, and the reconnecting client must not
+      // be refused because of it.
+      loop_->unwatch(conn_fd_.get());
+      conn_fd_.reset();
+      decoder_.reset();
+      out_buf_.clear();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (chaos_) chaos_->clear_held();
+    }
+    conn_fd_ = std::move(client);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.accepts;
+    }
+    on_connected();
+  }
+}
+
+void TcpTransport::on_connected() {
+  loop_->unwatch(conn_fd_.get());  // drop any connect-phase watch
+  backoff_ms_ = 0;
+  last_rx_ms_ = loop_->now_ms();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = LinkState::kEstablished;
+    if (chaos_ && !chaos_->armed()) chaos_->arm(last_rx_ms_);
+  }
+  loop_->watch(conn_fd_.get(), POLLIN, [this](short re) { on_conn_event(re); });
+  update_conn_events();
+  if (tick_timer_ == 0) {
+    tick_timer_ = loop_->add_timer(cfg_.heartbeat_ms, [this] { tick(); });
+  }
+  notify_ready();
+  pump_tx();
+}
+
+void TcpTransport::on_conn_event(short revents) {
+  if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+    // Read even on HUP/ERR: pending bytes surface first, then EOF/error
+    // lands in read_some and disconnect() runs exactly once.
+    on_readable();
+  }
+  if (!conn_fd_.valid()) return;  // on_readable tore the link down
+  if ((revents & POLLOUT) != 0) {
+    try_flush();
+    pump_tx();
+  }
+}
+
+void TcpTransport::on_readable() {
+  char buf[16384];
+  for (;;) {
+    std::size_t n = 0;
+    const IoStatus s = read_some(conn_fd_.get(), buf, sizeof(buf), &n);
+    if (s == IoStatus::kOk) {
+      last_rx_ms_ = loop_->now_ms();  // any traffic counts as liveness
+      decoder_.feed(buf, n);
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.bytes_received += n;
+      continue;
+    }
+    if (s == IoStatus::kWouldBlock) break;
+    disconnect(/*failure=*/true);  // kEof or kError
+    return;
+  }
+
+  bool delivered = false;
+  std::string frame;
+  while (decoder_.next(&frame)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (frame.empty()) {
+      ++stats_.heartbeats_received;
+      continue;
+    }
+    // Soft bound: a frame already decoded is delivered, but POLLIN pauses
+    // until the consumer drains below half — TCP flow control then pushes
+    // back on the peer.
+    if (rx_.size() >= cfg_.max_recv_queue && !rx_paused_) {
+      rx_paused_ = true;
+      ++stats_.recv_pauses;
+    }
+    rx_.push_back(std::move(frame));
+    ++stats_.frames_received;
+    delivered = true;
+  }
+  if (decoder_.poisoned()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.decode_resets;
+    }
+    // A length-prefixed stream cannot resynchronize after a corrupt
+    // prefix; tear the connection down and let supervision rebuild it.
+    disconnect(/*failure=*/true);
+    return;
+  }
+  if (delivered) {
+    cv_rx_.notify_all();
+    notify_ready();
+  }
+  update_conn_events();
+}
+
+void TcpTransport::disconnect(bool failure) {
+  (void)failure;
+  if (conn_fd_.valid()) {
+    loop_->unwatch(conn_fd_.get());
+    conn_fd_.reset();
+  }
+  decoder_.reset();
+  out_buf_.clear();
+  for (std::uint64_t id : delay_timers_) loop_->cancel_timer(id);
+  delay_timers_.clear();
+  bool finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (chaos_) chaos_->clear_held();
+    finished = closed_ || draining_;
+    if (finished) {
+      state_ = LinkState::kClosed;
+    } else if (is_server_) {
+      state_ = LinkState::kListening;
+    }
+  }
+  if (finished) {
+    notify_ready();
+    return;
+  }
+  if (is_server_) {
+    notify_ready();
+  } else {
+    schedule_reconnect();
+  }
+}
+
+void TcpTransport::pump_tx() {
+  for (;;) {
+    std::string frame;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (state_ != LinkState::kEstablished &&
+          state_ != LinkState::kDraining) {
+        return;  // frames wait in tx_ for the next connection
+      }
+      if (tx_.empty() || out_buf_.size() >= kOutBufHighWater) break;
+      frame = std::move(tx_.front());
+      tx_.pop_front();
+    }
+    cv_tx_.notify_all();
+    emit_frame(frame, /*heartbeat=*/false);
+  }
+  try_flush();
+}
+
+void TcpTransport::emit_frame(const std::string& payload, bool heartbeat) {
+  if (chaos_) {
+    std::vector<ChaosEmission> emissions;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      emissions = chaos_->on_send(payload, loop_->now_ms(), &stats_);
+    }
+    for (const ChaosEmission& em : emissions) queue_emission(em, heartbeat);
+  } else {
+    queue_emission(ChaosEmission{payload, 0}, heartbeat);
+  }
+}
+
+void TcpTransport::queue_emission(const ChaosEmission& em, bool heartbeat) {
+  if (em.delay_ms <= 0) {
+    append_frame(&out_buf_, em.payload);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (heartbeat) {
+      ++stats_.heartbeats_sent;
+    } else {
+      ++stats_.frames_sent;
+      stats_.bytes_sent += em.payload.size() + 4;
+    }
+    return;
+  }
+  // Timed hold: re-inject when the timer fires, if the link is still up
+  // (a dropped link drops held frames with it — the application's retry
+  // layer owns redelivery).
+  auto timer_id = std::make_shared<std::uint64_t>(0);
+  *timer_id = loop_->add_timer(
+      em.delay_ms, [this, payload = em.payload, heartbeat, timer_id] {
+        delay_timers_.erase(*timer_id);
+        bool up;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          up = state_ == LinkState::kEstablished;
+        }
+        if (!up || !conn_fd_.valid()) return;
+        queue_emission(ChaosEmission{payload, 0}, heartbeat);
+        try_flush();
+      });
+  delay_timers_.insert(*timer_id);
+}
+
+void TcpTransport::try_flush() {
+  if (!conn_fd_.valid()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != LinkState::kEstablished && state_ != LinkState::kDraining)
+      return;
+  }
+  while (!out_buf_.empty()) {
+    std::size_t n = 0;
+    const IoStatus s =
+        write_some(conn_fd_.get(), out_buf_.data(), out_buf_.size(), &n);
+    if (s == IoStatus::kOk) {
+      out_buf_.erase(0, n);
+      continue;
+    }
+    if (s == IoStatus::kWouldBlock) break;
+    disconnect(/*failure=*/true);
+    return;
+  }
+  if (draining_ && out_buf_.empty()) {
+    bool flushed;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      flushed = tx_.empty();
+    }
+    if (flushed) {
+      shutdown_write(conn_fd_.get());
+      disconnect(/*failure=*/false);  // closed_/draining_ => kClosed
+      return;
+    }
+  }
+  update_conn_events();
+}
+
+void TcpTransport::update_conn_events() {
+  if (!conn_fd_.valid()) return;
+  short events = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!rx_paused_) events |= POLLIN;
+  }
+  if (!out_buf_.empty()) events |= POLLOUT;
+  loop_->set_events(conn_fd_.get(), events);
+}
+
+void TcpTransport::tick() {
+  tick_timer_ = 0;
+  bool established;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    established = state_ == LinkState::kEstablished;
+  }
+  if (established) {
+    const std::int64_t now = loop_->now_ms();
+    bool storm = false;
+    if (now - last_rx_ms_ > cfg_.peer_timeout_ms) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.peer_timeouts;
+      }
+      disconnect(/*failure=*/true);
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (chaos_ && chaos_->take_reset(now)) {
+          ++stats_.chaos_resets;
+          storm = true;
+        }
+      }
+      if (storm) {
+        disconnect(/*failure=*/true);
+      } else {
+        emit_frame("", /*heartbeat=*/true);  // through chaos: partitions
+                                             // starve the peer for real
+        try_flush();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return;  // teardown cancels; don't re-arm past close
+  }
+  tick_timer_ = loop_->add_timer(cfg_.heartbeat_ms, [this] { tick(); });
+}
+
+void TcpTransport::teardown_on_loop() {
+  if (tick_timer_ != 0) loop_->cancel_timer(tick_timer_);
+  if (reconnect_timer_ != 0) loop_->cancel_timer(reconnect_timer_);
+  for (std::uint64_t id : delay_timers_) loop_->cancel_timer(id);
+  delay_timers_.clear();
+  if (conn_fd_.valid()) {
+    loop_->unwatch(conn_fd_.get());
+    conn_fd_.reset();
+  }
+  if (listen_fd_.valid()) {
+    loop_->unwatch(listen_fd_.get());
+    listen_fd_.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = LinkState::kClosed;
+  }
+  {
+    std::lock_guard<std::mutex> lock(down_mu_);
+    down_ = true;
+    // Notify while holding down_mu_: the destructor destroys this cv the
+    // moment its wait returns, so an unlocked broadcast could touch a dead
+    // object. Under the lock the waiter cannot resume until we release.
+    down_cv_.notify_all();
+  }
+}
+
+}  // namespace edgebol::net

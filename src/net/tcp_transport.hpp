@@ -1,0 +1,166 @@
+// Asynchronous TCP transport for the O-RAN message plane.
+//
+// One TcpTransport is one endpoint of one point-to-point link (server or
+// client), carrying length-prefixed frames (net/framing.hpp) over a
+// non-blocking socket owned by an EventLoop. It provides:
+//
+//   * bounded send/receive queues with an explicit backpressure policy —
+//     block the sender, shed the oldest frame, or reject the new one;
+//     the receive bound pauses POLLIN so TCP's own flow control pushes
+//     back on the peer (a soft bound: frames already in flight land);
+//   * connection supervision — clients reconnect with exponential backoff,
+//     servers keep listening and adopt the newest peer (a stale connection
+//     is replaced on accept); liveness comes from zero-length heartbeat
+//     frames and a peer-timeout on receive silence;
+//   * optional seeded chaos (net/chaos.hpp) applied on the send side, so
+//     drops, delays, duplicates, corruption, reorder, and partition
+//     windows — heartbeats included — exercise the exact recovery paths a
+//     real deployment has to survive.
+//
+// Threading: all socket state is confined to the loop thread. Application
+// threads touch only the queues, guarded by one mutex; they signal the loop
+// with a single coalesced post ("kick"). Destroy transports before their
+// EventLoop, and do not call send()/receive() concurrently with the
+// destructor.
+//
+// State machine (see DESIGN.md): kConnecting/kListening -> kEstablished ->
+// (kDraining -> kClosed | on failure: kBackoff -> kConnecting... for
+// clients, kListening for servers).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/chaos.hpp"
+#include "net/event_loop.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace edgebol::net {
+
+struct TcpTransportConfig {
+  std::string name = "link";
+  BackpressurePolicy send_policy = BackpressurePolicy::kBlock;
+  std::size_t max_send_queue = 256;
+  std::size_t max_recv_queue = 1024;
+  int heartbeat_ms = 200;
+  int peer_timeout_ms = 1000;
+  int reconnect_base_ms = 10;   // doubles per failed attempt ...
+  int reconnect_max_ms = 2000;  // ... up to this cap
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Optional shared wakeup a node multiplexing several transports waits
+  /// on; notified on frame arrival and link-state changes. Not owned.
+  ReadySignal* ready = nullptr;
+  /// Seeded chaos; copied at construction when `chaos.any()`.
+  fault::TransportFaultRates chaos{};
+  std::uint64_t chaos_seed = 0;
+};
+
+class TcpTransport final : public Transport {
+ public:
+  /// Server endpoint on 127.0.0.1:port (0 = ephemeral; the bound port is
+  /// available from local_port() immediately after this returns).
+  static std::unique_ptr<TcpTransport> listen(EventLoop* loop,
+                                              std::uint16_t port,
+                                              TcpTransportConfig cfg);
+
+  /// Client endpoint; connects (and reconnects, forever) to host:port.
+  static std::unique_ptr<TcpTransport> connect(EventLoop* loop,
+                                               const std::string& host,
+                                               std::uint16_t port,
+                                               TcpTransportConfig cfg);
+
+  ~TcpTransport() override;
+
+  // Transport interface ---------------------------------------------------
+  SendResult send(const std::string& frame) override;
+  std::vector<std::string> drain() override;
+  std::optional<std::string> receive(int timeout_ms) override;
+  bool connected() const override;
+  const std::string& name() const override { return cfg_.name; }
+
+  // Introspection / control ----------------------------------------------
+  std::uint16_t local_port() const { return bound_port_; }
+  LinkState state() const;
+  TransportStats stats() const;
+
+  /// Graceful close: flush queued frames, half-close, stop reconnecting.
+  void close();
+
+  /// Test/chaos hook: drop the current connection immediately; supervision
+  /// (backoff reconnect or re-listen) takes over as after a real failure.
+  void force_disconnect();
+
+  /// Use the listen()/connect() factories; public only for make_unique.
+  TcpTransport(EventLoop* loop, TcpTransportConfig cfg, bool is_server,
+               std::string host, std::uint16_t port);
+
+ private:
+
+  // --- Loop-thread-only methods ------------------------------------------
+  void setup_on_loop();
+  void start_connect();
+  void on_connect_writable();
+  void schedule_reconnect();
+  void on_listen_readable();
+  void on_connected();
+  void on_conn_event(short revents);
+  void on_readable();
+  void disconnect(bool failure);
+  void pump_tx();
+  void emit_frame(const std::string& payload, bool heartbeat);
+  void queue_emission(const ChaosEmission& em, bool heartbeat);
+  void try_flush();
+  void update_conn_events();
+  void tick();
+  void teardown_on_loop();
+
+  void notify_ready();
+
+  EventLoop* loop_;
+  TcpTransportConfig cfg_;
+  const bool is_server_;
+  const std::string host_;
+  std::uint16_t bound_port_ = 0;  // server: actual port; client: target
+
+  // Shared state (application threads + loop thread), guarded by mu_.
+  mutable std::mutex mu_;
+  std::condition_variable cv_tx_;  // space freed in tx_
+  std::condition_variable cv_rx_;  // frame arrived in rx_
+  std::deque<std::string> tx_;
+  std::deque<std::string> rx_;
+  TransportStats stats_;
+  LinkState state_ = LinkState::kIdle;
+  bool closed_ = false;        // destructor/close() begun: refuse new work
+  bool kick_pending_ = false;  // one coalesced pump post outstanding
+  bool rx_paused_ = false;     // POLLIN off because rx_ hit its bound
+
+  // Loop-thread-only state (confined: no lock needed).
+  Fd listen_fd_;
+  Fd conn_fd_;
+  FrameDecoder decoder_;
+  std::string out_buf_;  // encoded bytes awaiting write
+  bool draining_ = false;
+  int backoff_ms_ = 0;
+  std::int64_t last_rx_ms_ = 0;
+  std::uint64_t tick_timer_ = 0;
+  std::uint64_t reconnect_timer_ = 0;
+  std::set<std::uint64_t> delay_timers_;  // chaos timed-delay holds
+  std::unique_ptr<ChaosShim> chaos_;
+
+  // Destructor barrier.
+  std::mutex down_mu_;
+  std::condition_variable down_cv_;
+  bool down_ = false;
+};
+
+}  // namespace edgebol::net

@@ -131,6 +131,28 @@ std::string to_json(const ServicePolicyRequest& m) {
       {{"resolution", num(m.resolution)}, {"gpu_speed", num(m.gpu_speed)}});
 }
 
+std::string to_json(const EnvHello& m) {
+  return json_object({{"n_users", num(static_cast<std::int64_t>(m.n_users))},
+                      {"cqi_mean", num(m.cqi_mean)},
+                      {"cqi_var", num(m.cqi_var)}});
+}
+
+std::string to_json(const EnvStepRequest& m) {
+  return json_object({{"step_id", num(m.step_id)},
+                      {"resolution", num(m.resolution)},
+                      {"gpu_speed", num(m.gpu_speed)}});
+}
+
+std::string to_json(const EnvStepResult& m) {
+  return json_object({{"step_id", num(m.step_id)},
+                      {"delay_s", num(m.delay_s)},
+                      {"map", num(m.map)},
+                      {"server_power_w", num(m.server_power_w)},
+                      {"n_users", num(static_cast<std::int64_t>(m.n_users))},
+                      {"cqi_mean", num(m.cqi_mean)},
+                      {"cqi_var", num(m.cqi_var)}});
+}
+
 A1PolicySetup a1_policy_setup_from_json(const std::string& j) {
   A1PolicySetup m;
   m.policy_id = get_int(j, "policy_id");
@@ -182,6 +204,34 @@ ServicePolicyRequest service_policy_request_from_json(const std::string& j) {
   return m;
 }
 
+EnvHello env_hello_from_json(const std::string& j) {
+  EnvHello m;
+  m.n_users = static_cast<int>(get_int(j, "n_users"));
+  m.cqi_mean = get_double(j, "cqi_mean");
+  m.cqi_var = get_double(j, "cqi_var");
+  return m;
+}
+
+EnvStepRequest env_step_request_from_json(const std::string& j) {
+  EnvStepRequest m;
+  m.step_id = get_int(j, "step_id");
+  m.resolution = get_double(j, "resolution");
+  m.gpu_speed = get_double(j, "gpu_speed");
+  return m;
+}
+
+EnvStepResult env_step_result_from_json(const std::string& j) {
+  EnvStepResult m;
+  m.step_id = get_int(j, "step_id");
+  m.delay_s = get_double(j, "delay_s");
+  m.map = get_double(j, "map");
+  m.server_power_w = get_double(j, "server_power_w");
+  m.n_users = static_cast<int>(get_int(j, "n_users"));
+  m.cqi_mean = get_double(j, "cqi_mean");
+  m.cqi_var = get_double(j, "cqi_var");
+  return m;
+}
+
 namespace {
 
 template <typename T>
@@ -229,6 +279,20 @@ std::optional<O1KpiReport> try_o1_kpi_report_from_json(
 std::optional<ServicePolicyRequest> try_service_policy_request_from_json(
     const std::string& j) noexcept {
   return try_decode(service_policy_request_from_json, j);
+}
+
+std::optional<EnvHello> try_env_hello_from_json(const std::string& j) noexcept {
+  return try_decode(env_hello_from_json, j);
+}
+
+std::optional<EnvStepRequest> try_env_step_request_from_json(
+    const std::string& j) noexcept {
+  return try_decode(env_step_request_from_json, j);
+}
+
+std::optional<EnvStepResult> try_env_step_result_from_json(
+    const std::string& j) noexcept {
+  return try_decode(env_step_result_from_json, j);
 }
 
 }  // namespace edgebol::oran

@@ -63,6 +63,38 @@ struct ServicePolicyRequest {
   double gpu_speed = 1.0;
 };
 
+// Custom service-interface messages for the distributed deployment (one
+// process per Fig. 7 box). The environment process greets the learner with
+// the initial context, then each orchestration period is one lock-step
+// request/response pair keyed by step_id so duplicates and retries are
+// idempotent.
+
+/// Environment -> learner: initial context announcement.
+struct EnvHello {
+  int n_users = 0;
+  double cqi_mean = 0.0;
+  double cqi_var = 0.0;
+};
+
+/// Learner -> environment: run one orchestration period with these service
+/// knobs (the radio knobs traveled separately over A1-P).
+struct EnvStepRequest {
+  std::int64_t step_id = 0;
+  double resolution = 1.0;
+  double gpu_speed = 1.0;
+};
+
+/// Environment -> learner: the period's measurement plus the next context.
+struct EnvStepResult {
+  std::int64_t step_id = 0;
+  double delay_s = 0.0;
+  double map = 0.0;
+  double server_power_w = 0.0;
+  int n_users = 0;
+  double cqi_mean = 0.0;
+  double cqi_var = 0.0;
+};
+
 // Flat-JSON codecs. to_json emits {"key":value,...}; the from_json parsers
 // accept the corresponding object (whitespace-tolerant, order-insensitive)
 // and throw std::invalid_argument on missing keys or malformed input.
@@ -73,6 +105,9 @@ std::string to_json(const E2ControlAck&);
 std::string to_json(const E2KpiIndication&);
 std::string to_json(const O1KpiReport&);
 std::string to_json(const ServicePolicyRequest&);
+std::string to_json(const EnvHello&);
+std::string to_json(const EnvStepRequest&);
+std::string to_json(const EnvStepResult&);
 
 A1PolicySetup a1_policy_setup_from_json(const std::string&);
 A1PolicyAck a1_policy_ack_from_json(const std::string&);
@@ -81,6 +116,9 @@ E2ControlAck e2_control_ack_from_json(const std::string&);
 E2KpiIndication e2_kpi_indication_from_json(const std::string&);
 O1KpiReport o1_kpi_report_from_json(const std::string&);
 ServicePolicyRequest service_policy_request_from_json(const std::string&);
+EnvHello env_hello_from_json(const std::string&);
+EnvStepRequest env_step_request_from_json(const std::string&);
+EnvStepResult env_step_result_from_json(const std::string&);
 
 // Non-throwing decoders for wire-facing consumers: malformed or truncated
 // frames yield std::nullopt instead of an exception, so a corrupted frame is
@@ -98,6 +136,11 @@ std::optional<E2KpiIndication> try_e2_kpi_indication_from_json(
 std::optional<O1KpiReport> try_o1_kpi_report_from_json(
     const std::string&) noexcept;
 std::optional<ServicePolicyRequest> try_service_policy_request_from_json(
+    const std::string&) noexcept;
+std::optional<EnvHello> try_env_hello_from_json(const std::string&) noexcept;
+std::optional<EnvStepRequest> try_env_step_request_from_json(
+    const std::string&) noexcept;
+std::optional<EnvStepResult> try_env_step_result_from_json(
     const std::string&) noexcept;
 
 }  // namespace edgebol::oran

@@ -45,6 +45,11 @@ class OranManagedTestbed final : public E2Node {
   /// the wrapped testbed's telemetry/environment path. nullptr detaches.
   void enable_fault_injection(fault::FaultInjector* injector);
 
+  /// Partition / heal the E2 hop mid-run (chaos-under-reconnect tests):
+  /// while partitioned, radio policies stop reaching the O-eNB and KPI
+  /// indications stop reaching the data collector (BS power goes NaN).
+  void set_e2_partitioned(bool on) { near_rt_.set_e2_partitioned(on); }
+
   /// Periods whose radio policy could not be delivered (ran degraded on the
   /// previously applied policy).
   std::size_t policy_delivery_failures() const {

@@ -22,8 +22,15 @@ void InterfaceFabric::enable_faults(fault::FaultInjector* injector,
 }
 
 std::vector<std::string> InterfaceFabric::transmit(const std::string& frame) {
+  if (partitioned_) {
+    // Hard partition: the offered frame vanishes; delayed frames stay
+    // parked until the partition heals.
+    ++partition_drops_;
+    return {};
+  }
   std::vector<std::string> delivered;
-  // Frames delayed on an earlier transmit arrive ahead of this one.
+  // Frames delayed on an earlier transmit arrive ahead of this one (the
+  // ordering guarantee documented on the declaration and pinned by test).
   if (!pending_.empty()) {
     delivered = std::move(pending_);
     pending_.clear();
@@ -54,6 +61,29 @@ std::vector<std::string> InterfaceFabric::transmit(const std::string& frame) {
   }
   for (const std::string& f : delivered) record(f);
   return delivered;
+}
+
+net::SendResult InterfaceFabric::send(const std::string& frame) {
+  // Loopback delivery: whatever survives the (possibly faulty) hop lands
+  // on the local inbox immediately. A partition still accepts the frame —
+  // like TCP, the sender only learns through silence.
+  for (std::string& f : transmit(frame)) inbox_.push_back(std::move(f));
+  return net::SendResult::kQueued;
+}
+
+std::vector<std::string> InterfaceFabric::drain() {
+  std::vector<std::string> out = std::move(inbox_);
+  inbox_.clear();
+  return out;
+}
+
+std::optional<std::string> InterfaceFabric::receive(int timeout_ms) {
+  // Time-free loopback: there is nothing to wait for.
+  (void)timeout_ms;
+  if (inbox_.empty()) return std::nullopt;
+  std::string frame = std::move(inbox_.front());
+  inbox_.erase(inbox_.begin());
+  return frame;
 }
 
 NearRtRic::NearRtRic() = default;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fault/fault.hpp"
+#include "net/transport.hpp"
 #include "oran/messages.hpp"
 
 namespace edgebol::oran {
@@ -28,21 +29,33 @@ class E2Node {
   virtual E2ControlAck handle_control(const E2ControlRequest&) = 0;
 };
 
-/// Transport-ish fabric for one interface: counts messages, keeps an
-/// optional bounded log of serialized frames for inspection, and — when a
+/// In-process fabric for one interface: counts messages, keeps an optional
+/// bounded log of serialized frames for inspection, and — when a
 /// FaultInjector is attached — subjects every offered frame to the plan's
 /// drop/delay/duplicate/corrupt schedule. Consumers report undecodable
 /// frames back through note_reject() so per-interface reject counts are
 /// observable.
-class InterfaceFabric {
+///
+/// InterfaceFabric is the loopback implementation of net::Transport: the
+/// same node roles that ride TcpTransport across processes run over it
+/// unchanged in one process (send() delivers synchronously into the local
+/// inbox read by drain()/receive()). The transmit() entry point predates
+/// the Transport interface and remains for callers that want the delivered
+/// frames inline.
+class InterfaceFabric final : public net::Transport {
  public:
   explicit InterfaceFabric(std::string name, std::size_t max_log = 64);
 
   void record(const std::string& frame);
 
   /// Offer one frame for delivery. Returns the frames that actually arrive
-  /// at the far end, in order: any previously delayed frames first, then
-  /// zero (dropped/delayed), one (clean or corrupted) or two (duplicated)
+  /// at the far end, in order.
+  ///
+  /// Ordering guarantee (pinned by test_oran "fabric delayed frame order"):
+  /// frames delayed by an earlier transmit are delivered *before* any copy
+  /// of the current frame — a delayed frame arrives exactly one delivery
+  /// opportunity late and never overtakes a later send. Then come zero
+  /// (dropped/delayed), one (clean or corrupted) or two (duplicated)
   /// copies of `frame`. Without an injector this is exactly {frame}.
   std::vector<std::string> transmit(const std::string& frame);
 
@@ -50,8 +63,24 @@ class InterfaceFabric {
   void enable_faults(fault::FaultInjector* injector,
                      const fault::FrameFaultRates& rates);
 
+  /// Simulate a hard partition of this hop: while set, every offered frame
+  /// is dropped (counted separately from random drops) and frames already
+  /// delayed stay parked; healing the partition releases them on the next
+  /// transmit. Mirrors a TcpTransport partition window well enough for the
+  /// orchestrator-level chaos tests to run in-process.
+  void set_partitioned(bool on) { partitioned_ = on; }
+  bool partitioned() const { return partitioned_; }
+
   /// Called by the consumer when a delivered frame failed to decode.
   void note_reject() { ++decode_rejects_; }
+
+  // net::Transport: loopback semantics. send() runs the frame through
+  // transmit() and queues the surviving copies on the local inbox.
+  net::SendResult send(const std::string& frame) override;
+  std::vector<std::string> drain() override;
+  std::optional<std::string> receive(int timeout_ms) override;
+  bool connected() const override { return !partitioned_; }
+  const std::string& name() const override { return name_; }
 
   std::size_t messages_carried() const { return carried_; }
   std::size_t decode_rejects() const { return decode_rejects_; }
@@ -59,8 +88,8 @@ class InterfaceFabric {
   std::size_t frames_delayed() const { return delayed_; }
   std::size_t frames_duplicated() const { return duplicated_; }
   std::size_t frames_corrupted() const { return corrupted_; }
+  std::size_t partition_drops() const { return partition_drops_; }
   const std::vector<std::string>& frame_log() const { return log_; }
-  const std::string& name() const { return name_; }
 
  private:
   std::string name_;
@@ -71,8 +100,11 @@ class InterfaceFabric {
   std::size_t delayed_ = 0;
   std::size_t duplicated_ = 0;
   std::size_t corrupted_ = 0;
+  std::size_t partition_drops_ = 0;
+  bool partitioned_ = false;
   std::vector<std::string> log_;
   std::vector<std::string> pending_;  // delayed frames awaiting delivery
+  std::vector<std::string> inbox_;    // Transport-mode received frames
   fault::FaultInjector* injector_ = nullptr;
   fault::FrameFaultRates rates_{};
 };
@@ -123,6 +155,11 @@ class NearRtRic {
 
   /// Subject the E2 and O1 hops to the injector's plan (nullptr detaches).
   void enable_fault_injection(fault::FaultInjector* injector);
+
+  /// Partition / heal the E2 hop (see InterfaceFabric::set_partitioned):
+  /// control pushes silently fail (node keeps its previous radio policy)
+  /// and KPI indications never reach the database xApp.
+  void set_e2_partitioned(bool on) { e2_.set_partitioned(on); }
 
   std::size_t stale_indications() const { return stale_indications_; }
 

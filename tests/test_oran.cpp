@@ -177,6 +177,48 @@ TEST(InterfaceFabric, BoundedLog) {
   EXPECT_EQ(f.frame_log().front(), "b");
 }
 
+TEST(InterfaceFabric, DelayedFrameOrder) {
+  // Pins the "fabric delayed frame order" guarantee documented on
+  // InterfaceFabric::transmit: a delayed frame is released exactly one
+  // delivery opportunity later and always ahead of every copy of the frame
+  // offered at that opportunity.
+  fault::FaultInjector injector{fault::FaultPlan{.seed = 7}};
+  InterfaceFabric fabric("e2");
+
+  fault::FrameFaultRates delay_all;
+  delay_all.delay = 1.0;
+  fabric.enable_faults(&injector, delay_all);
+  EXPECT_TRUE(fabric.transmit("first").empty());
+  EXPECT_EQ(fabric.frames_delayed(), 1u);
+
+  // The next transmit also draws kDelay: "first" is released while "second"
+  // takes its place in the parking slot — one opportunity late, no more.
+  const std::vector<std::string> second = fabric.transmit("second");
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], "first");
+  EXPECT_EQ(fabric.frames_delayed(), 2u);
+
+  // Clean fate: the parked "second" precedes the current "third".
+  fabric.enable_faults(&injector, fault::FrameFaultRates{});
+  const std::vector<std::string> third = fabric.transmit("third");
+  ASSERT_EQ(third.size(), 2u);
+  EXPECT_EQ(third[0], "second");
+  EXPECT_EQ(third[1], "third");
+
+  // Duplicate fate: both copies of the current frame still trail the
+  // released frame — a delayed frame is never overtaken.
+  fabric.enable_faults(&injector, delay_all);
+  EXPECT_TRUE(fabric.transmit("fourth").empty());
+  fault::FrameFaultRates dup_all;
+  dup_all.duplicate = 1.0;
+  fabric.enable_faults(&injector, dup_all);
+  const std::vector<std::string> fifth = fabric.transmit("fifth");
+  ASSERT_EQ(fifth.size(), 3u);
+  EXPECT_EQ(fifth[0], "fourth");
+  EXPECT_EQ(fifth[1], "fifth");
+  EXPECT_EQ(fifth[2], "fifth");
+}
+
 TEST(ServiceController, AppliesAndValidates) {
   ServiceController c;
   c.apply({0.5, 0.25});

@@ -301,5 +301,58 @@ TEST(ChaosRun, ResilienceLayerIsOffPathOnCleanRuns) {
   EXPECT_EQ(agent_b.resilience_stats().watchdog_trips, 0u);
 }
 
+TEST(ChaosRun, RecoversFromE2PartitionMidConvergence) {
+  // Chaos-under-reconnect: a hard E2 partition opens mid-convergence, runs
+  // for a dozen periods, then heals. While dark, radio policies stop
+  // reaching the O-eNB and KPIs stop flowing back (BS power goes NaN for
+  // the validation gate). After healing the loop must resume safe
+  // operation within a bounded number of periods — the violation tally in
+  // the post-recovery window must match a partition-free run of the same
+  // seed, not drift because the agent learned from garbage.
+  constexpr int kPeriods = 200;
+  constexpr int kPartitionStart = 60;  // mid-convergence: safe set growing
+  constexpr int kPartitionEnd = 72;
+  constexpr int kRecoveryBudget = 5;  // periods allowed to settle post-heal
+
+  env::Testbed tb = env::make_static_testbed(35.0);
+  oran::OranManagedTestbed managed(tb);
+  EdgeBol agent(small_grid(), resilient_config());
+  Orchestrator orch(agent);
+  orch.set_callback([&](const PeriodRecord& rec) {
+    if (rec.period == kPartitionStart - 1) managed.set_e2_partitioned(true);
+    if (rec.period == kPartitionEnd - 1) managed.set_e2_partitioned(false);
+  });
+
+  RunSummary summary{};
+  ASSERT_NO_THROW(summary = orch.run(managed, kPeriods));
+  ASSERT_EQ(summary.periods, static_cast<std::size_t>(kPeriods));
+
+  // The partition actually bit: every dark period lost both its policy
+  // delivery and its KPI, and the NaN samples fed the gate (not the GP).
+  constexpr std::size_t kDark = kPartitionEnd - kPartitionStart;
+  EXPECT_GE(managed.policy_delivery_failures(), kDark);
+  EXPECT_GE(managed.kpi_losses(), kDark);
+  EXPECT_GE(agent.resilience_stats().kpi_rejected_nan, kDark);
+  const std::vector<PeriodRecord>& hist = orch.history();
+  ASSERT_EQ(hist.size(), static_cast<std::size_t>(kPeriods));
+  for (int t = kPartitionStart; t < kPartitionEnd; ++t) {
+    EXPECT_TRUE(std::isnan(hist[t].measurement.bs_power_w))
+        << "period " << t << " should have run dark";
+  }
+
+  // Bounded recovery: KPIs are finite again as soon as the hop heals, and
+  // once the settling budget elapses the loop is back to safe operation —
+  // zero constraint violations through the end of the run.
+  for (int t = kPartitionEnd; t < kPeriods; ++t) {
+    EXPECT_FALSE(std::isnan(hist[t].measurement.bs_power_w))
+        << "period " << t << " should see KPIs again";
+    if (t >= kPartitionEnd + kRecoveryBudget) {
+      EXPECT_FALSE(hist[t].delay_violated || hist[t].map_violated)
+          << "constraint violated at period " << t << " after recovery";
+    }
+  }
+  EXPECT_GT(summary.final_safe_set_size, 1u);
+}
+
 }  // namespace
 }  // namespace edgebol::core

@@ -1,0 +1,529 @@
+// Node-role tests: the wire envelope, each role driven synchronously over
+// loopback fabric pairs (idempotency, validation, degradation paths), and
+// the whole three-node plane over real TCP — including the tentpole's
+// equivalence claim (TCP trajectory == in-process loopback trajectory) and
+// a chaos soak on the e2 link.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/edgebol.hpp"
+#include "core/orchestrator.hpp"
+#include "env/scenarios.hpp"
+#include "net/tcp_transport.hpp"
+#include "net/transport.hpp"
+#include "oran/oran_env.hpp"
+#include "oran/ric.hpp"
+#include "oran/ric_node.hpp"
+
+namespace edgebol::oran {
+namespace {
+
+// --- wire envelope ---------------------------------------------------------
+
+TEST(WireEnvelope, PackUnpackRoundTrip) {
+  const std::string frame = wire_pack("e2_ctrl", "{\"request_id\":1}");
+  std::string kind;
+  std::string body;
+  ASSERT_TRUE(wire_unpack(frame, &kind, &body));
+  EXPECT_EQ(kind, "e2_ctrl");
+  EXPECT_EQ(body, "{\"request_id\":1}");
+}
+
+TEST(WireEnvelope, RejectsFramesWithoutKind) {
+  std::string kind;
+  std::string body;
+  EXPECT_FALSE(wire_unpack("no newline here", &kind, &body));
+  EXPECT_FALSE(wire_unpack("\nleading newline", &kind, &body));
+  EXPECT_FALSE(wire_unpack("", &kind, &body));
+}
+
+TEST(WireEnvelope, BodyMayContainNewlines) {
+  std::string kind;
+  std::string body;
+  ASSERT_TRUE(wire_unpack(wire_pack("k", "a\nb\nc"), &kind, &body));
+  EXPECT_EQ(kind, "k");
+  EXPECT_EQ(body, "a\nb\nc");
+}
+
+// --- synchronous loopback rig ---------------------------------------------
+//
+// Each link is two simplex fabrics; the node under test gets a
+// SplitTransport and the test plays the peer by writing into `from` and
+// draining `to`. With a null ReadySignal every node wait degrades to a
+// single pass, so expected frames are pre-queued before the call.
+
+struct Link {
+  InterfaceFabric to{"to-peer"};     // node -> test
+  InterfaceFabric from{"from-peer"}; // test -> node
+  net::SplitTransport node{&to, &from, "node-side"};
+
+  std::vector<std::string> sent_by_node() { return to.drain(); }
+  void inject(const std::string& kind, const std::string& body) {
+    from.send(wire_pack(kind, body));
+  }
+};
+
+std::optional<std::string> only_frame_of_kind(std::vector<std::string> frames,
+                                              const std::string& want) {
+  std::optional<std::string> found;
+  for (const std::string& f : frames) {
+    std::string kind;
+    std::string body;
+    if (!wire_unpack(f, &kind, &body) || kind != want) continue;
+    if (found) return std::nullopt;  // more than one
+    found = body;
+  }
+  return found;
+}
+
+// --- EnvNode ---------------------------------------------------------------
+
+class EnvNodeTest : public ::testing::Test {
+ protected:
+  EnvNodeTest()
+      : testbed(env::make_static_testbed(35.0)),
+        node(testbed, &e2.node, &svc.node, nullptr) {}
+
+  env::Testbed testbed;
+  Link e2;
+  Link svc;
+  EnvNode node;
+};
+
+TEST_F(EnvNodeTest, AppliesControlAndAcks) {
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{1, 0.5, 10}));
+  node.poll_once();
+  const auto ack = only_frame_of_kind(e2.sent_by_node(), kKindE2CtrlAck);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(e2_control_ack_from_json(*ack).success);
+  EXPECT_EQ(node.controls_applied(), 1u);
+}
+
+TEST_F(EnvNodeTest, DuplicateControlIsReAckedNotReApplied) {
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{1, 0.5, 10}));
+  node.poll_once();
+  (void)e2.sent_by_node();
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{1, 0.5, 10}));
+  node.poll_once();
+  const auto ack = only_frame_of_kind(e2.sent_by_node(), kKindE2CtrlAck);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(e2_control_ack_from_json(*ack).success);
+  EXPECT_EQ(node.controls_applied(), 1u);
+  EXPECT_EQ(node.duplicate_controls(), 1u);
+}
+
+TEST_F(EnvNodeTest, StaleControlIsNackedAndNeverRollsBack) {
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{1, 0.5, 10}));
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{2, 0.8, 12}));
+  node.poll_once();
+  (void)e2.sent_by_node();
+
+  // A chaos-reordered control from an earlier period arrives after a newer
+  // one was applied: it must be refused, not restore the old radio policy.
+  e2.inject(kKindE2Ctrl, to_json(E2ControlRequest{1, 0.5, 10}));
+  node.poll_once();
+  const auto ack = only_frame_of_kind(e2.sent_by_node(), kKindE2CtrlAck);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(e2_control_ack_from_json(*ack).success);
+  EXPECT_EQ(node.stale_controls(), 1u);
+  EXPECT_EQ(node.controls_applied(), 2u);
+}
+
+TEST_F(EnvNodeTest, StepRunsTestbedAndEmitsKpiIndication) {
+  svc.inject(kKindEnvStep, to_json(EnvStepRequest{1, 0.8, 0.9}));
+  node.poll_once();
+
+  const auto result = only_frame_of_kind(svc.sent_by_node(),
+                                         kKindEnvStepResult);
+  ASSERT_TRUE(result.has_value());
+  const EnvStepResult r = env_step_result_from_json(*result);
+  EXPECT_EQ(r.step_id, 1);
+  EXPECT_TRUE(std::isfinite(r.delay_s));
+  EXPECT_TRUE(std::isfinite(r.map));
+
+  // The KPI indication rides the e2 link with sequence == step_id.
+  const auto kpi = only_frame_of_kind(e2.sent_by_node(), kKindE2Kpi);
+  ASSERT_TRUE(kpi.has_value());
+  EXPECT_EQ(e2_kpi_indication_from_json(*kpi).sequence, 1);
+  EXPECT_EQ(node.steps_run(), 1u);
+}
+
+TEST_F(EnvNodeTest, DuplicateStepResendsCachedResultWithoutRestepping) {
+  svc.inject(kKindEnvStep, to_json(EnvStepRequest{1, 0.8, 0.9}));
+  node.poll_once();
+  const auto first = only_frame_of_kind(svc.sent_by_node(),
+                                        kKindEnvStepResult);
+  ASSERT_TRUE(first.has_value());
+
+  // A retried request (the learner's ack was lost) must be idempotent:
+  // same cached result, no second testbed step, no second KPI.
+  (void)e2.sent_by_node();
+  svc.inject(kKindEnvStep, to_json(EnvStepRequest{1, 0.8, 0.9}));
+  node.poll_once();
+  const auto second = only_frame_of_kind(svc.sent_by_node(),
+                                         kKindEnvStepResult);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, *second);
+  EXPECT_EQ(node.steps_run(), 1u);
+  EXPECT_EQ(node.duplicate_steps(), 1u);
+  EXPECT_FALSE(
+      only_frame_of_kind(e2.sent_by_node(), kKindE2Kpi).has_value());
+}
+
+TEST_F(EnvNodeTest, InvalidServicePolicyIsRejectedNotApplied) {
+  svc.inject(kKindEnvStep, to_json(EnvStepRequest{1, 0.0, 0.9}));
+  node.poll_once();
+  EXPECT_EQ(node.steps_run(), 0u);
+  EXPECT_GT(node.decode_rejects(), 0u);
+}
+
+TEST_F(EnvNodeTest, HelloReportsTestbedContext) {
+  svc.inject(kKindHelloReq, "{}");
+  node.poll_once();
+  const auto hello = only_frame_of_kind(svc.sent_by_node(), kKindEnvHello);
+  ASSERT_TRUE(hello.has_value());
+  const EnvHello h = env_hello_from_json(*hello);
+  EXPECT_EQ(h.n_users, testbed.context().n_users);
+}
+
+// --- NearRtRicNode ---------------------------------------------------------
+
+class NearRtNodeTest : public ::testing::Test {
+ protected:
+  NearRtNodeTest() : node(&a1.node, &e2.node, &o1.node, nullptr) {}
+
+  Link a1;
+  Link e2;
+  Link o1;
+  NearRtRicNode node;
+};
+
+TEST_F(NearRtNodeTest, ValidPolicyIsPushedOverE2ThenAcked) {
+  // Pre-queue the env's E2 ack (request ids start at 1): the single-pass
+  // wait must find it right after pushing the control.
+  e2.inject(kKindE2CtrlAck, to_json(E2ControlAck{1, true}));
+  a1.inject(kKindA1Setup, to_json(A1PolicySetup{1, 0.5, 10}));
+  node.poll_once();
+
+  const auto ctrl = only_frame_of_kind(e2.sent_by_node(), kKindE2Ctrl);
+  ASSERT_TRUE(ctrl.has_value());
+  const E2ControlRequest req = e2_control_request_from_json(*ctrl);
+  EXPECT_EQ(req.request_id, 1);
+  EXPECT_DOUBLE_EQ(req.airtime, 0.5);
+
+  const auto ack = only_frame_of_kind(a1.sent_by_node(), kKindA1Ack);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(a1_policy_ack_from_json(*ack).accepted);
+  EXPECT_EQ(node.policies_accepted(), 1u);
+  EXPECT_EQ(node.e2_apply_failures(), 0u);
+}
+
+TEST_F(NearRtNodeTest, InvalidPolicyIsRejectedWithoutTouchingE2) {
+  a1.inject(kKindA1Setup, to_json(A1PolicySetup{1, 0.0, 10}));
+  node.poll_once();
+  EXPECT_FALSE(
+      only_frame_of_kind(e2.sent_by_node(), kKindE2Ctrl).has_value());
+  const auto ack = only_frame_of_kind(a1.sent_by_node(), kKindA1Ack);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_FALSE(a1_policy_ack_from_json(*ack).accepted);
+  EXPECT_EQ(node.policies_rejected(), 1u);
+}
+
+TEST_F(NearRtNodeTest, LostE2AckDegradesButStillAcksA1) {
+  // No pre-queued E2 ack: the bounded wait expires, the policy still acks
+  // accepted (matching the in-process contract) and the failure is counted.
+  a1.inject(kKindA1Setup, to_json(A1PolicySetup{1, 0.5, 10}));
+  node.poll_once();
+  const auto ack = only_frame_of_kind(a1.sent_by_node(), kKindA1Ack);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(a1_policy_ack_from_json(*ack).accepted);
+  EXPECT_EQ(node.e2_apply_failures(), 1u);
+}
+
+TEST_F(NearRtNodeTest, ForwardsIndicationsAndDropsStaleSequences) {
+  e2.inject(kKindE2Kpi, to_json(E2KpiIndication{1, 9.5}));
+  node.poll_once();
+  const auto rep = only_frame_of_kind(o1.sent_by_node(), kKindO1Report);
+  ASSERT_TRUE(rep.has_value());
+  EXPECT_EQ(o1_kpi_report_from_json(*rep).sequence, 1);
+
+  // A duplicate (or reordered) indication must not be forwarded twice.
+  e2.inject(kKindE2Kpi, to_json(E2KpiIndication{1, 9.5}));
+  node.poll_once();
+  EXPECT_FALSE(
+      only_frame_of_kind(o1.sent_by_node(), kKindO1Report).has_value());
+  EXPECT_EQ(node.indications_forwarded(), 1u);
+  EXPECT_EQ(node.stale_indications(), 1u);
+}
+
+// --- NonRtRicNode ----------------------------------------------------------
+
+class NonRtNodeTest : public ::testing::Test {
+ protected:
+  NonRtNodeTest() : node(&a1.node, &o1.node, &svc.node, nullptr) {}
+
+  Link a1;
+  Link o1;
+  Link svc;
+  NonRtRicNode node;
+};
+
+TEST_F(NonRtNodeTest, HandshakeObtainsContext) {
+  svc.inject(kKindEnvHello, to_json(EnvHello{3, 11.5, 2.25}));
+  ASSERT_TRUE(node.handshake());
+  EXPECT_EQ(node.context().n_users, 3u);
+  EXPECT_DOUBLE_EQ(node.context().cqi_mean, 11.5);
+  const auto hello = only_frame_of_kind(svc.sent_by_node(), kKindHelloReq);
+  EXPECT_TRUE(hello.has_value());
+}
+
+TEST_F(NonRtNodeTest, StepRoundTripsPolicyStepAndKpi) {
+  svc.inject(kKindEnvHello, to_json(EnvHello{1, 10.0, 1.0}));
+  ASSERT_TRUE(node.handshake());
+
+  a1.inject(kKindA1Ack, to_json(A1PolicyAck{1, true}));
+  EnvStepResult res;
+  res.step_id = 1;
+  res.delay_s = 0.2;
+  res.map = 0.6;
+  res.server_power_w = 100.0;
+  res.n_users = 1;
+  res.cqi_mean = 12.0;
+  res.cqi_var = 1.5;
+  svc.inject(kKindEnvStepResult, to_json(res));
+  o1.inject(kKindO1Report, to_json(O1KpiReport{1, 9.5}));
+
+  env::ControlPolicy policy;
+  policy.resolution = 0.8;
+  policy.airtime = 0.5;
+  policy.gpu_speed = 0.9;
+  policy.mcs_cap = 10;
+  const env::Measurement m = node.step(policy);
+  EXPECT_DOUBLE_EQ(m.delay_s, 0.2);
+  EXPECT_DOUBLE_EQ(m.map, 0.6);
+  EXPECT_DOUBLE_EQ(m.server_power_w, 100.0);
+  EXPECT_DOUBLE_EQ(m.bs_power_w, 9.5);
+  // The post-step context from the result becomes the next period's
+  // context.
+  EXPECT_DOUBLE_EQ(node.context().cqi_mean, 12.0);
+  EXPECT_TRUE(node.last_delivery().delivered);
+  EXPECT_EQ(node.kpi_losses(), 0u);
+}
+
+TEST_F(NonRtNodeTest, LostKpiReportSurfacesAsNanBsPower) {
+  svc.inject(kKindEnvHello, to_json(EnvHello{1, 10.0, 1.0}));
+  ASSERT_TRUE(node.handshake());
+
+  a1.inject(kKindA1Ack, to_json(A1PolicyAck{1, true}));
+  EnvStepResult res;
+  res.step_id = 1;
+  res.delay_s = 0.2;
+  res.map = 0.6;
+  res.server_power_w = 100.0;
+  res.n_users = 1;
+  res.cqi_mean = 12.0;
+  res.cqi_var = 1.5;
+  svc.inject(kKindEnvStepResult, to_json(res));
+  // No O1 report: the learner's resilience layer (KPI gate + watchdog)
+  // sees the loss as a NaN BS-power sample, exactly like PR 1's fabric.
+  env::ControlPolicy policy;
+  policy.resolution = 0.8;
+  policy.airtime = 0.5;
+  policy.gpu_speed = 0.9;
+  policy.mcs_cap = 10;
+  const env::Measurement m = node.step(policy);
+  EXPECT_TRUE(std::isnan(m.bs_power_w));
+  EXPECT_DOUBLE_EQ(m.delay_s, 0.2);
+  EXPECT_EQ(node.kpi_losses(), 1u);
+}
+
+TEST_F(NonRtNodeTest, DeadEnvironmentThrowsAfterRetries) {
+  svc.inject(kKindEnvHello, to_json(EnvHello{1, 10.0, 1.0}));
+  NodeTimeouts fast;
+  fast.step_attempts = 2;
+  fast.step_result_ms = 1;
+  Link a1b, o1b, svcb;
+  NonRtRicNode impatient(&a1b.node, &o1b.node, &svcb.node, nullptr, fast);
+  svcb.inject(kKindEnvHello, to_json(EnvHello{1, 10.0, 1.0}));
+  ASSERT_TRUE(impatient.handshake());
+  a1b.inject(kKindA1Ack, to_json(A1PolicyAck{1, true}));
+  env::ControlPolicy policy;
+  policy.resolution = 0.8;
+  policy.airtime = 0.5;
+  policy.gpu_speed = 0.9;
+  policy.mcs_cap = 10;
+  EXPECT_THROW(impatient.step(policy), std::runtime_error);
+}
+
+// --- the full plane over TCP ----------------------------------------------
+
+struct TcpPlane {
+  net::EventLoop loop;
+  net::ReadySignal nonrt_ready, nearrt_ready, env_ready;
+  std::unique_ptr<net::TcpTransport> a1_s, o1_s, e2_s, svc_s;
+  std::unique_ptr<net::TcpTransport> a1_c, o1_c, svc_c, e2_c;
+
+  explicit TcpPlane(fault::TransportFaultRates e2_chaos = {},
+                    std::uint64_t chaos_seed = 0) {
+    auto mk = [&](const char* name, net::ReadySignal* ready,
+                  net::BackpressurePolicy pol,
+                  fault::TransportFaultRates chaos = {}) {
+      net::TcpTransportConfig c;
+      c.name = name;
+      c.ready = ready;
+      c.send_policy = pol;
+      c.chaos = chaos;
+      c.chaos_seed = chaos_seed;
+      return c;
+    };
+    using net::BackpressurePolicy;
+    using net::TcpTransport;
+    a1_s = TcpTransport::listen(&loop, 0,
+                                mk("a1/nearrt", &nearrt_ready,
+                                   BackpressurePolicy::kBlock));
+    o1_s = TcpTransport::listen(&loop, 0,
+                                mk("o1/nearrt", &nearrt_ready,
+                                   BackpressurePolicy::kShedOldest));
+    e2_s = TcpTransport::listen(&loop, 0,
+                                mk("e2/env", &env_ready,
+                                   BackpressurePolicy::kBlock, e2_chaos));
+    svc_s = TcpTransport::listen(&loop, 0,
+                                 mk("svc/env", &env_ready,
+                                    BackpressurePolicy::kBlock));
+    a1_c = TcpTransport::connect(&loop, "127.0.0.1", a1_s->local_port(),
+                                 mk("a1/nonrt", &nonrt_ready,
+                                    BackpressurePolicy::kBlock));
+    o1_c = TcpTransport::connect(&loop, "127.0.0.1", o1_s->local_port(),
+                                 mk("o1/nonrt", &nonrt_ready,
+                                    BackpressurePolicy::kShedOldest));
+    svc_c = TcpTransport::connect(&loop, "127.0.0.1", svc_s->local_port(),
+                                  mk("svc/nonrt", &nonrt_ready,
+                                     BackpressurePolicy::kBlock));
+    e2_c = TcpTransport::connect(&loop, "127.0.0.1", e2_s->local_port(),
+                                 mk("e2/nearrt", &nearrt_ready,
+                                    BackpressurePolicy::kBlock, e2_chaos));
+  }
+};
+
+core::EdgeBolConfig agent_config() {
+  core::EdgeBolConfig cfg;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints = {0.4, 0.5};
+  cfg.resilience.enabled = true;
+  return cfg;
+}
+
+TEST(TcpPlaneRun, TrajectoryMatchesInProcessLoopback) {
+  constexpr int kPeriods = 10;
+  env::TestbedConfig tcfg;
+  tcfg.seed = 3;
+
+  std::vector<core::PeriodRecord> ref;
+  {
+    env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+    OranManagedTestbed managed(tb);
+    core::EdgeBol agent(env::ControlGrid{}, agent_config());
+    core::Orchestrator orch(agent, {.keep_history = true});
+    orch.run(managed, kPeriods);
+    ref = orch.history();
+  }
+
+  TcpPlane plane;
+  env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+  NearRtRicNode nearrt(plane.a1_s.get(), plane.e2_c.get(), plane.o1_s.get(),
+                       &plane.nearrt_ready);
+  EnvNode envnode(tb, plane.e2_s.get(), plane.svc_s.get(), &plane.env_ready);
+  NonRtRicNode nonrt(plane.a1_c.get(), plane.o1_c.get(), plane.svc_c.get(),
+                     &plane.nonrt_ready);
+  std::atomic<bool> stop{false};
+  std::thread t1([&] { nearrt.run(stop); });
+  std::thread t2([&] { envnode.run(stop); });
+
+  ASSERT_TRUE(nonrt.handshake());
+  core::EdgeBol agent(env::ControlGrid{}, agent_config());
+  core::Orchestrator orch(agent, {.keep_history = true});
+  orch.run(nonrt, kPeriods);
+
+  stop.store(true);
+  plane.nearrt_ready.notify();
+  plane.env_ready.notify();
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(nonrt.kpi_losses(), 0u);
+  EXPECT_EQ(nonrt.policy_delivery_failures(), 0u);
+  const auto& got = orch.history();
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const env::ControlPolicy& a = ref[i].decision.policy;
+    const env::ControlPolicy& b = got[i].decision.policy;
+    EXPECT_EQ(a.resolution, b.resolution) << "period " << i;
+    EXPECT_EQ(a.airtime, b.airtime) << "period " << i;
+    EXPECT_EQ(a.gpu_speed, b.gpu_speed) << "period " << i;
+    EXPECT_EQ(a.mcs_cap, b.mcs_cap) << "period " << i;
+    EXPECT_EQ(ref[i].measurement.delay_s, got[i].measurement.delay_s)
+        << "period " << i;
+    EXPECT_EQ(ref[i].measurement.bs_power_w, got[i].measurement.bs_power_w)
+        << "period " << i;
+  }
+}
+
+TEST(TcpPlaneRun, SurvivesE2FrameChaos) {
+  constexpr int kPeriods = 12;
+  fault::TransportFaultRates chaos;
+  chaos.frames.drop = 0.15;
+  chaos.frames.duplicate = 0.10;
+  chaos.frames.corrupt = 0.10;
+  chaos.frames.delay = 0.10;
+  chaos.delay_ms = 10;
+  chaos.reorder = 0.10;
+
+  TcpPlane plane(chaos, 77);
+  env::TestbedConfig tcfg;
+  tcfg.seed = 4;
+  env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+  NearRtRicNode nearrt(plane.a1_s.get(), plane.e2_c.get(), plane.o1_s.get(),
+                       &plane.nearrt_ready);
+  EnvNode envnode(tb, plane.e2_s.get(), plane.svc_s.get(), &plane.env_ready);
+  NonRtRicNode nonrt(plane.a1_c.get(), plane.o1_c.get(), plane.svc_c.get(),
+                     &plane.nonrt_ready);
+  std::atomic<bool> stop{false};
+  std::thread t1([&] { nearrt.run(stop); });
+  std::thread t2([&] { envnode.run(stop); });
+
+  ASSERT_TRUE(nonrt.handshake());
+  core::EdgeBol agent(env::ControlGrid{}, agent_config());
+  core::Orchestrator orch(agent, {.keep_history = true});
+  const core::RunSummary s = orch.run(nonrt, kPeriods);
+
+  stop.store(true);
+  plane.nearrt_ready.notify();
+  plane.env_ready.notify();
+  t1.join();
+  t2.join();
+
+  // Chaos on e2 degrades (lost KPIs, failed pushes) but must never wedge
+  // the loop or violate the protocol's idempotency: every period completes
+  // and the environment never double-steps.
+  EXPECT_EQ(s.periods, static_cast<std::size_t>(kPeriods));
+  EXPECT_EQ(envnode.steps_run(), static_cast<std::size_t>(kPeriods));
+  EXPECT_LE(nonrt.kpi_losses(), static_cast<std::size_t>(kPeriods));
+  const net::TransportStats cs = plane.e2_c->stats();
+  const net::TransportStats ss = plane.e2_s->stats();
+  EXPECT_GT(cs.chaos_dropped + cs.chaos_duplicated + cs.chaos_corrupted +
+                cs.chaos_delayed + cs.chaos_reordered + ss.chaos_dropped +
+                ss.chaos_duplicated + ss.chaos_corrupted + ss.chaos_delayed +
+                ss.chaos_reordered,
+            0u);
+}
+
+}  // namespace
+}  // namespace edgebol::oran

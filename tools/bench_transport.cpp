@@ -1,0 +1,342 @@
+// Latency and recovery harness for the asynchronous message plane.
+//
+// Hosts the full three-node control plane (plane_harness.hpp) over real TCP
+// links in one process and measures what the paper's operator would care
+// about before deploying it:
+//
+//   clean      indication-to-policy latency (EnvNode's clock: KPI sent ->
+//              next radio control applied, i.e. one full learner loop) with
+//              nothing else on the wire;
+//   loaded     the same while a flood client saturates a sink port on the
+//              same event loop (the load_ric scenario, in-process);
+//   recovery   a fresh plane whose e2 link gets a seeded partition window
+//              on both directions; reports how long after the partition
+//              lifts the control loop completes its first fully clean
+//              period (KPI delivered, finite BS power), plus constraint
+//              violations from then on.
+//
+// Emits machine-readable JSON (default BENCH_transport.json) with a
+// `metrics` block the perf gate reads:
+//   { ..., "metrics": {"p50_clean_ms", "p99_clean_ms", "p50_loaded_ms",
+//                      "p99_loaded_ms", "recovery_ms"} }
+//
+// Usage: bench_transport [--smoke] [--seed S] [--out PATH]
+//   --smoke    fewer periods + a short partition window (CI).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "plane_harness.hpp"
+
+namespace {
+
+using namespace edgebol;
+
+struct Config {
+  bool smoke = false;
+  std::uint64_t seed = 1;
+  std::string out = "BENCH_transport.json";
+  int periods_clean = 120;
+  int periods_loaded = 120;
+  std::int64_t partition_start_ms = 1000;
+  std::int64_t partition_ms = 5000;
+  double recovery_cap_ms = 30000.0;
+  int post_recovery_periods = 20;
+};
+
+struct LatencySummary {
+  std::size_t n = 0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+LatencySummary summarize(std::vector<double> samples) {
+  LatencySummary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double q) {
+    const std::size_t idx = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(samples.size() - 1)));
+    return samples[std::min(idx, samples.size() - 1)];
+  };
+  s.p50 = pct(0.50);
+  s.p99 = pct(0.99);
+  s.max = samples.back();
+  return s;
+}
+
+struct LoadSummary {
+  std::uint64_t offered = 0;
+  std::uint64_t wire_frames = 0;
+  std::uint64_t queue_shed = 0;
+  std::uint64_t recv_pauses = 0;
+};
+
+struct RecoverySummary {
+  bool recovered = false;
+  double recovery_ms = 0.0;
+  int degraded_periods = 0;   // periods with a lost KPI (NaN BS power)
+  int violations_after = 0;   // constraint violations once recovered
+  std::uint64_t e2_reconnects = 0;
+  std::uint64_t e2_peer_timeouts = 0;
+  std::uint64_t partition_drops = 0;
+};
+
+// --- phases 1+2: latency, clean then under flood ---------------------------
+
+/// Runs `periods` through the orchestrator and returns the env node's
+/// indication-to-policy samples recorded while doing so. The env thread is
+/// idle between calls (lock-step protocol), so reading its sample vector at
+/// the phase boundary is race-free.
+std::size_t run_periods(core::Orchestrator& orch, plane::PlaneNodes& nodes,
+                        int periods) {
+  orch.run(nodes.nonrt, periods);
+  return nodes.envnode.indication_to_policy_ms().size();
+}
+
+bool run_latency_phases(const Config& cfg, LatencySummary* clean,
+                        LatencySummary* loaded, LoadSummary* load) {
+  plane::TcpPlane net_plane;
+  plane::PlaneNodes nodes(net_plane,
+                          env::make_static_testbed(35.0, [&] {
+                            env::TestbedConfig t;
+                            t.seed = cfg.seed;
+                            return t;
+                          }()));
+  if (!nodes.nonrt.handshake()) {
+    std::fprintf(stderr, "bench_transport: handshake failed\n");
+    return false;
+  }
+  core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
+  core::Orchestrator orch(agent, {.keep_history = false});
+
+  const std::size_t n_clean =
+      run_periods(orch, nodes, cfg.periods_clean);
+  {
+    const auto& all = nodes.envnode.indication_to_policy_ms();
+    *clean = summarize({all.begin(), all.begin() + n_clean});
+  }
+
+  // Flood a dedicated sink on the same event loop: every byte competes with
+  // the control plane for the loop thread and (on 1-core CI) the CPU.
+  auto sink = net::TcpTransport::listen(
+      &net_plane.loop, 0,
+      plane::link_config("load/sink", nullptr,
+                         net::BackpressurePolicy::kShedOldest));
+  std::atomic<bool> flood_stop{false};
+  std::uint64_t offered = 0;
+  auto flood_client = net::TcpTransport::connect(
+      &net_plane.loop, "127.0.0.1", sink->local_port(),
+      plane::link_config("load/flood", nullptr,
+                         net::BackpressurePolicy::kShedOldest));
+  std::thread flood([&] {
+    const std::string payload =
+        oran::wire_pack("o1_report", std::string(512, 'x'));
+    while (!flood_stop.load()) {
+      (void)flood_client->send(payload);
+      ++offered;
+      (void)sink->drain();  // keep the sink's receive window open
+    }
+  });
+
+  run_periods(orch, nodes, cfg.periods_loaded);
+  flood_stop.store(true);
+  flood.join();
+  {
+    const auto& all = nodes.envnode.indication_to_policy_ms();
+    *loaded = summarize({all.begin() + n_clean, all.end()});
+  }
+  const net::TransportStats fs = flood_client->stats();
+  const net::TransportStats ss = sink->stats();
+  load->offered = offered;
+  load->wire_frames = fs.frames_sent;
+  load->queue_shed = fs.send_shed;
+  load->recv_pauses = ss.recv_pauses;
+  return true;
+}
+
+// --- phase 3: partition recovery -------------------------------------------
+
+bool run_recovery_phase(const Config& cfg, RecoverySummary* out) {
+  plane::TcpPlaneOptions opt;
+  const fault::PartitionWindow window{cfg.partition_start_ms,
+                                      cfg.partition_ms, false};
+  opt.e2_client.rates.partitions.push_back(window);
+  opt.e2_client.seed = cfg.seed * 2654435761u + 1;
+  opt.e2_server.rates.partitions.push_back(window);
+  opt.e2_server.seed = cfg.seed * 2654435761u + 2;
+
+  // Build the expensive pieces (testbed, GP agent) before the plane so the
+  // decision loop starts stepping right after establishment — the partition
+  // clock runs from the e2 link's first establishment, and the warm-up
+  // periods before the window opens are part of the scenario.
+  env::TestbedConfig tcfg;
+  tcfg.seed = cfg.seed;
+  env::Testbed tb = env::make_static_testbed(35.0, tcfg);
+  core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
+
+  plane::TcpPlane net_plane(opt);
+  const double t_est = net_plane.wait_e2_established();
+  if (t_est < 0.0) {
+    std::fprintf(stderr, "bench_transport: e2 never established\n");
+    return false;
+  }
+  // Chaos windows are measured from first establishment (the shim arms
+  // once), so the wall-clock end of the partition is known up front.
+  const double window_end_ms =
+      t_est + static_cast<double>(cfg.partition_start_ms + cfg.partition_ms);
+
+  plane::PlaneNodes nodes(net_plane, std::move(tb));
+  if (!nodes.nonrt.handshake()) {
+    std::fprintf(stderr, "bench_transport: handshake failed (recovery)\n");
+    return false;
+  }
+
+  // Drive the decision loop by hand so each period gets a wall-clock stamp
+  // (the orchestrator's fixed-length run can't follow a time window).
+  const core::ConstraintSpec& cs = agent.constraints();
+  double recovered_at = -1.0;
+  int post_periods = 0;
+  while (plane::now_ms() < window_end_ms + cfg.recovery_cap_ms) {
+    const env::Context ctx = nodes.nonrt.context();
+    const core::Decision d = agent.select(ctx);
+    const env::Measurement m = nodes.nonrt.step(d.policy);
+    agent.update(ctx, d.policy_index, m);
+    const double t = plane::now_ms();
+
+    const bool kpi_ok = std::isfinite(m.bs_power_w);
+    if (!kpi_ok) ++out->degraded_periods;
+    if (recovered_at < 0.0 && t >= window_end_ms && kpi_ok &&
+        nodes.nonrt.last_delivery().delivered) {
+      recovered_at = t;
+      out->recovered = true;
+      out->recovery_ms = recovered_at - window_end_ms;
+    }
+    if (recovered_at >= 0.0) {
+      // Same slack the orchestrator applies (observation noise is not an
+      // outage).
+      if (m.delay_s > cs.d_max_s * 1.05 || m.map < cs.map_min - 0.03)
+        ++out->violations_after;
+      if (++post_periods >= cfg.post_recovery_periods) break;
+    }
+  }
+  const net::TransportStats e2s = net_plane.e2_c->stats();
+  out->e2_reconnects = e2s.reconnects;
+  out->e2_peer_timeouts = e2s.peer_timeouts;
+  out->partition_drops =
+      e2s.chaos_partition_drops + net_plane.e2_s->stats().chaos_partition_drops;
+  return out->recovered;
+}
+
+// --- output ----------------------------------------------------------------
+
+void write_json(const Config& cfg, const LatencySummary& clean,
+                const LatencySummary& loaded, const LoadSummary& load,
+                const RecoverySummary& rec) {
+  std::ofstream os(cfg.out);
+  os.precision(6);
+  auto lat = [&](const char* name, const LatencySummary& s) {
+    os << "  \"" << name << "\": {\"n\": " << s.n << ", \"p50_ms\": " << s.p50
+       << ", \"p99_ms\": " << s.p99 << ", \"max_ms\": " << s.max << "},\n";
+  };
+  os << "{\n"
+     << "  \"smoke\": " << (cfg.smoke ? "true" : "false") << ",\n"
+     << "  \"seed\": " << cfg.seed << ",\n"
+     << "  \"periods_clean\": " << cfg.periods_clean << ",\n"
+     << "  \"periods_loaded\": " << cfg.periods_loaded << ",\n"
+     << "  \"partition_ms\": " << cfg.partition_ms << ",\n";
+  lat("latency_clean", clean);
+  lat("latency_loaded", loaded);
+  os << "  \"load\": {\"offered\": " << load.offered
+     << ", \"wire_frames\": " << load.wire_frames
+     << ", \"queue_shed\": " << load.queue_shed
+     << ", \"recv_pauses\": " << load.recv_pauses << "},\n"
+     << "  \"recovery\": {\"recovered\": " << (rec.recovered ? "true" : "false")
+     << ", \"recovery_ms\": " << rec.recovery_ms
+     << ", \"degraded_periods\": " << rec.degraded_periods
+     << ", \"violations_after\": " << rec.violations_after
+     << ", \"e2_reconnects\": " << rec.e2_reconnects
+     << ", \"e2_peer_timeouts\": " << rec.e2_peer_timeouts
+     << ", \"partition_drops\": " << rec.partition_drops << "},\n"
+     << "  \"metrics\": {\"p50_clean_ms\": " << clean.p50
+     << ", \"p99_clean_ms\": " << clean.p99
+     << ", \"p50_loaded_ms\": " << loaded.p50
+     << ", \"p99_loaded_ms\": " << loaded.p99
+     << ", \"recovery_ms\": " << rec.recovery_ms << "}\n"
+     << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--seed S] [--out PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (cfg.smoke) {
+    // Small enough for CI on a 1-vCPU box, large enough that p99 is a real
+    // tail and the partition spans at least one whole degraded period.
+    cfg.periods_clean = 40;
+    cfg.periods_loaded = 40;
+    cfg.partition_start_ms = 500;
+    // Must comfortably exceed one degraded period (e2 ack wait + O1 report
+    // wait, ~3.5s), or the in-flight period's timeouts carry the KPI send
+    // past the window and the partition never actually costs a sample.
+    cfg.partition_ms = 4000;
+    cfg.post_recovery_periods = 8;
+  }
+
+  LatencySummary clean, loaded;
+  LoadSummary load;
+  if (!run_latency_phases(cfg, &clean, &loaded, &load)) return 1;
+  std::fprintf(stderr,
+               "latency clean : n=%zu p50=%.2fms p99=%.2fms max=%.2fms\n",
+               clean.n, clean.p50, clean.p99, clean.max);
+  std::fprintf(stderr,
+               "latency loaded: n=%zu p50=%.2fms p99=%.2fms max=%.2fms "
+               "(flood offered %llu frames, %llu on wire)\n",
+               loaded.n, loaded.p50, loaded.p99, loaded.max,
+               static_cast<unsigned long long>(load.offered),
+               static_cast<unsigned long long>(load.wire_frames));
+
+  RecoverySummary rec;
+  if (!run_recovery_phase(cfg, &rec)) {
+    std::fprintf(stderr,
+                 "bench_transport: control loop never recovered within "
+                 "%.0fms of the partition lifting\n",
+                 cfg.recovery_cap_ms);
+    write_json(cfg, clean, loaded, load, rec);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "recovery: %.0fms after a %lldms e2 partition (%d degraded "
+               "periods, %d violations after, %llu reconnect attempts)\n",
+               rec.recovery_ms, static_cast<long long>(cfg.partition_ms),
+               rec.degraded_periods, rec.violations_after,
+               static_cast<unsigned long long>(rec.e2_reconnects));
+
+  write_json(cfg, clean, loaded, load, rec);
+  std::fprintf(stderr, "wrote %s\n", cfg.out.c_str());
+  return 0;
+}

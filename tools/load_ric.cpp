@@ -1,0 +1,168 @@
+// Flood generator for the O-RAN message plane.
+//
+// Dials a TcpTransport server (any ric_node listening port, or the
+// dedicated load sink bench_transport opens) and pushes frames as fast as
+// the link's backpressure policy allows, while draining and discarding
+// anything the peer sends back. Used to measure indication-to-policy
+// latency under load and to exercise the bounded-queue policies end to end:
+//
+//   load_ric --port P [--frames N] [--seconds S] [--bytes B]
+//            [--policy block|shed|reject] [--kind o1_report|noise]
+//
+// Stops at whichever of --frames / --seconds hits first. Prints a JSON
+// summary to stdout (throughput plus what backpressure did to the flood)
+// and a human line to stderr.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "plane_harness.hpp"
+
+namespace {
+
+using namespace edgebol;
+
+struct Options {
+  std::uint16_t port = 0;
+  std::uint64_t frames = 0;   // 0 = unbounded (use --seconds)
+  double seconds = 5.0;
+  std::size_t bytes = 256;
+  net::BackpressurePolicy policy = net::BackpressurePolicy::kBlock;
+  std::string kind = "o1_report";
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--frames N] [--seconds S] [--bytes B]\n"
+               "          [--policy block|shed|reject] "
+               "[--kind o1_report|noise]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        usage(argv[0]);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      o.port = static_cast<std::uint16_t>(std::atoi(next("--port")));
+    } else if (std::strcmp(argv[i], "--frames") == 0) {
+      o.frames = static_cast<std::uint64_t>(std::atoll(next("--frames")));
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      o.seconds = std::atof(next("--seconds"));
+    } else if (std::strcmp(argv[i], "--bytes") == 0) {
+      o.bytes = static_cast<std::size_t>(std::atoll(next("--bytes")));
+    } else if (std::strcmp(argv[i], "--policy") == 0) {
+      const std::string p = next("--policy");
+      if (p == "block") o.policy = net::BackpressurePolicy::kBlock;
+      else if (p == "shed") o.policy = net::BackpressurePolicy::kShedOldest;
+      else if (p == "reject") o.policy = net::BackpressurePolicy::kReject;
+      else usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--kind") == 0) {
+      o.kind = next("--kind");
+      if (o.kind != "o1_report" && o.kind != "noise") usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "%s: unknown flag %s\n", argv[0], argv[i]);
+      usage(argv[0]);
+    }
+  }
+  if (o.port == 0) usage(argv[0]);
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  net::EventLoop loop;
+  net::ReadySignal ready;
+  net::TcpTransportConfig cfg =
+      plane::link_config("load", &ready, o.policy);
+  auto link = net::TcpTransport::connect(&loop, "127.0.0.1", o.port, cfg);
+
+  // Wait for the link before timing, so a slow peer start doesn't count.
+  const double t_up = plane::now_ms() + 10000.0;
+  while (link->state() != net::LinkState::kEstablished) {
+    if (plane::now_ms() > t_up) {
+      std::fprintf(stderr, "load_ric: could not connect to port %u\n",
+                   o.port);
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // A well-formed (if meaningless) frame exercises the receiver's decode
+  // path; "noise" skips the envelope so it lands as a decode reject.
+  std::string payload(o.bytes, 'x');
+  if (o.kind == "o1_report")
+    payload = oran::wire_pack("o1_report", payload);
+
+  const double t0 = plane::now_ms();
+  const double deadline = t0 + o.seconds * 1000.0;
+  std::uint64_t sent = 0;
+  std::uint64_t queued = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  while ((o.frames == 0 || sent < o.frames) && plane::now_ms() < deadline) {
+    switch (link->send(payload)) {
+      case net::SendResult::kQueued: ++queued; break;
+      case net::SendResult::kShed: ++shed; break;
+      case net::SendResult::kRejected: ++rejected; break;
+      case net::SendResult::kClosed:
+        std::fprintf(stderr, "load_ric: link closed mid-flood\n");
+        return 1;
+    }
+    ++sent;
+    (void)link->drain();  // discard whatever the peer answers
+    if (o.policy == net::BackpressurePolicy::kReject && rejected > 0 &&
+        sent % 64 == 0) {
+      // Under kReject a tight loop would just spin on a full queue; yield
+      // so the event loop gets the core on single-CPU machines.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const double elapsed_ms = plane::now_ms() - t0;
+
+  // Let the queue flush before reading final wire counters.
+  const double t_flush = plane::now_ms() + 2000.0;
+  while (plane::now_ms() < t_flush) {
+    const net::TransportStats st = link->stats();
+    if (st.frames_sent + st.send_shed >= queued + shed) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  const net::TransportStats st = link->stats();
+
+  const double fps = elapsed_ms > 0.0 ? sent / (elapsed_ms / 1000.0) : 0.0;
+  const double mbps = elapsed_ms > 0.0
+                          ? (static_cast<double>(st.bytes_sent) / 1e6) /
+                                (elapsed_ms / 1000.0)
+                          : 0.0;
+  std::printf(
+      "{\"offered\": %llu, \"queued\": %llu, \"shed_on_send\": %llu, "
+      "\"rejected\": %llu, \"wire_frames\": %llu, \"wire_bytes\": %llu, "
+      "\"queue_shed\": %llu, \"block_waits\": %llu, \"elapsed_ms\": %.1f, "
+      "\"frames_per_s\": %.0f, \"mb_per_s\": %.2f}\n",
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(queued),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(rejected),
+      static_cast<unsigned long long>(st.frames_sent),
+      static_cast<unsigned long long>(st.bytes_sent),
+      static_cast<unsigned long long>(st.send_shed),
+      static_cast<unsigned long long>(st.send_block_waits), elapsed_ms, fps,
+      mbps);
+  std::fprintf(stderr, "load_ric: %llu frames in %.1f ms (%.0f/s, %.2f MB/s)\n",
+               static_cast<unsigned long long>(sent), elapsed_ms, fps, mbps);
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Shared harness for the message-plane binaries (ric_node, load_ric,
+// bench_transport): builds the Fig. 7 split's four point-to-point links as
+// real TCP transports on ephemeral localhost ports, all driven by one
+// EventLoop, and spins the NearRT/Env node roles on their own threads so a
+// single process can host the whole distributed control plane (for trajectory
+// verification and latency benchmarking) without any port coordination.
+//
+// Link topology (server side listed first):
+//   a1   NearRT listens,  NonRT connects   (policy deploys; kBlock)
+//   o1   NearRT listens,  NonRT connects   (KPI reports; kShedOldest)
+//   e2   Env    listens,  NearRT connects  (controls + indications; kBlock)
+//   svc  Env    listens,  NonRT connects   (paper's custom iface; kBlock)
+//
+// This is a header-only helper private to tools/, not library API.
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include <edgebol/edgebol.hpp>
+
+namespace plane {
+
+using namespace edgebol;
+
+inline double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Per-endpoint chaos spec (applied to that endpoint's sends).
+struct LinkChaos {
+  fault::TransportFaultRates rates{};
+  std::uint64_t seed = 0;
+};
+
+struct TcpPlaneOptions {
+  /// Chaos on the e2 link, per direction. A partition window placed on both
+  /// sides silences the link completely (controls south, indications north).
+  LinkChaos e2_client{};  // NearRT -> Env direction
+  LinkChaos e2_server{};  // Env -> NearRT direction
+};
+
+inline net::TcpTransportConfig link_config(std::string name,
+                                           net::ReadySignal* ready,
+                                           net::BackpressurePolicy policy,
+                                           const LinkChaos& chaos = {}) {
+  net::TcpTransportConfig cfg;
+  cfg.name = std::move(name);
+  cfg.send_policy = policy;
+  cfg.ready = ready;
+  cfg.chaos = chaos.rates;
+  cfg.chaos_seed = chaos.seed;
+  return cfg;
+}
+
+/// All eight endpoints of the three-node plane in one process. Declaration
+/// order matters: the EventLoop outlives every transport (members destroy
+/// in reverse order).
+struct TcpPlane {
+  net::EventLoop loop;
+  net::ReadySignal nonrt_ready;
+  net::ReadySignal nearrt_ready;
+  net::ReadySignal env_ready;
+
+  // Servers first so their ephemeral ports exist before the clients dial.
+  std::unique_ptr<net::TcpTransport> a1_s, o1_s;  // NearRT side
+  std::unique_ptr<net::TcpTransport> e2_s, svc_s; // Env side
+  std::unique_ptr<net::TcpTransport> a1_c, o1_c, svc_c;  // NonRT side
+  std::unique_ptr<net::TcpTransport> e2_c;               // NearRT side
+
+  explicit TcpPlane(const TcpPlaneOptions& opt = {}) {
+    using net::BackpressurePolicy;
+    using net::TcpTransport;
+    a1_s = TcpTransport::listen(
+        &loop, 0, link_config("a1/nearrt", &nearrt_ready,
+                              BackpressurePolicy::kBlock));
+    o1_s = TcpTransport::listen(
+        &loop, 0, link_config("o1/nearrt", &nearrt_ready,
+                              BackpressurePolicy::kShedOldest));
+    e2_s = TcpTransport::listen(
+        &loop, 0, link_config("e2/env", &env_ready,
+                              BackpressurePolicy::kBlock, opt.e2_server));
+    svc_s = TcpTransport::listen(
+        &loop, 0, link_config("svc/env", &env_ready,
+                              BackpressurePolicy::kBlock));
+    a1_c = TcpTransport::connect(
+        &loop, "127.0.0.1", a1_s->local_port(),
+        link_config("a1/nonrt", &nonrt_ready, BackpressurePolicy::kBlock));
+    o1_c = TcpTransport::connect(
+        &loop, "127.0.0.1", o1_s->local_port(),
+        link_config("o1/nonrt", &nonrt_ready,
+                    BackpressurePolicy::kShedOldest));
+    svc_c = TcpTransport::connect(
+        &loop, "127.0.0.1", svc_s->local_port(),
+        link_config("svc/nonrt", &nonrt_ready, BackpressurePolicy::kBlock));
+    e2_c = TcpTransport::connect(
+        &loop, "127.0.0.1", e2_s->local_port(),
+        link_config("e2/nearrt", &nearrt_ready, BackpressurePolicy::kBlock,
+                    opt.e2_client));
+  }
+
+  /// Block until the e2 link is up (chaos partition windows are measured
+  /// from this instant). Returns the establishment time in now_ms() terms,
+  /// or a negative value on timeout.
+  double wait_e2_established(int timeout_ms = 10000) const {
+    const double deadline = now_ms() + timeout_ms;
+    while (now_ms() < deadline) {
+      if (e2_c->state() == net::LinkState::kEstablished &&
+          e2_s->state() == net::LinkState::kEstablished)
+        return now_ms();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return -1.0;
+  }
+};
+
+/// The three node roles over a TcpPlane, with NearRT and Env serving on
+/// background threads. The caller drives `nonrt` (handshake + steps) from
+/// its own thread and destroys this object to stop the servers.
+struct PlaneNodes {
+  TcpPlane& net_plane;
+  env::Testbed testbed;
+  oran::NearRtRicNode nearrt;
+  oran::EnvNode envnode;
+  oran::NonRtRicNode nonrt;
+  std::atomic<bool> stop{false};
+  std::thread nearrt_thread;
+  std::thread env_thread;
+
+  PlaneNodes(TcpPlane& p, env::Testbed tb, oran::NodeTimeouts timeouts = {})
+      : net_plane(p),
+        testbed(std::move(tb)),
+        nearrt(p.a1_s.get(), p.e2_c.get(), p.o1_s.get(), &p.nearrt_ready,
+               timeouts),
+        envnode(testbed, p.e2_s.get(), p.svc_s.get(), &p.env_ready, timeouts),
+        nonrt(p.a1_c.get(), p.o1_c.get(), p.svc_c.get(), &p.nonrt_ready,
+              timeouts) {
+    nearrt_thread = std::thread([this] { nearrt.run(stop); });
+    env_thread = std::thread([this] { envnode.run(stop); });
+  }
+
+  ~PlaneNodes() {
+    stop.store(true);
+    net_plane.nearrt_ready.notify();
+    net_plane.env_ready.notify();
+    if (nearrt_thread.joinable()) nearrt_thread.join();
+    if (env_thread.joinable()) env_thread.join();
+  }
+};
+
+/// The agent configuration every message-plane harness runs (mirrors the
+/// chaos-convergence bench so trajectories are comparable across tools).
+inline core::EdgeBolConfig canonical_agent_config() {
+  core::EdgeBolConfig cfg;
+  cfg.weights = {1.0, 8.0};
+  cfg.constraints = {0.4, 0.5};
+  cfg.resilience.enabled = true;
+  return cfg;
+}
+
+}  // namespace plane
