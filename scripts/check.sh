@@ -65,21 +65,31 @@ cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release -DEDGEBOL_WERROR=ON \
 cmake --build build-release -j >/dev/null
 ctest --test-dir build-release --output-on-failure -j "$(nproc)"
 # Engine-vs-reference correctness gate (1e-9) + per-phase timings; exits
-# non-zero on mismatch. BENCH_gp.json lands in build-release/.
-# Perf gate: every phase must keep the engine at >= 0.95x of the reference,
-# except `track`, floored at 0.85: at smoke sizes the engine's track is at
-# parity with the reference (measured 0.91-1.04 across runs, identical for
-# the seed bench against the same library), so a 0.95 floor there gates on
-# noise, not regressions — 0.85 still trips on any real slowdown. Timings
-# interleave the two sides rep-by-rep (best-of-9 each), but a CPU-steal
-# burst on a shared box can still sink one side's ratio; re-measuring up to
-# 3 times separates that (passes eventually) from a real regression (fails
-# all attempts). Correctness runs every attempt.
+# non-zero on mismatch (this includes the decide phase's engine-vs-legacy
+# decision identity check). BENCH_gp.json lands in build-release/.
+# Perf gates, two invocations over the same JSON (speedup mode and --ceiling
+# mode are mutually exclusive in perf_gate.py):
+#  1. Speedups: every phase must keep the engine at >= 0.95x of the
+#     reference, except `track`, floored at 0.90: at smoke sizes the
+#     engine's track used to sit at parity (0.91-1.04 across runs); the
+#     fused cross-kernel rebuild now puts it above 1.0, but a 0.95 floor
+#     would still gate on scheduler noise — 0.90 trips on real slowdowns.
+#  2. Decision-path ceiling: one full decision (bound maintenance + safe
+#     set + acquisition) at the full 11^4 grid with the budget at 200 must
+#     stay under 1 ms at p99, serial and with an 8-thread pool (measured
+#     p50 ~0.35 ms, p99 ~0.45 ms; see DESIGN.md "Performance model").
+# Timings interleave the two sides rep-by-rep (best-of-9 each), but a
+# CPU-steal burst on a shared box can still sink one side's ratio or land
+# in a p99 sample; re-measuring up to 3 times separates that (passes
+# eventually) from a real regression (fails all attempts). Correctness runs
+# every attempt.
 gate_ok=0
 for attempt in 1 2 3; do
   (cd build-release && ./bench/bench_micro_gp --smoke)
   if python3 scripts/perf_gate.py build-release/BENCH_gp.json \
-      --min-speedup 0.95 --floor track=0.85; then
+      --min-speedup 0.95 --floor track=0.90 \
+    && python3 scripts/perf_gate.py build-release/BENCH_gp.json \
+      --ceiling decide_p99_ms_t1=1.0 --ceiling decide_p99_ms_t8=1.0; then
     gate_ok=1
     break
   fi

@@ -30,6 +30,14 @@ Rules (see DESIGN.md "Concurrency invariants & analysis tooling"):
                    call site must mention EINTR within 8 lines either way:
                    a raw syscall without a stated interruption story is a
                    hang or a lost frame waiting for a signal to land.
+  R7 decide hot    between a `// hot: decide` marker and its closing
+                   `// hot: end` in src/, heap-allocating constructs
+                   (new, push_back, emplace_back, resize, reserve, assign,
+                   make_shared, make_unique, std::vector<, std::string,
+                   std::function) are forbidden: the sub-millisecond
+                   decision loop (SafeSetTracker / FusedAcquisition sweeps)
+                   must stay allocation-free past configure(). Unbalanced
+                   markers are themselves violations.
 
 Usage:
     scripts/invariant_lint.py [--skip-header-check] [paths...]
@@ -216,6 +224,49 @@ def check_socket_syscalls(path, raw_text, code, errors):
                 "restartable)")
 
 
+DECIDE_HOT_ALLOC = re.compile(
+    r"\bnew\b|\bpush_back\s*\(|\bemplace_back\s*\(|\bresize\s*\(|"
+    r"\breserve\s*\(|\bassign\s*\(|\bmake_shared\b|\bmake_unique\b|"
+    r"\bstd::vector\s*<|\bstd::string\b|\bstd::function\b")
+
+
+def check_decide_hot_alloc(path, raw_text, code, errors):
+    """R7: no heap allocation inside `// hot: decide` ... `// hot: end`."""
+    r = rel(path)
+    if not r.startswith("src" + os.sep):
+        return
+    # Markers live in comments, so find them on the RAW lines; allocation
+    # tokens are matched on the STRIPPED lines so comments and strings
+    # mentioning them don't trip the rule (same split as R5's sync check).
+    raw_lines = raw_text.splitlines()
+    code_lines = code.splitlines()
+    open_line = None
+    for idx, rline in enumerate(raw_lines, start=1):
+        if re.search(r"//\s*hot:\s*decide\b", rline):
+            if open_line is not None:
+                errors.append(f"{r}:{idx}: [hot] nested '// hot: decide' "
+                              f"(previous opened at line {open_line})")
+            open_line = idx
+            continue
+        if re.search(r"//\s*hot:\s*end\b", rline):
+            if open_line is None:
+                errors.append(f"{r}:{idx}: [hot] '// hot: end' without a "
+                              "matching '// hot: decide'")
+            open_line = None
+            continue
+        if open_line is None or idx - 1 >= len(code_lines):
+            continue
+        m = DECIDE_HOT_ALLOC.search(code_lines[idx - 1])
+        if m:
+            errors.append(
+                f"{r}:{idx}: [hot] '{m.group(0).strip()}' inside a "
+                "'// hot: decide' region — the decision loop must not "
+                "allocate (hoist to configure() or use fixed storage)")
+    if open_line is not None:
+        errors.append(f"{r}:{open_line}: [hot] '// hot: decide' without a "
+                      "closing '// hot: end'")
+
+
 def check_headers_self_contained(errors):
     headers = sorted(
         list(iter_sources([os.path.join(REPO, "src")], exts=(".hpp",))) +
@@ -264,6 +315,7 @@ def main() -> int:
         check_cout(path, code, errors)
         check_parallel_sync_comment(path, raw, code, errors)
         check_socket_syscalls(path, raw, code, errors)
+        check_decide_hot_alloc(path, raw, code, errors)
 
     if not args.skip_header_check and not files:
         check_headers_self_contained(errors)

@@ -10,10 +10,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+#include "core/safe_set.hpp"
 #include "gp/gp_regressor.hpp"
 
 namespace edgebol::core {
@@ -57,5 +61,75 @@ std::size_t safeopt_select(
 std::size_t safeopt_select(const SafeOptInputs& in,
                            std::span<const std::size_t> adjacency_offsets,
                            std::span<const std::size_t> adjacency);
+
+/// Which acquisition rule a FusedAcquisition round runs (mirrors
+/// core::AcquisitionKind; a separate enum keeps this layer free of the
+/// EdgeBol config header).
+enum class FusedAcquisitionKind {
+  kSafeLcb,    // safe-set LCB minimizer (paper eq. 9)
+  kSafeOpt,    // max-width over minimizers + CSR-adjacency expanders
+  kGlobalLcb,  // LCB argmin over the whole grid (unsafe-BO ablation)
+};
+
+struct FusedDecision {
+  std::size_t index = 0;
+  std::size_t safe_set_size = 0;     // |qualified  union  S0|
+  bool fell_back_to_s0 = false;      // no candidate qualified on GP evidence
+};
+
+/// The sub-millisecond decision engine: one fused sweep per round that
+/// maintains the tracker's incremental confidence bounds AND runs the
+/// acquisition scan over the same candidate block while it is cache-hot,
+/// with no heap allocation past configure(). Block partials are merged
+/// serially in ascending block order with the same strict comparisons as
+/// the legacy scans, so every decision — index, safe-set size, fallback
+/// flag — is bit-identical to the full-rescan path for any thread count.
+class FusedAcquisition {
+ public:
+  /// Size for m candidates with initial safe set `s0` (indices into the
+  /// candidate list; duplicates allowed — membership is what matters).
+  void configure(std::size_t num_candidates, std::span<const std::size_t> s0);
+
+  /// One decision round. `bounds` (one spec per tracker slot) defines the
+  /// safe set; `objective` supplies the LCB means/variances (its prior-mean
+  /// offset is NOT applied — a constant offset cannot change an argmin).
+  /// `pool` parallelizes over kDecideBlock-aligned candidate blocks (null =
+  /// serial, bit-identical). kSafeOpt additionally needs the CSR adjacency
+  /// (offsets size m+1) for the expander test and runs a second sweep,
+  /// because expander checks read the safety mask across blocks.
+  /// Throws std::invalid_argument on spec/size mismatches or an empty
+  /// eligible set (only possible with an empty S0).
+  FusedDecision decide(FusedAcquisitionKind kind, SafeSetTracker& tracker,
+                       std::span<const BoundSpec> bounds,
+                       const gp::GpRegressor& objective, double beta,
+                       common::ThreadPool* pool = nullptr,
+                       std::span<const std::size_t> adjacency_offsets = {},
+                       std::span<const std::size_t> adjacency = {});
+
+  std::size_t num_candidates() const { return m_; }
+
+ private:
+  // Per-block scan partials, cacheline-separated so concurrent blocks never
+  // share a line.
+  struct alignas(64) BlockPartial {
+    double best_v = std::numeric_limits<double>::infinity();  // LCB argmin
+    std::size_t best_idx = 0;
+    bool has_best = false;
+    double ucb_min = std::numeric_limits<double>::infinity();  // SafeOpt p1
+    std::size_t first_elig = 0;
+    bool has_elig = false;
+    double best_w = -1.0;  // SafeOpt p2 max width
+    std::size_t w_idx = 0;
+    bool has_w = false;
+    std::size_t qual_count = 0;
+    std::size_t safe_count = 0;
+  };
+
+  std::size_t m_ = 0;
+  std::size_t n_blocks_ = 0;
+  std::vector<std::uint8_t> s0_mask_;   // m_: 1 = member of S0
+  std::vector<std::uint8_t> elig_mask_; // m_: 1 = safe this round (SafeOpt)
+  std::vector<BlockPartial> partials_;  // n_blocks_
+};
 
 }  // namespace edgebol::core

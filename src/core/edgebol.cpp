@@ -121,6 +121,9 @@ EdgeBol::EdgeBol(env::ControlGrid grid, EdgeBolConfig config)
     delay_gp_.set_thread_pool(pool_);
     map_gp_.set_thread_pool(pool_);
   }
+
+  safe_tracker_.configure(grid_.size(), 2);
+  acquisition_.configure(grid_.size(), s0_);
 }
 
 void EdgeBol::ensure_tracking(const env::Context& context) {
@@ -227,68 +230,90 @@ Decision EdgeBol::select(const env::Context& context) {
 
   ensure_tracking(context);
   const std::size_t m = grid_.size();
-
-  std::vector<gp::Prediction> delay_post(m), map_post(m), cost_post(m);
-  const auto scan = [&](std::size_t j0, std::size_t j1) {
-    for (std::size_t j = j0; j < j1; ++j) {
-      delay_post[j] = delay_gp_.tracked_prediction(j);
-      map_post[j] = map_gp_.tracked_prediction(j);
-      cost_post[j] = cost_gp_.tracked_prediction(j);
-    }
-  };
-  if (pool_) {
-    // sync: block [j0, j1) writes only delay/map/cost_post[j] for its own
-    // indices; tracked_prediction is const on all three surrogates.
-    pool_->parallel_for(m, /*grain=*/1024, scan);
-  } else {
-    scan(0, m);
-  }
-
   const double d_max_scaled =
       std::log(cfg_.constraints.d_max_s / cfg_.delay_scale);
-  std::vector<std::size_t> safe =
-      compute_safe_set(delay_post, map_post, d_max_scaled,
-                       cfg_.constraints.map_min, cfg_.beta_sqrt, s0_);
-
-  // Did any candidate qualify on the GP evidence alone (i.e., beyond S0)?
-  bool fell_back = true;
-  for (std::size_t i : safe) {
-    const bool in_s0 = std::find(s0_.begin(), s0_.end(), i) != s0_.end();
-    const gp::Prediction& d = delay_post[i];
-    const gp::Prediction& q = map_post[i];
-    const bool qualified =
-        d.mean + cfg_.beta_sqrt * d.stddev() <= d_max_scaled &&
-        q.mean - cfg_.beta_sqrt * q.stddev() >= cfg_.constraints.map_min;
-    if (qualified || !in_s0) {
-      fell_back = false;
-      break;
-    }
-  }
 
   Decision dec;
-  if (cfg_.acquisition == AcquisitionKind::kGlobalLcb) {
-    std::vector<std::size_t> all(grid_.size());
-    for (std::size_t j = 0; j < grid_.size(); ++j) all[j] = j;
-    dec.policy_index = lcb_argmin(cost_post, all, cfg_.beta_sqrt);
-  } else if (cfg_.acquisition == AcquisitionKind::kSafeOpt) {
-    SafeOptInputs in;
-    in.cost = &cost_post;
-    in.delay = &delay_post;
-    in.map = &map_post;
-    in.safe_set = &safe;
-    in.beta = cfg_.beta_sqrt;
-    dec.policy_index =
-        safeopt_select(in, grid_.adjacency_offsets(), grid_.adjacency());
+  if (cfg_.incremental_decide) {
+    // Incremental decision path: the tracker keeps per-candidate confidence
+    // bounds across periods and the fused engine maintains + scans them in
+    // one pool dispatch. Bit-identical to the legacy scan below (tests pin
+    // that); specs are rebuilt each period because thresholds may change at
+    // runtime — threshold moves are free for the tracker.
+    bound_specs_[0] = BoundSpec{&delay_gp_, /*upper=*/true, d_max_scaled, 0.0};
+    bound_specs_[1] = BoundSpec{&map_gp_, /*upper=*/false,
+                                cfg_.constraints.map_min, 0.0};
+    FusedAcquisitionKind kind = FusedAcquisitionKind::kSafeLcb;
+    if (cfg_.acquisition == AcquisitionKind::kSafeOpt)
+      kind = FusedAcquisitionKind::kSafeOpt;
+    else if (cfg_.acquisition == AcquisitionKind::kGlobalLcb)
+      kind = FusedAcquisitionKind::kGlobalLcb;
+    const FusedDecision r = acquisition_.decide(
+        kind, safe_tracker_, bound_specs_, cost_gp_, cfg_.beta_sqrt,
+        pool_.get(), grid_.adjacency_offsets(), grid_.adjacency());
+    dec.policy_index = r.index;
+    dec.safe_set_size = r.safe_set_size;
+    dec.fell_back_to_s0 = r.fell_back_to_s0;
   } else {
-    dec.policy_index = lcb_argmin(cost_post, safe, cfg_.beta_sqrt);
+    std::vector<gp::Prediction> delay_post(m), map_post(m), cost_post(m);
+    const auto scan = [&](std::size_t j0, std::size_t j1) {
+      for (std::size_t j = j0; j < j1; ++j) {
+        delay_post[j] = delay_gp_.tracked_prediction(j);
+        map_post[j] = map_gp_.tracked_prediction(j);
+        cost_post[j] = cost_gp_.tracked_prediction(j);
+      }
+    };
+    if (pool_) {
+      // sync: block [j0, j1) writes only delay/map/cost_post[j] for its own
+      // indices; tracked_prediction is const on all three surrogates.
+      pool_->parallel_for(m, /*grain=*/1024, scan);
+    } else {
+      scan(0, m);
+    }
+
+    std::vector<std::size_t> safe =
+        compute_safe_set(delay_post, map_post, d_max_scaled,
+                         cfg_.constraints.map_min, cfg_.beta_sqrt, s0_);
+
+    // Did any candidate qualify on the GP evidence alone (beyond S0)?
+    bool fell_back = true;
+    for (std::size_t i : safe) {
+      const bool in_s0 = std::find(s0_.begin(), s0_.end(), i) != s0_.end();
+      const gp::Prediction& d = delay_post[i];
+      const gp::Prediction& q = map_post[i];
+      const bool qualified =
+          d.mean + cfg_.beta_sqrt * d.stddev() <= d_max_scaled &&
+          q.mean - cfg_.beta_sqrt * q.stddev() >= cfg_.constraints.map_min;
+      if (qualified || !in_s0) {
+        fell_back = false;
+        break;
+      }
+    }
+
+    if (cfg_.acquisition == AcquisitionKind::kGlobalLcb) {
+      std::vector<std::size_t> all(grid_.size());
+      for (std::size_t j = 0; j < grid_.size(); ++j) all[j] = j;
+      dec.policy_index = lcb_argmin(cost_post, all, cfg_.beta_sqrt);
+    } else if (cfg_.acquisition == AcquisitionKind::kSafeOpt) {
+      SafeOptInputs in;
+      in.cost = &cost_post;
+      in.delay = &delay_post;
+      in.map = &map_post;
+      in.safe_set = &safe;
+      in.beta = cfg_.beta_sqrt;
+      dec.policy_index =
+          safeopt_select(in, grid_.adjacency_offsets(), grid_.adjacency());
+    } else {
+      dec.policy_index = lcb_argmin(cost_post, safe, cfg_.beta_sqrt);
+    }
+    dec.safe_set_size = safe.size();
+    dec.fell_back_to_s0 = fell_back;
   }
   dec.policy = grid_.policy(dec.policy_index);
-  dec.safe_set_size = safe.size();
-  dec.fell_back_to_s0 = fell_back;
 
   // The GP evidence qualified nothing: prefer the policy most recently seen
   // to satisfy the *active* constraints over the assumed-safe S0 corner.
-  if (fell_back && cfg_.resilience.enabled &&
+  if (dec.fell_back_to_s0 && cfg_.resilience.enabled &&
       cfg_.resilience.fallback_to_last_safe && last_safe_index_ &&
       cfg_.acquisition != AcquisitionKind::kGlobalLcb &&
       *last_safe_index_ != dec.policy_index) {

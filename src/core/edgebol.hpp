@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <iosfwd>
 #include <memory>
@@ -24,6 +25,7 @@
 
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "core/acquisition.hpp"
 #include "core/safe_set.hpp"
 #include "env/control_grid.hpp"
 #include "env/testbed.hpp"
@@ -157,6 +159,15 @@ struct EdgeBolConfig {
   /// rebuild on every context change.
   double tracking_tolerance = 0.04;
 
+  /// Run the decision path (safe set + acquisition over the whole grid)
+  /// through the incremental engine: per-candidate confidence bounds are
+  /// kept across periods and only candidates whose bounds could have
+  /// flipped are rescored after each rank-1 GP update (see
+  /// core::SafeSetTracker). Decisions are bit-identical to the full rescan
+  /// — this is purely a latency knob, and `false` is the escape hatch back
+  /// to the straight-line scan.
+  bool incremental_decide = true;
+
   /// Degraded-mode hardening (KPI gate, watchdog, last-safe fallback).
   ResilienceConfig resilience{};
 
@@ -250,6 +261,13 @@ class EdgeBol {
   gp::GpRegressor map_gp_;
   std::vector<std::size_t> s0_;
   std::optional<linalg::Vector> tracked_context_features_;
+
+  // Incremental decision path (cfg_.incremental_decide): bound tracker over
+  // {delay UCB, mAP LCB}, the fused scan engine, and the per-round spec
+  // scratch (rebuilt each select — thresholds may change at runtime).
+  SafeSetTracker safe_tracker_;
+  FusedAcquisition acquisition_;
+  std::array<BoundSpec, 2> bound_specs_{};
 
   // Resilience state (untouched unless cfg_.resilience.enabled).
   ResilienceStats resilience_stats_;

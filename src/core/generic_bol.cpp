@@ -76,6 +76,9 @@ GenericSafeBol::GenericSafeBol(std::vector<linalg::Vector> control_features,
           "GenericSafeBol: inconsistent metric dimensionality");
     metric_gps_.push_back(make_gp(spec));
   }
+  safe_tracker_.configure(controls_.size(), constraints_.size());
+  acquisition_.configure(controls_.size(), s0_);
+  bound_specs_.resize(constraints_.size());
 }
 
 linalg::Vector GenericSafeBol::joint(const linalg::Vector& context,
@@ -110,6 +113,29 @@ void GenericSafeBol::ensure_tracking(const linalg::Vector& context) {
 GenericDecision GenericSafeBol::select(const linalg::Vector& context) {
   ensure_tracking(context);
   const std::size_t m = controls_.size();
+
+  if (incremental_decide_) {
+    // Incremental path: bit-identical to the rescan below (threshold
+    // transforms and prior-mean offsets are rebuilt per round, so
+    // set_threshold() takes effect immediately — threshold moves are free
+    // for the tracker).
+    for (std::size_t i = 0; i < constraints_.size(); ++i) {
+      const ConstraintDef& c = constraints_[i];
+      const MetricSpec& spec = metric_specs_[c.metric];
+      bound_specs_[i] = BoundSpec{&metric_gps_[c.metric],
+                                  c.bound == BoundKind::kUpper,
+                                  spec.transform(c.threshold),
+                                  spec.prior_mean};
+    }
+    const FusedDecision r =
+        acquisition_.decide(FusedAcquisitionKind::kSafeLcb, safe_tracker_,
+                            bound_specs_, objective_gp_, beta_);
+    GenericDecision dec;
+    dec.index = r.index;
+    dec.safe_set_size = r.safe_set_size;
+    dec.fell_back_to_s0 = r.fell_back_to_s0;
+    return dec;
+  }
 
   // Qualify candidates against every constraint's confidence bound.
   std::vector<bool> ok(m, true);

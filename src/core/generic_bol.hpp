@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/acquisition.hpp"
 #include "core/safe_set.hpp"
 #include "gp/gp_regressor.hpp"
 #include "gp/hyperopt.hpp"
@@ -83,6 +84,11 @@ class GenericSafeBol {
   void set_threshold(std::size_t constraint, double threshold);
   double threshold(std::size_t constraint) const;
 
+  /// Toggle the incremental decision path (default on). Both paths produce
+  /// bit-identical decisions; this is a latency/debugging escape hatch.
+  void set_incremental_decide(bool enabled) { incremental_decide_ = enabled; }
+  bool incremental_decide() const { return incremental_decide_; }
+
   std::size_t num_candidates() const { return controls_.size(); }
   std::size_t num_metrics() const { return metric_specs_.size(); }
   std::size_t num_observations() const { return objective_gp_.num_observations(); }
@@ -103,6 +109,10 @@ class GenericSafeBol {
   std::vector<gp::GpRegressor> metric_gps_;
   std::optional<linalg::Vector> tracked_context_;
   double tracking_tolerance_ = 0.04;
+  bool incremental_decide_ = true;
+  SafeSetTracker safe_tracker_;
+  FusedAcquisition acquisition_;
+  std::vector<BoundSpec> bound_specs_;  // one slot per constraint, per round
 };
 
 }  // namespace edgebol::core

@@ -1,6 +1,7 @@
 #include "gp/gp_regressor.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numbers>
 #include <stdexcept>
@@ -15,6 +16,12 @@ namespace {
 // a block's active rows within L1/L2 while leaving ~29 blocks of work per
 // rebuild of the 11^4 grid.
 constexpr std::size_t kColumnGrain = 512;
+
+// Row ceiling for the fused (contiguous-scratch) cache rebuild: above this
+// the per-thread scratch block (n x kColumnGrain doubles, 2 MB at 512) stops
+// paying for itself and we fall back to the strided legacy sweep. Both paths
+// are bitwise identical, so the switch is purely a performance knob.
+constexpr std::size_t kMaxFusedRebuildRows = 512;
 
 }  // namespace
 
@@ -41,6 +48,10 @@ GpRegressor::GpRegressor(const GpRegressor& other)
       amat_(other.amat_),
       tracked_mean_(other.tracked_mean_),
       tracked_var_(other.tracked_var_),
+      delta_mean_(other.delta_mean_),
+      delta_sigma_(other.delta_sigma_),
+      delta_events_(other.delta_events_),
+      tracked_epoch_(other.tracked_epoch_),
       budget_(other.budget_),
       eviction_policy_(other.eviction_policy_),
       evictions_(other.evictions_),
@@ -110,6 +121,7 @@ void GpRegressor::add(const Vector& z, double y) {
     over_columns([&](std::size_t j0, std::size_t j1) {
       fold_columns(z, w_new, pivot, j0, j1);
     });
+    ++delta_events_;
   }
 
   z_.push_back(z);
@@ -196,6 +208,7 @@ void GpRegressor::remove_observation(std::size_t i) {
       downdate_columns(i, n, w_last, j0, j1);
     });
     amat_.resize((n - 1) * num_tracked());
+    ++delta_events_;
   }
 
   z_.erase(z_.begin() + static_cast<std::ptrdiff_t>(i));
@@ -222,9 +235,15 @@ void GpRegressor::downdate_columns(std::size_t first, std::size_t rows,
     }
   }
   const double* last = amat_.data() + (rows - 1) * m;
+  double* dmu = delta_mean_.data();
+  double* dsg = delta_sigma_.data();
   for (std::size_t j = j0; j < j1; ++j) {
-    tracked_mean_[j] -= last[j] * w_last;
-    tracked_var_[j] += last[j] * last[j];
+    const double lj = last[j];
+    const double dm = lj * w_last;
+    tracked_mean_[j] -= dm;
+    tracked_var_[j] += lj * lj;
+    dmu[j] += std::abs(dm);
+    dsg[j] += std::abs(lj);
   }
 }
 
@@ -243,10 +262,19 @@ void GpRegressor::fold_columns(const Vector& z, double w_new, double pivot,
     const double* ai = amat_.data() + i * m;
     for (std::size_t j = j0; j < j1; ++j) arow[j] -= lni * ai[j];
   }
+  // The delta accumulators record exactly the terms folded into the moments
+  // (dm is the same product added to tracked_mean_), so a candidate whose
+  // accumulators stay zero has a bitwise-unchanged cached posterior.
+  double* dmu = delta_mean_.data();
+  double* dsg = delta_sigma_.data();
   for (std::size_t j = j0; j < j1; ++j) {
-    arow[j] /= pivot;
-    tracked_mean_[j] += arow[j] * w_new;
-    tracked_var_[j] -= arow[j] * arow[j];
+    const double aj = arow[j] / pivot;
+    arow[j] = aj;
+    const double dm = aj * w_new;
+    tracked_mean_[j] += dm;
+    tracked_var_[j] -= aj * aj;
+    dmu[j] += std::abs(dm);
+    dsg[j] += std::abs(aj);
   }
 }
 
@@ -303,6 +331,17 @@ void GpRegressor::clear_tracked_candidates() {
   amat_.shrink_to_fit();
   tracked_mean_.clear();
   tracked_var_.clear();
+  delta_mean_.clear();
+  delta_sigma_.clear();
+  delta_events_ = 0;
+  ++tracked_epoch_;
+}
+
+void GpRegressor::reset_tracked_deltas() {
+  if (delta_events_ == 0) return;  // nothing accumulated: skip the O(m) fill
+  delta_mean_.assign(delta_mean_.size(), 0.0);
+  delta_sigma_.assign(delta_sigma_.size(), 0.0);
+  delta_events_ = 0;
 }
 
 double GpRegressor::tracked_variance(std::size_t j) const {
@@ -318,6 +357,13 @@ void GpRegressor::rebuild_tracked_cache() {
   const std::size_t n = y_.size();
   tracked_mean_.assign(m, 0.0);
   tracked_var_.assign(m, 0.0);
+  // A rebuild invalidates any consumer state keyed on the tracked arrays:
+  // zero the pending deltas (they described the pre-rebuild trajectory) and
+  // bump the epoch so consumers full-rescan instead of trusting them.
+  delta_mean_.assign(m, 0.0);
+  delta_sigma_.assign(m, 0.0);
+  delta_events_ = 0;
+  ++tracked_epoch_;
   if (m == 0) {
     amat_.clear();
     return;
@@ -337,6 +383,43 @@ void GpRegressor::rebuild_columns(std::size_t j0, std::size_t j1) {
 
   const double prior = kernel_->prior_variance();
   for (std::size_t j = j0; j < j1; ++j) tracked_var_[j] = prior;
+
+  // Fused path: stage this block's A rows in one contiguous n x bw scratch
+  // so the kernel matrix comes from a single blocked eval_cross call and the
+  // forward substitution streams rows with stride bw instead of m. The
+  // per-column FP op order is identical to the strided sweep below (same
+  // eval_batch chunking relative to j0, same i/k loop order), so the two
+  // paths are bitwise interchangeable; eval_cross row i equals
+  // eval_batch(block, z_i) because stationary kernels are exactly symmetric.
+  if (n > 0 && n <= kMaxFusedRebuildRows) {
+    const std::size_t bw = j1 - j0;
+    thread_local std::vector<double> buf;
+    buf.resize(n * bw);
+    kernel_->eval_cross(zdata_.data(), n, cdata + j0 * d, bw, buf.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      double* bi = buf.data() + i * bw;
+      const double* li = chol_.row_data(i);
+      for (std::size_t k = 0; k < i; ++k) {
+        const double lik = li[k];
+        const double* bk = buf.data() + k * bw;
+        for (std::size_t j = 0; j < bw; ++j) bi[j] -= lik * bk[j];
+      }
+      const double lii = li[i];
+      const double wi = w_[i];
+      double* mean = tracked_mean_.data() + j0;
+      double* var = tracked_var_.data() + j0;
+      for (std::size_t j = 0; j < bw; ++j) {
+        bi[j] /= lii;
+        mean[j] += bi[j] * wi;
+        var[j] -= bi[j] * bi[j];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(amat_.data() + i * m + j0, buf.data() + i * bw,
+                  bw * sizeof(double));
+    }
+    return;
+  }
 
   // Blocked forward substitution A = L^{-1} K(train, cands): column j only
   // ever combines with column j, so the per-column FP sequence — and the

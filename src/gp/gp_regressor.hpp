@@ -34,6 +34,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -148,6 +149,40 @@ class GpRegressor {
   double tracked_variance(std::size_t j) const;
   Prediction tracked_prediction(std::size_t j) const;
 
+  /// Raw tracked-posterior arrays for the allocation-free decision path.
+  /// tracked_var_data() is UNCLAMPED (may go epsilon-negative from rounding);
+  /// consumers must clamp with max(0.0, v) before sqrt, exactly as
+  /// tracked_variance() does.
+  const double* tracked_mean_data() const { return tracked_mean_.data(); }
+  const double* tracked_var_data() const { return tracked_var_.data(); }
+
+  /// Per-candidate accumulated delta magnitudes since the last
+  /// reset_tracked_deltas(): tracked_delta_mean_data()[j] bounds
+  /// |tracked_mean_[j] - mean at reset|, and tracked_delta_sigma_data()[j]
+  /// bounds the amount the tracked stddev can have moved (|delta sigma| <=
+  /// sqrt(sum a^2) <= sum |a| per rank-1 event). They grow inside
+  /// fold_columns / downdate_columns with the exact same products that feed
+  /// the moments, so a zero entry means that candidate's cached posterior is
+  /// bitwise unchanged. The incremental safe-set maintenance in
+  /// core/safe_set.cpp is the consumer.
+  const double* tracked_delta_mean_data() const { return delta_mean_.data(); }
+  const double* tracked_delta_sigma_data() const {
+    return delta_sigma_.data();
+  }
+  /// Rank-1 events (adds/evictions folded into the tracked cache) since the
+  /// last reset. 0 means the tracked posterior is bitwise unchanged and a
+  /// consumer sweep may no-op.
+  std::size_t tracked_delta_events() const { return delta_events_; }
+  /// Zero the delta accumulators (consumer has absorbed them). O(m), skipped
+  /// entirely when no events are pending.
+  void reset_tracked_deltas();
+  /// Monotone counter bumped whenever the tracked cache is rebuilt or
+  /// cleared (track_candidates, context switch, load). Consumers holding
+  /// per-candidate state keyed on the tracked arrays must full-rescan when
+  /// it changes: pending deltas are zeroed by a rebuild, so the delta
+  /// arrays alone cannot signal it.
+  std::uint64_t tracked_rebuild_epoch() const { return tracked_epoch_; }
+
  private:
   void rebuild_tracked_cache();
   // Rebuild / fold the tracked cache for candidate columns [j0, j1).
@@ -176,6 +211,10 @@ class GpRegressor {
   std::vector<double> amat_;     // A = L^{-1} K(train, cands), row-major T x m
   Vector tracked_mean_;          // m
   Vector tracked_var_;           // m (clamped at >= 0 on read)
+  Vector delta_mean_;            // m, accumulated |mean delta| since reset
+  Vector delta_sigma_;           // m, accumulated |a_j| (bounds sigma delta)
+  std::size_t delta_events_ = 0;   // rank-1 events since reset
+  std::uint64_t tracked_epoch_ = 0;  // bumped on rebuild/clear
 
   std::size_t budget_ = 0;       // 0 = unbounded
   EvictionPolicy eviction_policy_ = EvictionPolicy::kOldest;

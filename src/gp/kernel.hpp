@@ -37,7 +37,11 @@ class Kernel {
                           double* out) const;
 
   /// Cross-covariance of two packed row-major point sets:
-  /// out[i * ny + j] = k(x_i, y_j). Default loops over eval_batch.
+  /// out[i * ny + j] = k(x_i, y_j). The default loops eval_batch over the
+  /// rows of xs (contiguous writes); Matern32Kernel/RbfKernel override it
+  /// with a blocked two-pass form whose per-element chunking matches
+  /// eval_batch exactly, so out[i * ny + j] is bitwise equal to
+  /// eval_batch(ys, ny, x_i, ...) [j] — the fused GP rebuild relies on this.
   virtual void eval_cross(const double* xs, std::size_t nx, const double* ys,
                           std::size_t ny, double* out) const;
 
@@ -66,6 +70,8 @@ class Matern32Kernel final : public Kernel {
   double operator()(const Vector& a, const Vector& b) const override;
   void eval_batch(const double* xs, std::size_t n, const Vector& z,
                   double* out) const override;
+  void eval_cross(const double* xs, std::size_t nx, const double* ys,
+                  std::size_t ny, double* out) const override;
   double prior_variance() const override { return amplitude_; }
   std::size_t dims() const override { return lengthscales_.size(); }
   std::unique_ptr<Kernel> clone() const override;
@@ -87,6 +93,8 @@ class RbfKernel final : public Kernel {
   double operator()(const Vector& a, const Vector& b) const override;
   void eval_batch(const double* xs, std::size_t n, const Vector& z,
                   double* out) const override;
+  void eval_cross(const double* xs, std::size_t nx, const double* ys,
+                  std::size_t ny, double* out) const override;
   double prior_variance() const override { return amplitude_; }
   std::size_t dims() const override { return lengthscales_.size(); }
   std::unique_ptr<Kernel> clone() const override;

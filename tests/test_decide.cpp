@@ -1,0 +1,299 @@
+// Decision-path identity: the incremental engine (SafeSetTracker +
+// FusedAcquisition) must make bit-identical decisions to the legacy full
+// rescan — across event sequences (adds, evictions, re-tracks, threshold
+// and beta changes, all-unsafe regimes), all three acquisition kinds, and
+// thread-pool sizes — and the orchestrating engines' `incremental_decide`
+// escape hatches must change latency only, never a trajectory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/acquisition.hpp"
+#include "core/edgebol.hpp"
+#include "core/generic_bol.hpp"
+#include "core/safe_set.hpp"
+#include "env/control_grid.hpp"
+#include "env/scenarios.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
+
+namespace edgebol::core {
+namespace {
+
+using edgebol::Rng;
+using linalg::Vector;
+
+std::unique_ptr<gp::Kernel> make_kernel() {
+  return std::make_unique<gp::Matern32Kernel>(Vector(7, 1.1), 0.9);
+}
+
+Vector draw_input(Rng& rng) {
+  Vector z(7);
+  for (double& v : z) v = rng.uniform();
+  return z;
+}
+
+// The legacy full-rescan decision, replicating EdgeBol's pre-incremental
+// select(): materialize every tracked posterior, compute_safe_set, the
+// fallback loop, then the kind-specific acquisition.
+FusedDecision legacy_decide(FusedAcquisitionKind kind,
+                            gp::GpRegressor& delay_gp, gp::GpRegressor& map_gp,
+                            gp::GpRegressor& cost_gp, double d_max,
+                            double rho_min, double beta,
+                            const std::vector<std::size_t>& s0,
+                            const env::ControlGrid& grid) {
+  const std::size_t m = grid.size();
+  std::vector<gp::Prediction> delay_post(m), map_post(m), cost_post(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    delay_post[j] = delay_gp.tracked_prediction(j);
+    map_post[j] = map_gp.tracked_prediction(j);
+    cost_post[j] = cost_gp.tracked_prediction(j);
+  }
+  const std::vector<std::size_t> safe =
+      compute_safe_set(delay_post, map_post, d_max, rho_min, beta, s0);
+  bool fell_back = true;
+  for (std::size_t i : safe) {
+    const bool in_s0 = std::find(s0.begin(), s0.end(), i) != s0.end();
+    const gp::Prediction& d = delay_post[i];
+    const gp::Prediction& q = map_post[i];
+    const bool qualified = d.mean + beta * d.stddev() <= d_max &&
+                           q.mean - beta * q.stddev() >= rho_min;
+    if (qualified || !in_s0) {
+      fell_back = false;
+      break;
+    }
+  }
+  FusedDecision r;
+  if (kind == FusedAcquisitionKind::kGlobalLcb) {
+    std::vector<std::size_t> all(m);
+    for (std::size_t j = 0; j < m; ++j) all[j] = j;
+    r.index = lcb_argmin(cost_post, all, beta);
+  } else if (kind == FusedAcquisitionKind::kSafeOpt) {
+    SafeOptInputs in;
+    in.cost = &cost_post;
+    in.delay = &delay_post;
+    in.map = &map_post;
+    in.safe_set = &safe;
+    in.beta = beta;
+    r.index = safeopt_select(in, grid.adjacency_offsets(), grid.adjacency());
+  } else {
+    r.index = lcb_argmin(cost_post, safe, beta);
+  }
+  r.safe_set_size = safe.size();
+  r.fell_back_to_s0 = fell_back;
+  return r;
+}
+
+struct DecisionRecord {
+  std::size_t index;
+  std::size_t safe_set_size;
+  bool fell_back;
+
+  bool operator==(const DecisionRecord&) const = default;
+};
+
+// Drives one pool size through an event schedule (adds, evictions,
+// re-tracks, threshold moves, beta toggles, an all-unsafe window), checking
+// fused == legacy for every kind at every step, and returns the decision
+// log for the cross-pool comparison.
+std::vector<DecisionRecord> run_battery(std::size_t threads) {
+  env::GridSpec spec;
+  spec.levels_per_dim = 4;  // 256 candidates keeps the battery quick
+  env::ControlGrid grid(spec);
+  const env::Context ctx{};
+  const auto cand_mat = std::make_shared<const linalg::Matrix>(
+      grid.candidate_feature_matrix(ctx));
+  const std::size_t m = grid.size();
+
+  std::shared_ptr<common::ThreadPool> pool;
+  if (threads > 1) pool = std::make_shared<common::ThreadPool>(threads);
+
+  gp::GpRegressor delay_gp(make_kernel(), 1e-3);
+  gp::GpRegressor map_gp(make_kernel(), 1e-3);
+  gp::GpRegressor cost_gp(make_kernel(), 1e-3);
+  const std::array<gp::GpRegressor*, 3> gps{&delay_gp, &map_gp, &cost_gp};
+  Rng rng(31);
+  for (gp::GpRegressor* g : gps) {
+    g->set_thread_pool(pool);
+    for (int i = 0; i < 25; ++i) g->add(draw_input(rng), rng.normal());
+    g->track_candidates(cand_mat);
+  }
+
+  // Thresholds near the posterior bulk so the safe set is mixed.
+  std::vector<double> ucb(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    const gp::Prediction d = delay_gp.tracked_prediction(j);
+    ucb[j] = d.mean + 2.5 * d.stddev();
+  }
+  std::nth_element(ucb.begin(), ucb.begin() + m / 2, ucb.end());
+  double d_max = ucb[m / 2];
+  double rho_min = 0.0;
+  double beta = 2.5;
+
+  const std::vector<std::size_t> s0{0, m / 3, m - 1};
+  SafeSetTracker tracker;
+  tracker.configure(m, 2);
+  FusedAcquisition acq;
+  acq.configure(m, s0);
+  std::array<BoundSpec, 2> specs{};
+
+  const std::array<FusedAcquisitionKind, 3> kinds{
+      FusedAcquisitionKind::kSafeLcb, FusedAcquisitionKind::kSafeOpt,
+      FusedAcquisitionKind::kGlobalLcb};
+
+  std::vector<DecisionRecord> log;
+  const double d_max_home = d_max;
+  for (int e = 0; e < 40; ++e) {
+    for (gp::GpRegressor* g : gps) g->add(draw_input(rng), rng.normal());
+    if (e % 4 == 3) {
+      for (gp::GpRegressor* g : gps) g->remove_observation(0);
+    }
+    if (e % 13 == 8) {
+      for (gp::GpRegressor* g : gps) g->track_candidates(cand_mat);
+    }
+    if (e % 9 == 5) d_max += (e % 2 == 0 ? 1.0 : -1.0) * 0.02;
+    if (e % 17 == 11) beta = beta == 2.5 ? 1.0 : 2.5;
+    if (e == 20) d_max = -1e6;  // nothing qualifies: S0-fallback regime
+    if (e == 25) d_max = d_max_home;
+
+    for (const FusedAcquisitionKind kind : kinds) {
+      specs[0] = BoundSpec{&delay_gp, /*upper=*/true, d_max, 0.0};
+      specs[1] = BoundSpec{&map_gp, /*upper=*/false, rho_min, 0.0};
+      const FusedDecision got =
+          acq.decide(kind, tracker, specs, cost_gp, beta, pool.get(),
+                     grid.adjacency_offsets(), grid.adjacency());
+      const FusedDecision want =
+          legacy_decide(kind, delay_gp, map_gp, cost_gp, d_max, rho_min, beta,
+                        s0, grid);
+      EXPECT_EQ(got.index, want.index)
+          << "e=" << e << " kind=" << static_cast<int>(kind)
+          << " threads=" << threads;
+      EXPECT_EQ(got.safe_set_size, want.safe_set_size) << "e=" << e;
+      EXPECT_EQ(got.fell_back_to_s0, want.fell_back_to_s0) << "e=" << e;
+      log.push_back({got.index, got.safe_set_size, got.fell_back_to_s0});
+    }
+  }
+  // The schedule must actually visit both regimes.
+  EXPECT_TRUE(std::any_of(log.begin(), log.end(),
+                          [](const DecisionRecord& r) { return r.fell_back; }));
+  EXPECT_TRUE(std::any_of(log.begin(), log.end(), [](const DecisionRecord& r) {
+    return !r.fell_back;
+  }));
+  return log;
+}
+
+TEST(Decide, FusedMatchesLegacyAcrossEventsAndPools) {
+  const std::vector<DecisionRecord> serial = run_battery(1);
+  const std::vector<DecisionRecord> two = run_battery(2);
+  const std::vector<DecisionRecord> eight = run_battery(8);
+  EXPECT_EQ(serial, two);
+  EXPECT_EQ(serial, eight);
+}
+
+// ---------------------------------------------------------------------------
+// Engine escape hatches: incremental on/off must yield identical
+// trajectories (budgeted, context-switching runs included).
+// ---------------------------------------------------------------------------
+
+struct Trajectory {
+  std::vector<std::size_t> picks;
+  std::vector<std::size_t> safe_sizes;
+  std::vector<bool> fallbacks;
+
+  bool operator==(const Trajectory&) const = default;
+};
+
+Trajectory run_edgebol(bool incremental, AcquisitionKind kind, int periods) {
+  env::GridSpec spec;
+  spec.levels_per_dim = 4;
+  EdgeBolConfig cfg;
+  cfg.acquisition = kind;
+  cfg.gp_budget = 40;  // exercise the eviction/downdate path
+  cfg.incremental_decide = incremental;
+  EdgeBol agent(env::ControlGrid(spec), cfg);
+  env::Testbed tb = env::make_static_testbed(35.0);
+  const env::Context ctx_a{2.0, 12.0, 3.0};
+  const env::Context ctx_b{6.0, 9.0, 8.0};
+  Trajectory tr;
+  for (int t = 0; t < periods; ++t) {
+    const env::Context& c = (t / 7) % 2 == 0 ? ctx_a : ctx_b;
+    const Decision d = agent.select(c);
+    const env::Measurement m = tb.step(d.policy);
+    agent.update(c, d.policy_index, m);
+    tr.picks.push_back(d.policy_index);
+    tr.safe_sizes.push_back(d.safe_set_size);
+    tr.fallbacks.push_back(d.fell_back_to_s0);
+  }
+  return tr;
+}
+
+TEST(Decide, EdgeBolEscapeHatchIsTrajectoryNeutral) {
+  EXPECT_EQ(run_edgebol(true, AcquisitionKind::kSafeLcb, 60),
+            run_edgebol(false, AcquisitionKind::kSafeLcb, 60));
+}
+
+TEST(Decide, EdgeBolSafeOptEscapeHatchIsTrajectoryNeutral) {
+  EXPECT_EQ(run_edgebol(true, AcquisitionKind::kSafeOpt, 25),
+            run_edgebol(false, AcquisitionKind::kSafeOpt, 25));
+}
+
+TEST(Decide, EdgeBolGlobalLcbEscapeHatchIsTrajectoryNeutral) {
+  EXPECT_EQ(run_edgebol(true, AcquisitionKind::kGlobalLcb, 25),
+            run_edgebol(false, AcquisitionKind::kGlobalLcb, 25));
+}
+
+Trajectory run_generic(bool incremental) {
+  std::vector<Vector> controls;
+  for (int i = 0; i < 12; ++i) controls.push_back(Vector{i / 11.0});
+
+  const auto hp = [] {
+    gp::GpHyperparams h;
+    h.lengthscales = Vector(2, 0.8);
+    h.amplitude = 1.0;
+    h.noise_variance = 1e-3;
+    return h;
+  }();
+  MetricSpec objective{"power", hp, 10.0, false,
+                       std::numeric_limits<double>::infinity(), 0.0};
+  MetricSpec delay{"delay", hp, 1.0, false,
+                   std::numeric_limits<double>::infinity(), 0.6};
+  MetricSpec map{"map", hp, 1.0, false,
+                 std::numeric_limits<double>::infinity(), 0.0};
+  GenericSafeBol bol(controls, objective, {delay, map},
+                     {{0, BoundKind::kUpper, 0.45}, {1, BoundKind::kLower, 0.3}},
+                     {11}, 2.0);
+  bol.set_incremental_decide(incremental);
+
+  Rng rng(77);
+  Trajectory tr;
+  for (int t = 0; t < 40; ++t) {
+    const Vector ctx{0.3 + 0.4 * ((t / 6) % 2)};
+    const GenericDecision d = bol.select(ctx);
+    const double x = controls[d.index][0];
+    // Synthetic ground truth: cheap but slow at low x, fast at high x.
+    const double power = 20.0 + 30.0 * x + rng.normal() * 0.5;
+    const double dly = 0.55 - 0.35 * x + 0.05 * ctx[0] + rng.normal() * 0.01;
+    const double acc = 0.2 + 0.5 * x + rng.normal() * 0.01;
+    bol.update(ctx, d.index, power, {dly, acc});
+    if (t == 24) bol.set_threshold(0, 0.5);  // runtime threshold move
+    tr.picks.push_back(d.index);
+    tr.safe_sizes.push_back(d.safe_set_size);
+    tr.fallbacks.push_back(d.fell_back_to_s0);
+  }
+  return tr;
+}
+
+TEST(Decide, GenericEscapeHatchIsTrajectoryNeutral) {
+  EXPECT_EQ(run_generic(true), run_generic(false));
+}
+
+}  // namespace
+}  // namespace edgebol::core

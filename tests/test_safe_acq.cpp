@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
+#include "common/rng.hpp"
 #include "core/acquisition.hpp"
 #include "core/safe_set.hpp"
+#include "gp/kernel.hpp"
 
 namespace edgebol::core {
 namespace {
 
 using gp::Prediction;
+using linalg::Vector;
 
 TEST(SafeSet, ConfidentFeasiblePointsQualify) {
   // d_max = 0.4, map_min = 0.5, beta = 2.
@@ -34,6 +39,23 @@ TEST(SafeSet, S0AlwaysIncludedAndDeduplicated) {
   const std::vector<Prediction> map{{0.0, 1.0}, {0.0, 1.0}};
   const auto safe = compute_safe_set(delay, map, 0.4, 0.5, 2.0, {1, 1});
   EXPECT_EQ(safe, (std::vector<std::size_t>{1}));
+}
+
+TEST(SafeSet, AllUnsafeFallsBackToS0) {
+  // Every candidate violates both constraints: the result is exactly the
+  // sorted, de-duplicated S0 (§5, Practical Issues).
+  const std::vector<Prediction> delay(4, Prediction{9.0, 0.0001});
+  const std::vector<Prediction> map(4, Prediction{0.0, 0.0001});
+  EXPECT_EQ(compute_safe_set(delay, map, 0.4, 0.5, 2.0, {3, 1, 3}),
+            (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(SafeSet, DuplicateUnsortedS0MergesWithQualified) {
+  std::vector<Prediction> delay(5, Prediction{9.0, 0.0001});
+  delay[2] = {0.1, 0.0001};
+  const std::vector<Prediction> map(5, Prediction{0.9, 0.0001});
+  EXPECT_EQ(compute_safe_set(delay, map, 0.4, 0.5, 2.0, {4, 0, 4, 0}),
+            (std::vector<std::size_t>{0, 2, 4}));
 }
 
 TEST(SafeSet, ZeroBetaReducesToMeanChecks) {
@@ -157,6 +179,96 @@ TEST(SafeOpt, Validation) {
   empty.safe.clear();
   EXPECT_THROW(safeopt_select(empty.inputs(), line_neighbors),
                std::invalid_argument);
+}
+
+// ---- SafeSetTracker (incremental confidence-bound maintenance) ----
+
+gp::GpRegressor make_tracked_gp(std::size_t m, unsigned seed,
+                                int n_obs = 12) {
+  gp::GpRegressor g(std::make_unique<gp::Matern32Kernel>(Vector(2, 1.0), 1.0),
+                    1e-4);
+  edgebol::Rng rng(seed);
+  for (int i = 0; i < n_obs; ++i) {
+    g.add(Vector{rng.uniform(), rng.uniform()}, rng.normal());
+  }
+  std::vector<Vector> cands;
+  for (std::size_t j = 0; j < m; ++j) {
+    cands.push_back(Vector{static_cast<double>(j) / static_cast<double>(m),
+                           0.5});
+  }
+  g.track_candidates(cands);
+  return g;
+}
+
+TEST(SafeSetTracker, BoundsMatchDirectEvaluationBitwise) {
+  gp::GpRegressor g = make_tracked_gp(16, 3);
+  SafeSetTracker t;
+  t.configure(16, 2);
+  const double beta = 1.7;
+  const std::vector<BoundSpec> specs{{&g, true, 0.3, 0.1},
+                                     {&g, false, 0.2, -0.05}};
+  t.begin_round(specs, beta);
+  t.maintain_block(0, 16);
+  t.finish_round();
+  for (std::size_t j = 0; j < 16; ++j) {
+    const Prediction p = g.tracked_prediction(j);
+    EXPECT_EQ(t.bound_data(0)[j], (p.mean + 0.1) + beta * p.stddev());
+    EXPECT_EQ(t.bound_data(1)[j], (p.mean + -0.05) - beta * p.stddev());
+  }
+  EXPECT_EQ(t.last_rescored(), 32u);  // first round is always full
+}
+
+TEST(SafeSetTracker, IncrementalClassificationMatchesFullRescan) {
+  gp::GpRegressor g = make_tracked_gp(32, 9);
+  SafeSetTracker t;
+  t.configure(32, 1);
+  edgebol::Rng rng(21);
+  double thr = 0.0;
+  double beta = 2.0;
+  std::vector<BoundSpec> specs{{&g, true, thr, 0.0}};
+  const auto round_and_check = [&] {
+    specs[0].threshold = thr;
+    t.begin_round(specs, beta);
+    t.maintain_block(0, 32);
+    t.finish_round();
+    for (std::size_t j = 0; j < 32; ++j) {
+      const Prediction p = g.tracked_prediction(j);
+      // Stored bounds may be stale between rescans; the safe/unsafe
+      // CLASSIFICATION is what the skip rule guarantees exactly.
+      ASSERT_EQ(t.bound_data(0)[j] <= thr,
+                p.mean + beta * p.stddev() <= thr)
+          << "candidate " << j;
+    }
+  };
+  round_and_check();
+  for (int e = 0; e < 24; ++e) {
+    g.add(Vector{rng.uniform(), rng.uniform()}, rng.normal());
+    if (e % 3 == 2) g.remove_observation(0);
+    if (e % 7 == 5) thr += 0.05;       // free for the tracker
+    if (e % 11 == 9) beta = beta == 2.0 ? 0.0 : 2.0;  // forces full rescore
+    round_and_check();
+  }
+}
+
+TEST(SafeSetTracker, Validation) {
+  gp::GpRegressor g = make_tracked_gp(8, 5);
+  SafeSetTracker t;
+  t.configure(8, 1);
+  const std::vector<BoundSpec> one{{&g, true, 0.0, 0.0}};
+  const std::vector<BoundSpec> two{{&g, true, 0.0, 0.0},
+                                   {&g, false, 0.0, 0.0}};
+  EXPECT_THROW(t.begin_round(two, 2.0), std::invalid_argument);
+  EXPECT_THROW(t.begin_round(one, -1.0), std::invalid_argument);
+  const std::vector<BoundSpec> null_gp{{nullptr, true, 0.0, 0.0}};
+  EXPECT_THROW(t.begin_round(null_gp, 2.0), std::invalid_argument);
+  gp::GpRegressor small = make_tracked_gp(6, 7);
+  const std::vector<BoundSpec> wrong_m{{&small, true, 0.0, 0.0}};
+  EXPECT_THROW(t.begin_round(wrong_m, 2.0), std::invalid_argument);
+  EXPECT_THROW(t.maintain_block(0, 8), std::logic_error);  // outside a round
+  t.begin_round(one, 2.0);
+  EXPECT_THROW(t.begin_round(one, 2.0), std::logic_error);  // already open
+  t.maintain_block(0, 8);
+  t.finish_round();
 }
 
 }  // namespace
