@@ -24,6 +24,7 @@
 #include "common/table.hpp"
 #include "core/acquisition.hpp"
 #include "core/edgebol.hpp"
+#include "core/fleet_engine.hpp"
 #include "core/formulations.hpp"
 #include "core/generic_bol.hpp"
 #include "core/multi_service_bol.hpp"
@@ -34,6 +35,7 @@
 #include "env/context.hpp"
 #include "env/control_grid.hpp"
 #include "env/event_sim.hpp"
+#include "env/fleet_sim.hpp"
 #include "env/multi_service.hpp"
 #include "env/policy.hpp"
 #include "env/scenarios.hpp"

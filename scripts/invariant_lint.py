@@ -30,7 +30,8 @@ Rules (see DESIGN.md "Concurrency invariants & analysis tooling"):
                    call site must mention EINTR within 8 lines either way:
                    a raw syscall without a stated interruption story is a
                    hang or a lost frame waiting for a signal to land.
-  R7 decide hot    between a `// hot: decide` marker and its closing
+  R7 hot regions   between a named `// hot: <name>` marker (decide,
+                   dispatch, ...) and its closing
                    `// hot: end` in src/, heap-allocating constructs
                    (new, push_back, emplace_back, resize, reserve, assign,
                    make_shared, make_unique, std::vector<, std::string,
@@ -231,7 +232,13 @@ DECIDE_HOT_ALLOC = re.compile(
 
 
 def check_decide_hot_alloc(path, raw_text, code, errors):
-    """R7: no heap allocation inside `// hot: decide` ... `// hot: end`."""
+    """R7: no heap allocation inside `// hot: <name>` ... `// hot: end`.
+
+    Regions are NAMED so each subsystem labels its own steady-state loop:
+    `// hot: decide` for the per-cell decision path (safe set +
+    acquisition), `// hot: dispatch` for the fleet engine's batched
+    dispatch. Any name other than `end` opens a region.
+    """
     r = rel(path)
     if not r.startswith("src" + os.sep):
         return
@@ -241,18 +248,23 @@ def check_decide_hot_alloc(path, raw_text, code, errors):
     raw_lines = raw_text.splitlines()
     code_lines = code.splitlines()
     open_line = None
+    open_name = None
     for idx, rline in enumerate(raw_lines, start=1):
-        if re.search(r"//\s*hot:\s*decide\b", rline):
+        m = re.search(r"//\s*hot:\s*(\w+)\b", rline)
+        if m and m.group(1) != "end":
             if open_line is not None:
-                errors.append(f"{r}:{idx}: [hot] nested '// hot: decide' "
-                              f"(previous opened at line {open_line})")
+                errors.append(f"{r}:{idx}: [hot] nested '// hot: "
+                              f"{m.group(1)}' (previous '{open_name}' "
+                              f"opened at line {open_line})")
             open_line = idx
+            open_name = m.group(1)
             continue
-        if re.search(r"//\s*hot:\s*end\b", rline):
+        if m:  # // hot: end
             if open_line is None:
                 errors.append(f"{r}:{idx}: [hot] '// hot: end' without a "
-                              "matching '// hot: decide'")
+                              "matching '// hot: <name>'")
             open_line = None
+            open_name = None
             continue
         if open_line is None or idx - 1 >= len(code_lines):
             continue
@@ -260,11 +272,11 @@ def check_decide_hot_alloc(path, raw_text, code, errors):
         if m:
             errors.append(
                 f"{r}:{idx}: [hot] '{m.group(0).strip()}' inside a "
-                "'// hot: decide' region — the decision loop must not "
-                "allocate (hoist to configure() or use fixed storage)")
+                f"'// hot: {open_name}' region — the steady-state loop "
+                "must not allocate (hoist to setup or use fixed storage)")
     if open_line is not None:
-        errors.append(f"{r}:{open_line}: [hot] '// hot: decide' without a "
-                      "closing '// hot: end'")
+        errors.append(f"{r}:{open_line}: [hot] '// hot: {open_name}' "
+                      "without a closing '// hot: end'")
 
 
 def check_headers_self_contained(errors):

@@ -64,6 +64,28 @@ double Rng::normal(double mean, double stddev) {
 
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
+namespace {
+
+// SplitMix64 finalizer (Steele et al.): a strong 64-bit mixer, used to turn
+// structured (root, id) pairs into uncorrelated seed material.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Rng Rng::derive_stream(std::uint64_t root_seed, std::uint64_t entity_id) {
+  // Mix the id before xoring so (root, id) and (root ^ id, 0) diverge, then
+  // mix twice more for the two independent PCG words.
+  const std::uint64_t mixed = splitmix64(root_seed ^ splitmix64(entity_id));
+  const std::uint64_t seed = splitmix64(mixed);
+  const std::uint64_t stream = splitmix64(mixed ^ 0x6a09e667f3bcc909ULL);
+  return Rng(seed, stream);
+}
+
 Rng Rng::split() {
   const std::uint64_t seed =
       (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();

@@ -52,6 +52,16 @@ class Rng {
   /// subsystem (channel, GPU, meter, ...) an independent stream.
   Rng split();
 
+  /// A generator whose trajectory is a pure function of (root_seed,
+  /// entity_id): entity i always receives the same stream no matter how many
+  /// other entities exist or in which order they were created. This is the
+  /// fleet contract — per-cell randomness derives from (fleet seed, cell id)
+  /// so one cell's trajectory is invariant to the rest of the fleet.
+  /// Distinct ids map to statistically independent streams (the seed and
+  /// stream-selector words are both splitmix64-mixed, so nearby ids share no
+  /// structure).
+  static Rng derive_stream(std::uint64_t root_seed, std::uint64_t entity_id);
+
   /// In-place Fisher-Yates shuffle.
   template <typename T>
   void shuffle(std::vector<T>& v) {

@@ -438,6 +438,62 @@ void EdgeBol::add_prior_observation(const env::Context& context,
   observe(context, policy, measurement);
 }
 
+std::vector<PseudoObservation> EdgeBol::export_observations(
+    std::size_t max_count) const {
+  const std::size_t n = cost_gp_.num_observations();
+  const std::size_t take = std::min(max_count, n);
+  std::vector<PseudoObservation> out;
+  out.reserve(take);
+  for (std::size_t i = n - take; i < n; ++i) {
+    PseudoObservation o;
+    o.z = cost_gp_.inputs()[i];
+    // Invert the storage transforms so the row is unit-portable: the
+    // importer re-applies its own scales. Delay was clipped at kDelayClipS
+    // before the log, so exp() recovers the clipped value exactly.
+    o.cost = cost_gp_.targets()[i] * cost_scale_;
+    o.delay_s = std::exp(delay_gp_.targets()[i]) * cfg_.delay_scale;
+    o.map = map_gp_.targets()[i];
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+void EdgeBol::import_observations(std::span<const PseudoObservation> rows) {
+  constexpr std::size_t kDims =
+      env::Context::kFeatureDims + env::ControlPolicy::kFeatureDims;
+  for (const PseudoObservation& o : rows) {
+    if (o.z.size() != kDims)
+      throw std::invalid_argument(
+          "EdgeBol::import_observations: input dimension mismatch");
+    if (!std::isfinite(o.cost) || !std::isfinite(o.delay_s) ||
+        !std::isfinite(o.map) || o.delay_s <= 0.0)
+      throw std::invalid_argument(
+          "EdgeBol::import_observations: non-finite or non-positive targets");
+    if (o.map < 0.0 || o.map > 1.0)
+      throw std::invalid_argument(
+          "EdgeBol::import_observations: mAP outside [0, 1]");
+  }
+  for (const PseudoObservation& o : rows) {
+    const double y_cost = o.cost / cost_scale_;
+    const double y_delay =
+        std::log(std::min(o.delay_s, kDelayClipS) / cfg_.delay_scale);
+    const double y_map = o.map;
+    if (pool_) {
+      // sync: one task per distinct surrogate (same discipline as
+      // observe()); o is read-only; run_tasks joins before the next row.
+      pool_->run_tasks({[&] { cost_gp_.add(o.z, y_cost); },
+                        [&] { delay_gp_.add(o.z, y_delay); },
+                        [&] { map_gp_.add(o.z, y_map); }});
+    } else {
+      cost_gp_.add(o.z, y_cost);
+      delay_gp_.add(o.z, y_delay);
+      map_gp_.add(o.z, y_map);
+    }
+  }
+  enforce_budget();
+  tracked_context_features_.reset();  // caches no longer match the data
+}
+
 void EdgeBol::save_observations(std::ostream& os) const {
   const std::size_t n = cost_gp_.num_observations();
   os << "edgebol-observations v1\n";

@@ -21,6 +21,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -180,6 +181,20 @@ struct EdgeBolConfig {
   std::size_t num_threads = 1;
 };
 
+/// One conditioning row of the three surrogates in PORTABLE units: the joint
+/// [context, control] input plus the raw (untransformed) KPI-equivalent
+/// targets. This is the cross-cell transfer payload — a new cell warm-starts
+/// by importing rows exported from established neighbours, which conditions
+/// its surrogates exactly as observe() would (so the GP evidence, and with
+/// it the safe set, carries over). Raw units make the rows valid across
+/// agents with different cost weights or scales.
+struct PseudoObservation {
+  linalg::Vector z;        // joint features (Context + ControlPolicy dims)
+  double cost = 0.0;       // u = delta1 p_server + delta2 p_bs (monetary)
+  double delay_s = 0.0;    // service delay (clipped at export)
+  double map = 0.0;        // mAP in [0, 1]
+};
+
 /// What the agent decided in one time period.
 struct Decision {
   std::size_t policy_index = 0;
@@ -208,6 +223,21 @@ class EdgeBol {
   void add_prior_observation(const env::Context& context,
                              const env::ControlPolicy& policy,
                              const env::Measurement& measurement);
+
+  /// Export up to `max_count` of the MOST RECENT conditioning rows in
+  /// portable units — the cross-cell transfer payload (see
+  /// PseudoObservation). Order is preserved, so importing a full export into
+  /// a same-configured fresh agent reproduces this agent's posterior (up to
+  /// one rounding round-trip through the unit conversion).
+  std::vector<PseudoObservation> export_observations(
+      std::size_t max_count) const;
+
+  /// Condition the surrogates on rows exported from another agent, applying
+  /// this agent's own scales/transforms (observe()-style, but without a
+  /// Measurement or the novelty gate). The observation budget is enforced
+  /// afterwards and tracked caches reset. Throws std::invalid_argument on a
+  /// dimension mismatch or non-finite targets.
+  void import_observations(std::span<const PseudoObservation> rows);
 
   /// Persist the surrogates' conditioning data (the pre-production ->
   /// production handoff of §4.2): a plain-text format holding each

@@ -1,0 +1,114 @@
+#include "env/fleet_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "ran/channel.hpp"
+
+namespace edgebol::env {
+
+FleetSim::FleetSim(FleetScenario scenario) : sc_(scenario) {
+  if (sc_.tick_s <= 0.0 || sc_.period_s <= 0.0)
+    throw std::invalid_argument("FleetSim: period/tick must be > 0");
+  if (sc_.period_jitter < 0.0 || sc_.period_jitter >= 1.0)
+    throw std::invalid_argument("FleetSim: period_jitter must be in [0, 1)");
+  if (sc_.users_min == 0 || sc_.users_max < sc_.users_min)
+    throw std::invalid_argument("FleetSim: bad user-count range");
+  if (sc_.snr_hi_db < sc_.snr_lo_db)
+    throw std::invalid_argument("FleetSim: bad SNR range");
+  for (std::size_t i = 0; i < sc_.num_cells; ++i) add_cell();
+}
+
+FleetSim::CellSlot FleetSim::make_cell(std::size_t id) const {
+  // Everything about cell `id` flows from this one derived stream: the
+  // scenario draw first, then the testbed seed. No shared RNG is consumed,
+  // so the cell is identical no matter what the rest of the fleet looks
+  // like.
+  Rng rng = Rng::derive_stream(sc_.seed, static_cast<std::uint64_t>(id));
+
+  FleetCellInfo info;
+  info.id = id;
+  info.base_snr_db = rng.uniform(sc_.snr_lo_db, sc_.snr_hi_db);
+  info.n_users =
+      sc_.users_min + rng.uniform_index(sc_.users_max - sc_.users_min + 1);
+  const double jitter =
+      sc_.period_jitter > 0.0
+          ? rng.uniform(-sc_.period_jitter, sc_.period_jitter)
+          : 0.0;
+  const std::int64_t ticks = std::max<std::int64_t>(
+      1, std::llround(sc_.period_s * (1.0 + jitter) / sc_.tick_s));
+  info.period_s = static_cast<double>(ticks) * sc_.tick_s;
+  info.joined_tick = now_tick_;
+
+  TestbedConfig cfg = sc_.testbed;
+  cfg.seed = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+
+  std::vector<ran::UeChannel> users;
+  users.reserve(info.n_users);
+  double snr = info.base_snr_db;
+  for (std::size_t u = 0; u < info.n_users; ++u) {
+    users.emplace_back(std::make_unique<ran::ConstantSnr>(snr),
+                       cfg.fading_sigma_db, cfg.fading_rho);
+    snr *= (1.0 - sc_.snr_decay);
+  }
+  return CellSlot(info, ticks, Testbed(cfg, std::move(users)));
+}
+
+std::size_t FleetSim::add_cell() {
+  const std::size_t id = cells_.size();
+  cells_.push_back(make_cell(id));
+  queue_.emplace(now_tick_ + cells_.back().period_ticks, id);
+  return id;
+}
+
+std::span<const std::size_t> FleetSim::next_due() {
+  due_.clear();
+  if (queue_.empty()) return {};
+  const std::int64_t t = queue_.top().first;
+  now_tick_ = t;
+  while (!queue_.empty() && queue_.top().first == t) {
+    due_.push_back(queue_.top().second);
+    queue_.pop();
+  }
+  // Reschedule immediately: scheduling never depends on whether the caller
+  // steps the batch, and a cell can't be due twice in one batch (its period
+  // is >= one tick).
+  for (std::size_t id : due_) {
+    queue_.emplace(t + cells_[id].period_ticks, id);
+  }
+  return due_;
+}
+
+void FleetSim::due_contexts(std::span<Context> out) const {
+  if (out.size() != due_.size())
+    throw std::invalid_argument("FleetSim::due_contexts: size mismatch");
+  for (std::size_t i = 0; i < due_.size(); ++i) {
+    out[i] = cells_[due_[i]].testbed.context();
+  }
+}
+
+void FleetSim::step_due(std::span<const ControlPolicy> policies,
+                        std::span<Measurement> out,
+                        common::ThreadPool* pool) {
+  const std::size_t n = due_.size();
+  if (policies.size() != n || out.size() != n)
+    throw std::invalid_argument("FleetSim::step_due: size mismatch");
+  const auto run = [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      out[i] = cells_[due_[i]].testbed.step(policies[i]);
+    }
+  };
+  if (pool != nullptr && n > 1) {
+    // sync: block [i0, i1) steps only its own cells' testbeds (due_ ids are
+    // unique within a batch) and writes only out[i] for its own indices;
+    // parallel_for joins before the serial accounting below.
+    pool->parallel_for(n, /*grain=*/4, run);
+  } else {
+    run(0, n);
+  }
+  for (std::size_t id : due_) ++cells_[id].info.periods_done;
+}
+
+}  // namespace edgebol::env

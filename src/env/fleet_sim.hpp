@@ -1,0 +1,126 @@
+// Event-driven fleet driver: N cells (vBS + edge server each) in one
+// process, scheduled at control-period granularity.
+//
+// A single global event queue — a min-heap of (tick, cell) pairs, in the
+// spirit of mcsim-style timing simulators that drive many components from
+// one sorted event stream — advances simulated time to the earliest pending
+// per-cell period boundary. All cells whose boundaries land on the same
+// integer tick form one BATCH: the caller collects their contexts, decides
+// them in one dispatch (core::FleetEngine), steps their testbeds, and feeds
+// the measurements back. Period boundaries are quantized to `tick_s` so
+// heterogeneous per-cell periods still coincide often enough to batch.
+//
+// Every cell's randomness — its scenario draw (SNR, user count, period
+// jitter) and its testbed's noise streams — derives from (fleet seed,
+// cell id) via Rng::derive_stream, so a cell's trajectory is invariant to
+// how many other cells exist, when they joined, or in which order the fleet
+// was built. Cells can join mid-run (add_cell), which is how warm-start
+// transfer is exercised.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "env/testbed.hpp"
+
+namespace edgebol::env {
+
+/// Distributions each cell's environment is drawn from (per-cell draws use
+/// the cell's derived RNG stream, never a shared sequential one).
+struct FleetScenario {
+  std::size_t num_cells = 16;
+  std::uint64_t seed = 1;
+
+  double period_s = 1.0;        // nominal control period
+  double period_jitter = 0.25;  // per-cell multiplicative jitter in [-j, +j]
+  double tick_s = 0.01;         // event-queue quantum (boundaries snap to it)
+
+  double snr_lo_db = 18.0;      // per-cell base SNR ~ U[lo, hi]
+  double snr_hi_db = 38.0;
+  std::size_t users_min = 1;    // per-cell user count ~ U{min..max}
+  std::size_t users_max = 4;
+  double snr_decay = 0.20;      // per-extra-user SNR decay (heterogeneous)
+
+  TestbedConfig testbed{};      // platform template; per-cell seed derived
+};
+
+/// Static facts about one cell (drawn at creation from its derived stream).
+struct FleetCellInfo {
+  std::size_t id = 0;
+  double period_s = 1.0;        // after jitter, snapped to the tick grid
+  double base_snr_db = 30.0;
+  std::size_t n_users = 1;
+  std::int64_t joined_tick = 0;
+  std::int64_t periods_done = 0;
+};
+
+class FleetSim {
+ public:
+  explicit FleetSim(FleetScenario scenario);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  double now_s() const {
+    return static_cast<double>(now_tick_) * sc_.tick_s;
+  }
+  const FleetScenario& scenario() const { return sc_; }
+
+  /// Create one more cell (id = current num_cells()) joining at the current
+  /// simulated time; its first period boundary is one period out. The new
+  /// cell's draws come from derive_stream(seed, id), so an added cell is
+  /// identical to the same id created at construction.
+  std::size_t add_cell();
+
+  Testbed& testbed(std::size_t id) { return cells_.at(id).testbed; }
+  const FleetCellInfo& info(std::size_t id) const {
+    return cells_.at(id).info;
+  }
+
+  /// Advance to the earliest pending period boundary and return the ids of
+  /// every cell due on that tick, ascending. Each returned cell is
+  /// immediately rescheduled for its next boundary, so the caller may (but
+  /// need not) step it. The span is valid until the next next_due()/add_cell.
+  std::span<const std::size_t> next_due();
+
+  /// Observed contexts of the cells returned by the last next_due(), in the
+  /// same order. `out.size()` must match.
+  void due_contexts(std::span<Context> out) const;
+
+  /// Step the due cells under their selected policies (aligned with the last
+  /// next_due() span) and record the noisy measurements. Independent
+  /// testbeds step concurrently on `pool` (nullptr = serial, identical
+  /// results — each cell's streams are its own).
+  void step_due(std::span<const ControlPolicy> policies,
+                std::span<Measurement> out, common::ThreadPool* pool = nullptr);
+
+ private:
+  struct CellSlot {
+    FleetCellInfo info;
+    std::int64_t period_ticks;
+    Testbed testbed;
+    CellSlot(FleetCellInfo i, std::int64_t ticks, Testbed tb)
+        : info(i), period_ticks(ticks), testbed(std::move(tb)) {}
+  };
+
+  CellSlot make_cell(std::size_t id) const;
+
+  FleetScenario sc_;
+  std::deque<CellSlot> cells_;  // stable addresses across add_cell
+  // Min-heap over (tick, cell id): pairs compare lexicographically, so equal
+  // ticks pop in ascending id order — batch order is deterministic.
+  std::priority_queue<std::pair<std::int64_t, std::size_t>,
+                      std::vector<std::pair<std::int64_t, std::size_t>>,
+                      std::greater<>>
+      queue_;
+  std::int64_t now_tick_ = 0;
+  std::vector<std::size_t> due_;
+};
+
+}  // namespace edgebol::env

@@ -98,6 +98,50 @@ TEST(Rng, SplitStreamsAreIndependentish) {
   EXPECT_LT(same, 5);
 }
 
+TEST(Rng, DeriveStreamIsPureFunctionOfRootAndId) {
+  Rng a = Rng::derive_stream(123, 7);
+  Rng b = Rng::derive_stream(123, 7);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DeriveStreamInvariantToOtherDerivations) {
+  // Deriving streams for other entities (in any order) must not perturb
+  // entity 7's stream — the per-cell fleet contract.
+  Rng alone = Rng::derive_stream(99, 7);
+  Rng ignored1 = Rng::derive_stream(99, 3);
+  Rng ignored2 = Rng::derive_stream(99, 12);
+  Rng crowded = Rng::derive_stream(99, 7);
+  (void)ignored1();
+  (void)ignored2();
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(alone(), crowded());
+}
+
+TEST(Rng, DeriveStreamDistinctIdsDiverge) {
+  Rng a = Rng::derive_stream(5, 0);
+  Rng b = Rng::derive_stream(5, 1);
+  Rng c = Rng::derive_stream(6, 0);
+  int ab = 0, ac = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a();
+    ab += (x == b());
+    ac += (x == c());
+  }
+  EXPECT_LT(ab, 5);
+  EXPECT_LT(ac, 5);
+}
+
+TEST(Rng, DeriveStreamConsecutiveIdsUncorrelatedMeans) {
+  // Nearby ids must not share low-bit structure: each stream's uniform mean
+  // should be ~0.5 independently.
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    Rng r = Rng::derive_stream(1, id);
+    double s = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) s += r.uniform();
+    EXPECT_NEAR(s / n, 0.5, 0.02) << "id " << id;
+  }
+}
+
 TEST(Rng, ShuffleIsPermutation) {
   Rng r(31);
   std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
