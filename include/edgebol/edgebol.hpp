@@ -49,12 +49,15 @@
 #include "net/chaos.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
+#include "net/mux_framing.hpp"
+#include "net/mux_transport.hpp"
 #include "net/socket.hpp"
 #include "net/tcp_transport.hpp"
 #include "net/transport.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
 #include "oran/apps.hpp"
+#include "oran/fleet_plane.hpp"
 #include "oran/messages.hpp"
 #include "oran/oran_env.hpp"
 #include "oran/ric.hpp"

@@ -97,14 +97,50 @@ for attempt in 1 2 3; do
 done
 [[ "$gate_ok" == 1 ]]
 # Transport bench: p99 indication-to-policy latency under an o1 flood plus
-# recovery time after a seeded 4s E2 partition. Smoke p99 measures 30-45ms
-# on an idle box; the 500ms ceiling is generous headroom for shared-CPU
-# noise while still catching a real event-loop or backpressure regression
-# (a blocking send on the hot path lands in the seconds). Recovery after
-# the window is ~1s; 15s means reconnect/backoff supervision broke.
-(cd build-release && ./tools/bench_transport --smoke)
-python3 scripts/perf_gate.py build-release/BENCH_transport.json \
-  --ceiling p99_loaded_ms=500 --ceiling recovery_ms=15000
+# recovery time after a seeded 4s E2 partition, then the multiplexed fleet
+# phase (1000 cells over 8 TCP connections through MuxEndpoint). Smoke p99
+# measures 30-45ms on an idle box; the 500ms ceiling is generous headroom
+# for shared-CPU noise while still catching a real event-loop or
+# backpressure regression (a blocking send on the hot path lands in the
+# seconds). Recovery after the window is ~1s; 15s means reconnect/backoff
+# supervision broke. Fleet ceilings:
+#   p99_mux_ms=500          -> per-indication decision latency across 1000
+#                              cells (measured p99 ~45-50ms; dominated by
+#                              the engine's batched decide, not the wire);
+#   mux_cells_shortfall=0   -> every cell completed every period;
+#   mux_connections=8       -> the fleet really rode <= 8 connections.
+# Timing metrics share the 3-attempt re-measure discipline; the
+# deterministic ones must pass every attempt.
+transport_ok=0
+for attempt in 1 2 3; do
+  (cd build-release && ./tools/bench_transport --smoke)
+  if python3 scripts/perf_gate.py build-release/BENCH_transport.json \
+      --ceiling p99_loaded_ms=500 --ceiling recovery_ms=15000 \
+      --ceiling p99_mux_ms=500 --ceiling mux_cells_shortfall=0 \
+      --ceiling mux_connections=8; then
+    transport_ok=1
+    break
+  fi
+  echo "transport gate: attempt $attempt/3 out of bounds; re-measuring"
+done
+[[ "$transport_ok" == 1 ]]
+# Mux ingest bench: one MuxEndpoint pair flooded over loopback (wire phase),
+# then the decoder replayed standalone (decode phase). The gated floor is
+# the BARE decode rate — >= 1M frames/s is the budget that keeps framing
+# off the fleet's critical path (measured ~40M debug, ~80M release; the
+# wire rate, ~1.7M frames/s, also lands above the floor but syscall cost
+# makes it the noisier number, reported as wire_frames_per_sec).
+ingest_ok=0
+for attempt in 1 2 3; do
+  (cd build-release && ./tools/load_ric --ingest --out BENCH_ingest.json)
+  if python3 scripts/perf_gate.py build-release/BENCH_ingest.json \
+      --metric-floor frames_per_sec=1000000; then
+    ingest_ok=1
+    break
+  fi
+  echo "ingest gate: attempt $attempt/3 below floor; re-measuring"
+done
+[[ "$ingest_ok" == 1 ]]
 # Fleet bench: 1000 heterogeneous cells through the batched engine at 8
 # threads. Ceilings encode the fleet acceptance floor (all lower-is-better):
 #   cells_shortfall=0          -> the run really drove >= 1000 cells;

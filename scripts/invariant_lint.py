@@ -24,12 +24,16 @@ Rules (see DESIGN.md "Concurrency invariants & analysis tooling"):
                    reference without a stated discipline is how silent races
                    land.
   R6 syscalls      ::-qualified socket/fd syscalls (::socket, ::connect,
-                   ::read, ::poll, ...) are forbidden outside
+                   ::read, ::readv, ::writev, ::poll, ::epoll_create1,
+                   ::epoll_ctl, ::epoll_wait, ...) are forbidden outside
                    src/net/socket.* — everything rides the EINTR-safe
-                   wrappers there. Inside socket.*, every blocking-capable
-                   call site must mention EINTR within 8 lines either way:
-                   a raw syscall without a stated interruption story is a
-                   hang or a lost frame waiting for a signal to land.
+                   wrappers there (the epoll backend included: no other
+                   file under src/net/ may touch the epoll fd directly).
+                   Inside socket.*, every blocking-capable call site
+                   (::epoll_wait and the batched ::readv/::writev
+                   included) must mention EINTR within 8 lines either
+                   way: a raw syscall without a stated interruption story
+                   is a hang or a lost frame waiting for a signal to land.
   R7 hot regions   between a named `// hot: <name>` marker (decide,
                    dispatch, ...) and its closing
                    `// hot: end` in src/, heap-allocating constructs
@@ -188,12 +192,13 @@ def check_parallel_sync_comment(path, raw_text, code, errors):
 
 SOCKET_SYSCALLS = (
     "socket", "connect", "accept", "bind", "listen", "recv", "recvmsg",
-    "send", "sendmsg", "read", "write", "poll", "select", "close",
-    "shutdown", "setsockopt", "getsockopt", "getsockname", "fcntl",
+    "send", "sendmsg", "read", "write", "readv", "writev", "poll", "select",
+    "close", "shutdown", "setsockopt", "getsockopt", "getsockname", "fcntl",
+    "epoll_create1", "epoll_ctl", "epoll_wait",
 )
 BLOCKING_SYSCALLS = (
     "connect", "accept", "recv", "recvmsg", "send", "sendmsg", "read",
-    "write", "poll", "select", "close",
+    "write", "readv", "writev", "poll", "select", "close", "epoll_wait",
 )
 
 

@@ -9,15 +9,20 @@ speedup mode (default, BENCH_gp.json):
     fails if any phase's engine-vs-reference speedup is below the threshold,
     naming the offending phase(s).
 
-ceiling mode (--ceiling, BENCH_transport.json):
+metrics mode (--ceiling / --metric-floor, BENCH_transport.json,
+BENCH_ingest.json):
     reads the report's top-level "metrics" object and fails if any named
-    metric exceeds its ceiling (lower is better: latencies, recovery times).
+    metric exceeds its ceiling (lower is better: latencies, recovery times)
+    or falls below its floor (higher is better: throughput). The two flags
+    compose in one invocation since both gate the same "metrics" object.
 
 Usage:
     scripts/perf_gate.py build-release/BENCH_gp.json [--min-speedup 0.95] \
         [--floor track=0.85 ...]
     scripts/perf_gate.py build-release/BENCH_transport.json \
         --ceiling p99_loaded_ms=500 [--ceiling recovery_ms=15000 ...]
+    scripts/perf_gate.py build-release/BENCH_ingest.json \
+        --metric-floor frames_per_sec=1000000
 
 --floor overrides the threshold for a single named phase. Use it for phases
 whose true engine/reference ratio sits at parity, where the global floor
@@ -119,35 +124,38 @@ def gate_speedups(data, report, min_speedup, floors) -> int:
     return 0
 
 
-def gate_ceilings(data, report, ceilings) -> int:
+def gate_metrics(data, report, ceilings, floors) -> int:
     metrics = data.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         print(f"perf gate: {report} has no 'metrics' object",
               file=sys.stderr)
         return 2
 
+    bounds = [(name, value, "ceiling") for name, value in ceilings.items()]
+    bounds += [(name, value, "floor") for name, value in floors.items()]
     failures = []
-    for name, ceiling in sorted(ceilings.items()):
+    for name, bound, kind in sorted(bounds):
         value = metrics.get(name)
         if not isinstance(value, (int, float)):
             print(f"perf gate: metric '{name}' missing or non-numeric in "
                   f"{report} (have: {', '.join(sorted(metrics))})",
                   file=sys.stderr)
             return 2
-        marker = "ok" if value <= ceiling else "FAIL"
-        print(f"perf gate: {name:<18} {value:10.3f}  "
-              f"(ceiling {ceiling:.3f})  [{marker}]")
-        if value > ceiling:
-            failures.append((name, value, ceiling))
+        ok = value <= bound if kind == "ceiling" else value >= bound
+        marker = "ok" if ok else "FAIL"
+        print(f"perf gate: {name:<18} {value:14.3f}  "
+              f"({kind} {bound:.3f})  [{marker}]")
+        if not ok:
+            failures.append((name, value, bound, kind))
 
     if failures:
-        worst = max(failures, key=lambda f: f[1] / f[2])
-        print(f"perf gate: FAILED — {len(failures)} metric(s) above their "
-              f"ceiling, worst: '{worst[0]}' at {worst[1]:.3f} "
-              f"(ceiling {worst[2]:.3f})", file=sys.stderr)
+        print(f"perf gate: FAILED — {len(failures)} metric(s) out of "
+              "bounds: " + ", ".join(
+                  f"'{name}' at {value:.3f} ({kind} {bound:.3f})"
+                  for name, value, bound, kind in failures),
+              file=sys.stderr)
         return 1
-    print(f"perf gate: all {len(ceilings)} metrics at or below their "
-          f"ceilings")
+    print(f"perf gate: all {len(bounds)} metrics within bounds")
     return 0
 
 
@@ -163,17 +171,24 @@ def main() -> int:
                     action="append", default=[], metavar="NAME=VALUE",
                     help="gate a 'metrics' entry at <= VALUE instead of "
                          "gating phase speedups (repeatable)")
+    ap.add_argument("--metric-floor",
+                    type=parse_named_float("--metric-floor"),
+                    action="append", default=[], metavar="NAME=VALUE",
+                    help="gate a 'metrics' entry at >= VALUE (higher is "
+                         "better: throughput); composes with --ceiling "
+                         "(repeatable)")
     args = ap.parse_args()
 
     data = load_report(args.report)
     if data is None:
         return 2
-    if args.ceiling:
+    if args.ceiling or args.metric_floor:
         if args.floor:
-            print("perf gate: --ceiling and --floor are separate modes; "
-                  "pass one or the other", file=sys.stderr)
+            print("perf gate: --ceiling/--metric-floor and --floor are "
+                  "separate modes; pass one or the other", file=sys.stderr)
             return 2
-        return gate_ceilings(data, args.report, dict(args.ceiling))
+        return gate_metrics(data, args.report, dict(args.ceiling),
+                            dict(args.metric_floor))
     return gate_speedups(data, args.report, args.min_speedup,
                          dict(args.floor))
 

@@ -164,8 +164,10 @@ void FleetEngine::decide_batch(std::span<const std::size_t> due,
   if (contexts.size() != n || out.size() != n)
     throw std::invalid_argument("FleetEngine::decide_batch: size mismatch");
   last_batch_size_ = n;
+  last_decide_wall_ms_ = 0.0;
   if (n == 0) return;
   if (decide_ms_.size() < n) decide_ms_.resize(n);
+  const auto batch_t0 = std::chrono::steady_clock::now();
 
   const bool batched = pool_ != nullptr && !cfg_.serial_dispatch && n > 1;
   std::size_t parts = 1;
@@ -207,6 +209,9 @@ void FleetEngine::decide_batch(std::span<const std::size_t> due,
                     : (1.0 - cfg_.load_ema) * cs.ema_ms +
                           cfg_.load_ema * decide_ms_[i];
   }
+  last_decide_wall_ms_ = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - batch_t0)
+                             .count();
 }
 
 void FleetEngine::update_batch(std::span<const std::size_t> due,
@@ -217,7 +222,9 @@ void FleetEngine::update_batch(std::span<const std::size_t> due,
   if (contexts.size() != n || decisions.size() != n ||
       measurements.size() != n)
     throw std::invalid_argument("FleetEngine::update_batch: size mismatch");
+  last_update_wall_ms_ = 0.0;
   if (n == 0) return;
+  const auto batch_t0 = std::chrono::steady_clock::now();
 
   const bool batched = pool_ != nullptr && !cfg_.serial_dispatch && n > 1;
   std::size_t parts = 1;
@@ -258,6 +265,9 @@ void FleetEngine::update_batch(std::span<const std::size_t> due,
       cs.ctx_sum[k] += f[k];
     ++cs.ctx_count;
   }
+  last_update_wall_ms_ = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - batch_t0)
+                             .count();
 }
 
 }  // namespace edgebol::core

@@ -104,6 +104,12 @@ class FleetEngine {
     return {decide_ms_.data(), last_batch_size_};
   }
 
+  /// Whole-batch wall time of the last decide_batch / update_batch (ms),
+  /// dispatch included — the engine-side term of the fleet plane's
+  /// transport-vs-decide split (tools/bench_transport, tools/load_ric).
+  double last_decide_wall_ms() const { return last_decide_wall_ms_; }
+  double last_update_wall_ms() const { return last_update_wall_ms_; }
+
   /// EMA-smoothed decision cost of one cell (ms) — the shard-balance weight.
   double load_estimate_ms(std::size_t id) const {
     return cells_.at(id).ema_ms;
@@ -157,6 +163,8 @@ class FleetEngine {
   std::vector<std::size_t> part_begin_;
   std::vector<double> decide_ms_;
   std::size_t last_batch_size_ = 0;
+  double last_decide_wall_ms_ = 0.0;
+  double last_update_wall_ms_ = 0.0;
   std::vector<std::size_t> donors_;
   std::vector<double> donor_dist_;
 };

@@ -23,6 +23,9 @@ std::uint32_t get_u32_be(const char* src) {
          static_cast<std::uint32_t>(static_cast<unsigned char>(src[3]));
 }
 
+// Below this much dead prefix, compaction is not worth a memmove at all.
+constexpr std::size_t kCompactMinBytes = 4096;
+
 }  // namespace
 
 std::string encode_frame(const std::string& payload) {
@@ -43,10 +46,17 @@ FrameDecoder::FrameDecoder(std::size_t max_frame_bytes)
 
 void FrameDecoder::feed(const char* data, std::size_t len) {
   if (poisoned_) return;
-  // Compact lazily: only when the consumed prefix dominates the buffer.
-  if (consumed_ > 4096 && consumed_ * 2 > buf_.size()) {
+  // Compact at most once per append, and only when the dead prefix is at
+  // least as large as the live remainder: the memmove of R live bytes is
+  // then paid for by >= R bytes consumed since the previous compaction,
+  // i.e. amortized O(1) per byte fed. A long-lived partial frame cannot
+  // trigger repeated memmoves — consumed_ drops to 0 at its first
+  // compaction and only grows again once next() pops a complete frame.
+  const std::size_t remaining = buf_.size() - consumed_;
+  if (consumed_ > kCompactMinBytes && consumed_ >= remaining) {
     buf_.erase(0, consumed_);
     consumed_ = 0;
+    ++compactions_;
   }
   buf_.append(data, len);
 }

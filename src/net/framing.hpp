@@ -46,11 +46,16 @@ class FrameDecoder {
 
   std::size_t buffered_bytes() const { return buf_.size() - consumed_; }
 
+  /// Buffer compactions performed so far (observability: the amortization
+  /// argument in feed() is a regression-test invariant, not just a comment).
+  std::uint64_t compactions() const { return compactions_; }
+
  private:
   std::size_t max_frame_bytes_;
   std::string buf_;
   std::size_t consumed_ = 0;  // prefix of buf_ already handed out
   bool poisoned_ = false;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace edgebol::net

@@ -1,0 +1,180 @@
+#include "net/mux_framing.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace edgebol::net {
+
+namespace {
+
+void put_u32_be(char* dst, std::uint32_t v) {
+  dst[0] = static_cast<char>((v >> 24) & 0xff);
+  dst[1] = static_cast<char>((v >> 16) & 0xff);
+  dst[2] = static_cast<char>((v >> 8) & 0xff);
+  dst[3] = static_cast<char>(v & 0xff);
+}
+
+std::size_t next_pow2(std::size_t v) {
+  std::size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::size_t encode_varint(char* dst, std::uint64_t v) {
+  std::size_t n = 0;
+  do {
+    unsigned char b = static_cast<unsigned char>(v & 0x7f);
+    v >>= 7;
+    if (v != 0) b |= 0x80;
+    dst[n++] = static_cast<char>(b);
+  } while (v != 0);
+  return n;
+}
+
+void append_varint(std::string* out, std::uint64_t v) {
+  char buf[kMaxVarintBytes];
+  out->append(buf, encode_varint(buf, v));
+}
+
+std::size_t decode_varint(const char* data, std::size_t len,
+                          std::uint64_t* v) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < len && i < kMaxVarintBytes; ++i) {
+    const auto b = static_cast<unsigned char>(data[i]);
+    value |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      *v = value;
+      return i + 1;
+    }
+    shift += 7;
+  }
+  return 0;  // truncated, or a continuation bit past the 10th group
+}
+
+std::size_t encode_mux_header(char* hdr, std::uint64_t stream_id,
+                              std::size_t payload_len) {
+  const std::size_t vlen = encode_varint(hdr + 4, stream_id);
+  put_u32_be(hdr, static_cast<std::uint32_t>(vlen + payload_len));
+  return 4 + vlen;
+}
+
+std::size_t encode_mux_heartbeat(char* hdr) {
+  put_u32_be(hdr, 0);
+  return 4;
+}
+
+void append_mux_frame(std::string* out, std::uint64_t stream_id,
+                      const std::string& payload) {
+  char hdr[kMuxMaxHeaderBytes];
+  const std::size_t hlen = encode_mux_header(hdr, stream_id, payload.size());
+  out->append(hdr, hlen);
+  out->append(payload);
+}
+
+MuxDecoder::MuxDecoder(std::size_t max_frame_bytes)
+    : max_frame_bytes_(max_frame_bytes),
+      ring_(next_pow2(max_frame_bytes + kMuxMaxHeaderBytes + 1)) {
+  mask_ = ring_.size() - 1;
+}
+
+int MuxDecoder::fill_iovecs(struct iovec iov[2]) {
+  const std::size_t free = ring_.size() - size_;
+  if (free == 0) return 0;
+  const std::size_t write = (head_ + size_) & mask_;
+  const std::size_t first = std::min(free, ring_.size() - write);
+  iov[0].iov_base = ring_.data() + write;
+  iov[0].iov_len = first;
+  if (first == free) return 1;
+  iov[1].iov_base = ring_.data();
+  iov[1].iov_len = free - first;
+  return 2;
+}
+
+void MuxDecoder::commit(std::size_t n) { size_ += n; }
+
+bool MuxDecoder::next(FrameView* view) {
+  if (poisoned_ || size_ < 4) return false;
+  const std::uint32_t len = (static_cast<std::uint32_t>(byte_at(0)) << 24) |
+                            (static_cast<std::uint32_t>(byte_at(1)) << 16) |
+                            (static_cast<std::uint32_t>(byte_at(2)) << 8) |
+                            static_cast<std::uint32_t>(byte_at(3));
+  if (len == 0) {  // connection heartbeat: no stream id, no payload
+    head_ = (head_ + 4) & mask_;
+    size_ -= 4;
+    *view = FrameView{0, ring_.data(), 0, true};
+    return true;
+  }
+  if (len > kMaxVarintBytes + max_frame_bytes_) {
+    poisoned_ = true;
+    return false;
+  }
+  if (size_ < 4 + static_cast<std::size_t>(len)) return false;
+
+  // Stream-id varint, read byte-by-byte so a wrap inside the header is
+  // handled without assembling it anywhere.
+  std::uint64_t id = 0;
+  int shift = 0;
+  std::size_t vlen = 0;
+  for (;;) {
+    if (vlen >= len || vlen >= kMaxVarintBytes) {
+      poisoned_ = true;  // continuation bit ran past the frame or group cap
+      return false;
+    }
+    const unsigned char b = byte_at(4 + vlen);
+    ++vlen;
+    id |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  const std::size_t payload_len = len - vlen;
+  if (payload_len > max_frame_bytes_) {
+    poisoned_ = true;  // a short varint can leave len - vlen over the cap
+    return false;
+  }
+
+  const std::size_t start = (head_ + 4 + vlen) & mask_;
+  view->stream_id = id;
+  view->size = payload_len;
+  view->heartbeat = false;
+  if (start + payload_len <= ring_.size()) {
+    view->data = ring_.data() + start;  // zero-copy fast path
+  } else {
+    const std::size_t first = ring_.size() - start;
+    scratch_.assign(ring_.data() + start, first);
+    scratch_.append(ring_.data(), payload_len - first);
+    view->data = scratch_.data();
+    ++scratch_copies_;
+  }
+  head_ = (head_ + 4 + len) & mask_;
+  size_ -= 4 + len;
+  return true;
+}
+
+void MuxDecoder::reset() {
+  head_ = 0;
+  size_ = 0;
+  poisoned_ = false;
+}
+
+std::size_t MuxDecoder::feed(const char* data, std::size_t len) {
+  std::size_t accepted = 0;
+  while (accepted < len) {
+    struct iovec iov[2];
+    const int cnt = fill_iovecs(iov);
+    if (cnt == 0) break;
+    std::size_t moved = 0;
+    for (int i = 0; i < cnt && accepted + moved < len; ++i) {
+      const std::size_t take = std::min(iov[i].iov_len, len - accepted - moved);
+      std::memcpy(iov[i].iov_base, data + accepted + moved, take);
+      moved += take;
+    }
+    commit(moved);
+    accepted += moved;
+  }
+  return accepted;
+}
+
+}  // namespace edgebol::net

@@ -1,0 +1,269 @@
+// Stream-multiplexed TCP endpoint: many Transport streams, one socket.
+//
+// A MuxEndpoint owns one supervised TCP connection (server or client side,
+// with the same heartbeat/peer-timeout/backoff/adopt-newest supervision as
+// TcpTransport) and multiplexes any number of logical streams over it using
+// the varint stream-id framing in net/mux_framing.hpp. Each stream is a
+// full net::Transport (MuxTransport), so the RIC node roles and FleetEngine
+// plumbing run over a shared connection unchanged — N cells over K
+// connections instead of a socket per link.
+//
+// Hot-path design (this is the fleet's ingest bottleneck — see DESIGN.md
+// §5f):
+//   * TX: frames move from per-stream bounded queues into a staged wire
+//     queue round-robin (one frame per stream per sweep, so one busy stream
+//     cannot starve its siblings), then ONE gathered writev/sendmsg flushes
+//     every staged frame per loop iteration. The iovec build is a `// hot:`
+//     no-allocation region.
+//   * RX: readv lands bytes straight into the MuxDecoder's ring buffer and
+//     frames surface as zero-copy FrameViews; one endpoint-mutex hold
+//     dispatches a whole readv batch across stream queues.
+//
+// Per-stream semantics:
+//   * backpressure policy applies per stream, on both sides. A kShedOldest
+//     stream that overflows its receive bound sheds its own oldest frame
+//     and never slows the connection; a kBlock/kReject stream that
+//     overflows pauses POLLIN connection-wide until drained below half
+//     (the documented head-of-line tradeoff for lossless streams).
+//   * an unknown stream id is counted and dropped; the connection survives
+//     (unlike a corrupt header, which poisons and resets it).
+//   * on disconnect, staged wire bytes are dropped (exactly like
+//     TcpTransport's out_buf_) but per-stream queues are retained: queued
+//     frames are redelivered in per-stream order after reattach, and the
+//     application keeps the same retry/idempotency contract as PR 5.
+//
+// Threading matches TcpTransport: socket state confined to the loop thread,
+// one endpoint mutex guards every stream's queues + link state. Destroy the
+// endpoint before its EventLoop; streams are owned by the endpoint and die
+// with it. open_stream() is thread-safe but must complete before frames for
+// that id arrive (else they count as unknown-stream drops).
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/chaos.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace edgebol::net {
+
+/// Per-stream knobs. The policy governs both directions: what send() does
+/// when the tx queue fills, and what the endpoint does when the stream's rx
+/// queue fills (kShedOldest sheds its own oldest; kBlock/kReject pause the
+/// connection's POLLIN until the consumer drains below half).
+struct MuxStreamConfig {
+  std::string name = "stream";
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  std::size_t max_send_queue = 256;
+  std::size_t max_recv_queue = 1024;
+};
+
+/// Connection-level knobs; supervision parameters mirror TcpTransportConfig.
+struct MuxEndpointConfig {
+  std::string name = "mux";
+  int heartbeat_ms = 200;
+  int peer_timeout_ms = 1000;
+  int reconnect_base_ms = 10;   // doubles per failed attempt ...
+  int reconnect_max_ms = 2000;  // ... up to this cap
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Optional shared wakeup; notified on frame arrival and link changes.
+  ReadySignal* ready = nullptr;
+  /// Seeded chaos applied to the whole connection's send side (heartbeats
+  /// included, so partitions starve the peer exactly as in TcpTransport).
+  fault::TransportFaultRates chaos{};
+  std::uint64_t chaos_seed = 0;
+};
+
+/// Connection-level counters. `link` aggregates the classic TransportStats
+/// across all streams (chaos tallies land here); the extra fields measure
+/// the batching machinery itself.
+struct MuxEndpointStats {
+  TransportStats link;
+  std::uint64_t writev_calls = 0;  // gathered flushes issued
+  std::uint64_t readv_calls = 0;   // scattered reads issued
+  std::uint64_t unknown_stream_frames = 0;  // dropped, connection unharmed
+  std::uint64_t scratch_copies = 0;         // ring-wrap slow-path decodes
+  double readv_wall_ms = 0.0;   // time inside readv (syscall side)
+  double decode_wall_ms = 0.0;  // time decoding + dispatching frames
+};
+
+/// One frame drained endpoint-wide (see MuxEndpoint::drain_all).
+struct StreamFrame {
+  std::uint64_t stream_id = 0;
+  std::string payload;
+};
+
+class MuxEndpoint;
+
+/// One multiplexed stream; a full Transport backed by the endpoint's shared
+/// connection. Created by MuxEndpoint::open_stream and owned by the
+/// endpoint (valid until the endpoint is destroyed).
+class MuxTransport final : public Transport {
+ public:
+  SendResult send(const std::string& frame) override;
+  std::vector<std::string> drain() override;
+  std::optional<std::string> receive(int timeout_ms) override;
+  bool connected() const override;
+  const std::string& name() const override { return cfg_.name; }
+
+  std::uint64_t stream_id() const { return id_; }
+  TransportStats stats() const;
+
+  /// Use MuxEndpoint::open_stream; public only for make_unique.
+  MuxTransport(MuxEndpoint* ep, std::uint64_t id, MuxStreamConfig cfg)
+      : ep_(ep), id_(id), cfg_(std::move(cfg)) {}
+
+ private:
+  friend class MuxEndpoint;
+
+  MuxEndpoint* ep_;
+  const std::uint64_t id_;
+  const MuxStreamConfig cfg_;
+
+  // Guarded by the ENDPOINT's mutex: one lock per loop sweep across every
+  // stream beats N per-stream locks on the hot path.
+  std::deque<std::string> tx_;
+  std::deque<std::string> rx_;
+  TransportStats stats_;
+  bool rx_paused_ = false;  // this stream is holding the connection's POLLIN
+};
+
+class MuxEndpoint {
+ public:
+  /// Server endpoint on 127.0.0.1:port (0 = ephemeral; bound port valid on
+  /// return). Adopts the newest peer, like TcpTransport::listen.
+  static std::unique_ptr<MuxEndpoint> listen(EventLoop* loop,
+                                             std::uint16_t port,
+                                             MuxEndpointConfig cfg);
+
+  /// Client endpoint; connects (and reconnects, forever) to host:port.
+  static std::unique_ptr<MuxEndpoint> connect(EventLoop* loop,
+                                              const std::string& host,
+                                              std::uint16_t port,
+                                              MuxEndpointConfig cfg);
+
+  ~MuxEndpoint();
+
+  /// Register stream `id` (> 0) and return its Transport facade, owned by
+  /// this endpoint. Idempotent: an already-open id returns the existing
+  /// stream (its original config wins). Thread-safe.
+  MuxTransport* open_stream(std::uint64_t id, MuxStreamConfig cfg);
+
+  /// Drain every stream's rx queue in one lock hold, appending (stream id,
+  /// payload) pairs to `out` — per-stream arrival order preserved, streams
+  /// visited in registration order. Returns the frames appended. This is
+  /// the fleet server's batch-ingest entry point.
+  std::size_t drain_all(std::vector<StreamFrame>* out);
+
+  std::uint16_t local_port() const { return bound_port_; }
+  LinkState state() const;
+  bool established() const;
+  MuxEndpointStats stats() const;
+
+  /// Test/chaos hook: drop the connection; supervision takes over.
+  void force_disconnect();
+
+  /// Use the listen()/connect() factories; public only for make_unique.
+  MuxEndpoint(EventLoop* loop, MuxEndpointConfig cfg, bool is_server,
+              std::string host, std::uint16_t port);
+
+ private:
+  friend class MuxTransport;
+
+  // --- Application-thread interface (called by MuxTransport) -------------
+  SendResult stream_send(MuxTransport* s, const std::string& frame);
+  std::vector<std::string> stream_drain(MuxTransport* s);
+  std::optional<std::string> stream_receive(MuxTransport* s, int timeout_ms);
+
+  /// mu_ held. Un-pause the stream if it drained below half, and resume
+  /// POLLIN once no stream is holding it.
+  void maybe_resume_rx_locked(MuxTransport* s);
+  /// mu_ held. Schedule one coalesced pump on the loop thread.
+  void kick_locked();
+
+  // --- Loop-thread-only machinery (mirrors TcpTransport) -----------------
+  void setup_on_loop();
+  void start_connect();
+  void on_connect_writable();
+  void schedule_reconnect();
+  void on_listen_readable();
+  void on_connected();
+  void on_conn_event(short revents);
+  void on_readable();
+  void dispatch_decoded(bool* fatal);
+  void disconnect(bool failure);
+  void pump_tx();
+  void emit_locked(std::uint64_t stream_id, std::string payload,
+                   bool heartbeat, TransportStats* stream_stats);
+  void queue_delayed(std::uint64_t stream_id, const ChaosEmission& em,
+                     bool heartbeat, TransportStats* stream_stats);
+  void stage_frame(std::uint64_t stream_id, std::string payload,
+                   bool heartbeat, TransportStats* stream_stats);
+  bool flush_staged();  // one writev sweep; false on EAGAIN or link loss
+  void advance_wire(std::size_t n);
+  void update_conn_events();
+  void tick();
+  void teardown_on_loop();
+
+  void notify_ready();
+
+  EventLoop* loop_;
+  MuxEndpointConfig cfg_;
+  const bool is_server_;
+  const std::string host_;
+  std::uint16_t bound_port_ = 0;  // server: actual port; client: target
+
+  // Shared state (application threads + loop thread), guarded by mu_.
+  mutable std::mutex mu_;
+  std::condition_variable cv_tx_;  // space freed in some stream's tx
+  std::condition_variable cv_rx_;  // frame arrived in some stream's rx
+  std::vector<std::unique_ptr<MuxTransport>> streams_;  // stable pointers
+  std::unordered_map<std::uint64_t, MuxTransport*> by_id_;
+  MuxEndpointStats stats_;
+  LinkState state_ = LinkState::kIdle;
+  bool closed_ = false;
+  bool kick_pending_ = false;
+  std::size_t rx_paused_streams_ = 0;  // lossless streams holding POLLIN
+
+  // Loop-thread-only state. (wire_q_/iov_ are touched under mu_ too when a
+  // pump stages frames, but only ever from the loop thread.)
+  Fd listen_fd_;
+  Fd conn_fd_;
+  MuxDecoder decoder_;
+  /// One staged frame: header bytes inline, payload gathered by writev.
+  struct WireSeg {
+    char hdr[kMuxMaxHeaderBytes];
+    std::uint8_t hdr_len = 0;
+    std::string payload;
+  };
+  std::deque<WireSeg> wire_q_;  // staged frames awaiting the wire
+  std::size_t wire_bytes_ = 0;  // staged-and-unwritten byte total
+  std::size_t wire_off_ = 0;    // bytes of wire_q_.front() already written
+  std::vector<struct iovec> iov_;  // pre-sized writev scratch (hot path)
+  int backoff_ms_ = 0;
+  std::int64_t last_rx_ms_ = 0;
+  std::uint64_t tick_timer_ = 0;
+  std::uint64_t reconnect_timer_ = 0;
+  std::set<std::uint64_t> delay_timers_;  // chaos timed-delay holds
+  std::unique_ptr<ChaosShim> chaos_;
+  std::size_t rr_next_ = 0;  // round-robin pump cursor over streams_
+
+  // Destructor barrier.
+  std::mutex down_mu_;
+  std::condition_variable down_cv_;
+  bool down_ = false;
+};
+
+}  // namespace edgebol::net

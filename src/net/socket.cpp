@@ -77,9 +77,76 @@ IoStatus write_some(int fd, const char* buf, std::size_t len, std::size_t* n) {
   }
 }
 
+IoStatus readv_some(int fd, const struct iovec* iov, int iovcnt,
+                    std::size_t* n) {
+  *n = 0;
+  for (;;) {
+    const ssize_t r = ::readv(fd, iov, iovcnt);
+    if (r > 0) {
+      *n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (r == 0) return IoStatus::kEof;
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus writev_some(int fd, const struct iovec* iov, int iovcnt,
+                     std::size_t* n) {
+  *n = 0;
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+  for (;;) {
+    // sendmsg rather than writev: gathered write plus MSG_NOSIGNAL.
+    const ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r >= 0) {
+      *n = static_cast<std::size_t>(r);
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR) continue;  // interrupted before any byte: retry
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    return IoStatus::kError;
+  }
+}
+
 int poll_fds(struct pollfd* fds, std::size_t nfds, int timeout_ms) {
   for (;;) {
     const int r = ::poll(fds, static_cast<nfds_t>(nfds), timeout_ms);
+    if (r >= 0) return r;
+    if (errno == EINTR) continue;  // retry with the same timeout
+    return r;
+  }
+}
+
+Fd epoll_create_fd() {
+  // Not interruptible; a failure here (ancient kernel, fd exhaustion) just
+  // selects the poll backend.
+  return Fd(::epoll_create1(EPOLL_CLOEXEC));
+}
+
+bool epoll_set(int epfd, int fd, std::uint32_t events) {
+  struct epoll_event ev {};
+  ev.events = events;
+  ev.data.fd = fd;
+  // epoll_ctl never blocks and does not fail with EINTR; the only expected
+  // "errors" are the ADD/MOD registration races resolved below.
+  if (::epoll_ctl(epfd, EPOLL_CTL_MOD, fd, &ev) == 0) return true;
+  if (errno != ENOENT) return false;
+  return ::epoll_ctl(epfd, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+void epoll_del(int epfd, int fd) {
+  // Non-blocking, no EINTR; ENOENT (already gone) is fine.
+  (void)::epoll_ctl(epfd, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int epoll_wait_fds(int epfd, struct epoll_event* events, int max_events,
+                   int timeout_ms) {
+  for (;;) {
+    const int r = ::epoll_wait(epfd, events, max_events, timeout_ms);
     if (r >= 0) return r;
     if (errno == EINTR) continue;  // retry with the same timeout
     return r;

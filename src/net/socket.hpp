@@ -9,6 +9,8 @@
 #pragma once
 
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/uio.h>
 
 #include <cstddef>
 #include <cstdint>
@@ -59,9 +61,38 @@ IoStatus read_some(int fd, char* buf, std::size_t cap, std::size_t* n);
 /// write() with EINTR retry; never blocks on a non-blocking fd.
 IoStatus write_some(int fd, const char* buf, std::size_t len, std::size_t* n);
 
+/// Scattered read — readv() with EINTR retry; never blocks on a non-blocking
+/// fd. Lets the mux decoder land one syscall's bytes across a ring-buffer
+/// wrap without an intermediate copy.
+IoStatus readv_some(int fd, const struct iovec* iov, int iovcnt,
+                    std::size_t* n);
+
+/// Gathered write — sendmsg() with MSG_NOSIGNAL (plain writev() cannot
+/// suppress SIGPIPE) and EINTR retry; never blocks on a non-blocking fd.
+/// One syscall flushes every frame the mux coalescer staged this iteration.
+IoStatus writev_some(int fd, const struct iovec* iov, int iovcnt,
+                     std::size_t* n);
+
 /// poll() with EINTR retry (the retry re-enters with the same timeout; the
 /// loop recomputes deadlines itself, so a rare stretched sleep is benign).
 int poll_fds(struct pollfd* fds, std::size_t nfds, int timeout_ms);
+
+/// epoll instance (close-on-exec). Invalid Fd when the kernel lacks epoll —
+/// the event loop then falls back to the poll backend.
+Fd epoll_create_fd();
+
+/// Register or re-arm interest in `events` (EPOLL* bits) for fd. Resolves
+/// the ADD-vs-MOD ambiguity internally (EEXIST -> MOD, ENOENT -> ADD) so the
+/// caller can treat registration as idempotent. Returns false on real error.
+bool epoll_set(int epfd, int fd, std::uint32_t events);
+
+/// Remove fd from the epoll set (ENOENT tolerated).
+void epoll_del(int epfd, int fd);
+
+/// epoll_wait() with EINTR retry (same timeout contract as poll_fds: the
+/// retry re-enters with the same timeout and the loop recomputes deadlines).
+int epoll_wait_fds(int epfd, struct epoll_event* events, int max_events,
+                   int timeout_ms);
 
 /// Listening TCP socket on 127.0.0.1:port (port 0 = ephemeral), non-blocking,
 /// SO_REUSEADDR. Returns an invalid Fd on failure.

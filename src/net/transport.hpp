@@ -62,6 +62,7 @@ struct TransportStats {
   std::uint64_t send_rejected = 0;     // kReject refusals
   std::uint64_t send_block_waits = 0;  // kBlock senders that had to wait
   std::uint64_t recv_pauses = 0;       // reads paused on a full rx queue
+  std::uint64_t recv_shed = 0;         // kShedOldest rx victims (mux streams)
   std::uint64_t reconnects = 0;        // client reconnect attempts scheduled
   std::uint64_t peer_timeouts = 0;     // liveness failures declared
   std::uint64_t accepts = 0;           // server-side peers accepted

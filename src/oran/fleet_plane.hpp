@@ -1,0 +1,203 @@
+// Fleet-scale O-RAN plane: N cells' E2-style control loops multiplexed over
+// K TCP connections.
+//
+// The single-cell plane (oran/ric_node.*) spends its bytes on JSON and its
+// sockets one-per-link; neither survives contact with a 1000-cell fleet.
+// This plane keeps the same control-loop shape — the cell sends an
+// indication (context + previous period's feedback), the RIC answers with a
+// policy — but flattens each message to a fixed-layout binary frame and
+// carries every cell on a MuxTransport stream (stream id = cell id + 1)
+// over a handful of shared connections (cell i rides connection i mod K).
+//
+// Codec. Fixed-layout little-endian binary: one kind byte, then integers
+// and raw IEEE-754 doubles memcpy'd in declaration order. Doubles cross the
+// wire bit-exactly (no decimal round trip), which is what lets
+// tools/ric_node --verify-loopback demand bit-identical trajectories
+// against the in-process engine. Both ends of a fleet are builds of this
+// repo on the same host architecture; the codec asserts nothing beyond
+// that (no cross-endian support, by design — documented in DESIGN.md §5f).
+//
+// Idempotency. The per-cell `period` counter keys redelivery: the server
+// caches its last reply per cell, answers a duplicate indication (same
+// period, e.g. resent across a reconnect) with the cached policy without
+// re-deciding or re-conditioning, and drops anything older. A cell
+// therefore observes exactly one decision per period no matter how the
+// transport misbehaves, matching the PR-5 retry/idempotency contract.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fleet_engine.hpp"
+#include "env/context.hpp"
+#include "env/policy.hpp"
+#include "env/testbed.hpp"
+#include "net/mux_transport.hpp"
+
+namespace edgebol::oran {
+
+/// Cell -> RIC: "decide my next period" plus the previous period's outcome.
+/// The first indication of a cell's life has has_feedback = false.
+struct FleetIndication {
+  std::int64_t period = 0;     // cell-local period counter (idempotency key)
+  env::Context ctx{};          // context to decide under
+  bool has_feedback = false;   // fields below are valid
+  std::uint64_t policy_index = 0;  // arm chosen for the previous period
+  env::Context prev_ctx{};         // context that decision was made under
+  env::Measurement meas{};         // previous period's outcome (4 KPI fields
+                                   // cross the wire; diagnostics stay local)
+};
+
+/// RIC -> cell: the decision for `period`.
+struct FleetPolicy {
+  std::int64_t period = 0;
+  std::uint64_t policy_index = 0;
+  env::ControlPolicy policy{};
+};
+
+/// Exact wire sizes (kind byte included) — tests pin these.
+inline constexpr std::size_t kFleetIndicationBytes = 1 + 8 + 24 + 1 + 8 + 24 + 32;
+inline constexpr std::size_t kFleetPolicyBytes = 1 + 8 + 8 + 24 + 4;
+
+void encode(const FleetIndication& ind, std::string* out);
+void encode(const FleetPolicy& pol, std::string* out);
+std::optional<FleetIndication> decode_fleet_indication(const std::string& f);
+std::optional<FleetPolicy> decode_fleet_policy(const std::string& f);
+
+/// Shared knobs for both ends of the fleet plane.
+struct FleetPlaneConfig {
+  /// Connections K (a mux server adopts one peer per listener, so the
+  /// server opens K listening endpoints and cell i rides i mod K).
+  std::size_t num_connections = 1;
+  /// Per-connection template; `name` gets "/k" appended, `ready` is
+  /// overridden with the plane's own signal.
+  net::MuxEndpointConfig endpoint{};
+  /// Per-cell stream template (`name` gets "/cell<i>" appended). Default
+  /// kBlock: a cell's indication must not be silently lost.
+  net::MuxStreamConfig stream{};
+};
+
+/// RIC side: K listening MuxEndpoints feeding one core::FleetEngine.
+/// poll_once() is the whole serving loop body: drain every connection,
+/// apply feedback (update_batch), decide the due cells (decide_batch), and
+/// reply on each cell's stream. Single-threaded like the ric_node roles.
+class FleetRicServer {
+ public:
+  /// Binds all K listeners on ephemeral ports; ports() is valid on return.
+  /// The engine must already hold `num_cells` cells (ids 0..num_cells-1).
+  FleetRicServer(net::EventLoop* loop, core::FleetEngine* engine,
+                 std::size_t num_cells, FleetPlaneConfig cfg);
+  ~FleetRicServer();
+
+  const std::vector<std::uint16_t>& ports() const { return ports_; }
+  std::size_t num_connections() const { return endpoints_.size(); }
+
+  /// Block (up to timeout_ms) for transport activity; false on timeout.
+  bool wait_activity(int timeout_ms) { return ready_.wait(timeout_ms); }
+
+  /// Drain -> update_batch -> decide_batch -> reply. Returns the number of
+  /// fresh decisions made (duplicates re-answered from cache don't count).
+  std::size_t poll_once();
+
+  // Counters are written only by the poll_once() caller but observed from
+  // other threads (benches and tests watch progress while a server thread
+  // polls), so they are relaxed atomics: single writer, any reader.
+  std::uint64_t decisions() const {
+    return decisions_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t duplicate_indications() const {
+    return duplicates_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t stale_indications() const {
+    return stale_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decode_rejects() const {
+    return decode_rejects_.load(std::memory_order_relaxed);
+  }
+  /// Wall time spent inside the engine's batched dispatch (decide + update),
+  /// for the decode-vs-decide split in the bench reports.
+  double engine_wall_ms() const {
+    return engine_wall_ms_.load(std::memory_order_relaxed);
+  }
+
+  net::MuxEndpoint& endpoint(std::size_t k) { return *endpoints_.at(k); }
+  /// Sum of every connection's MuxEndpointStats.
+  net::MuxEndpointStats link_stats() const;
+
+ private:
+  struct CellSlot {
+    net::MuxTransport* stream = nullptr;
+    std::int64_t last_period = -1;
+    std::string last_reply;  // resent verbatim on a duplicate indication
+  };
+
+  core::FleetEngine* engine_;
+  net::ReadySignal ready_;
+  std::vector<std::unique_ptr<net::MuxEndpoint>> endpoints_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<CellSlot> cells_;
+
+  // poll_once scratch, reused across calls.
+  std::vector<net::StreamFrame> frames_;
+  std::vector<std::size_t> due_;
+  std::vector<env::Context> ctx_;
+  std::vector<std::int64_t> periods_;
+  std::vector<std::size_t> fb_due_;
+  std::vector<env::Context> fb_ctx_;
+  std::vector<core::Decision> fb_decisions_;
+  std::vector<env::Measurement> fb_meas_;
+  std::vector<core::Decision> out_;
+  std::string encode_buf_;
+
+  std::atomic<std::uint64_t> decisions_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> stale_{0};
+  std::atomic<std::uint64_t> decode_rejects_{0};
+  std::atomic<double> engine_wall_ms_{0.0};
+};
+
+/// Cell side: N cells' client streams over K dialing MuxEndpoints. The
+/// driver (a fleet simulator or load generator) owns the cells' state and
+/// uses this bank purely as the wire: send_indication / drain_policies.
+class FleetCellBank {
+ public:
+  FleetCellBank(net::EventLoop* loop, const std::string& host,
+                std::span<const std::uint16_t> ports, std::size_t num_cells,
+                FleetPlaneConfig cfg);
+  ~FleetCellBank();
+
+  std::size_t num_connections() const { return endpoints_.size(); }
+
+  net::SendResult send_indication(std::size_t cell,
+                                  const FleetIndication& ind);
+
+  /// Append every decoded (cell id, policy) pending across all connections.
+  std::size_t drain_policies(std::vector<std::pair<std::size_t, FleetPolicy>>* out);
+
+  bool wait_activity(int timeout_ms) { return ready_.wait(timeout_ms); }
+  /// True once every connection reached kEstablished.
+  bool all_established() const;
+  /// Block until all_established() or timeout; false on timeout.
+  bool wait_established(int timeout_ms);
+
+  std::uint64_t decode_rejects() const { return decode_rejects_; }
+  net::MuxEndpoint& endpoint(std::size_t k) { return *endpoints_.at(k); }
+  net::MuxEndpointStats link_stats() const;
+
+ private:
+  net::ReadySignal ready_;
+  std::vector<std::unique_ptr<net::MuxEndpoint>> endpoints_;
+  std::vector<net::MuxTransport*> streams_;  // index = cell id
+  std::vector<net::StreamFrame> frames_;
+  std::string encode_buf_;
+  std::uint64_t decode_rejects_ = 0;
+};
+
+}  // namespace edgebol::oran

@@ -117,5 +117,30 @@ TEST(Framing, LazyCompactionPreservesPendingBytes) {
   EXPECT_EQ(dec.buffered_bytes(), 0u);
 }
 
+TEST(Framing, ByteAtATimeFeedCompactsAtMostOnce) {
+  // The lazy-compaction pathology: a large dead prefix plus a pending
+  // partial frame used to memmove the live remainder on EVERY append, so a
+  // byte-at-a-time sender cost O(n^2). Compaction must fire at most once
+  // here (consumed_ drops to zero and can't re-cross the threshold until
+  // more frames are popped).
+  FrameDecoder dec;
+  std::string bulk;
+  for (int i = 0; i < 100; ++i) append_frame(&bulk, std::string(128, 'b'));
+  const std::string tail = encode_frame(std::string(64, 't'));
+
+  dec.feed(bulk.data(), bulk.size());
+  dec.feed(tail.data(), 1);  // keep a live remainder pending
+  std::string frame;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(dec.next(&frame));
+  EXPECT_FALSE(dec.next(&frame));
+
+  const std::uint64_t before = dec.compactions();
+  for (std::size_t i = 1; i < tail.size(); ++i) dec.feed(tail.data() + i, 1);
+  EXPECT_LE(dec.compactions() - before, 1u);
+  ASSERT_TRUE(dec.next(&frame));
+  EXPECT_EQ(frame, std::string(64, 't'));
+  EXPECT_EQ(dec.buffered_bytes(), 0u);
+}
+
 }  // namespace
 }  // namespace edgebol::net

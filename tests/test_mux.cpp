@@ -1,0 +1,601 @@
+// Multiplexed message-plane tests: the varint stream-id framing, the
+// MuxDecoder's ring buffer (zero-copy and wrap-straddling paths), the
+// MuxEndpoint/MuxTransport pair (per-stream backpressure, unknown-stream
+// tolerance, reconnect redelivery, heartbeat death detection), the binary
+// fleet-plane codec, and the FleetRicServer's period-keyed idempotency.
+//
+// Endpoint tests run on BOTH EventLoop backends (poll and epoll) — the
+// backend must be invisible above the loop interface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/fleet_engine.hpp"
+#include "env/control_grid.hpp"
+#include "net/event_loop.hpp"
+#include "net/mux_framing.hpp"
+#include "net/mux_transport.hpp"
+#include "oran/fleet_plane.hpp"
+
+namespace edgebol::net {
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool eventually(const std::function<bool()>& cond, int timeout_ms = 20000) {
+  const double deadline = now_ms() + timeout_ms;
+  while (now_ms() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return cond();
+}
+
+MuxStreamConfig scfg(std::string name,
+                     BackpressurePolicy policy = BackpressurePolicy::kBlock) {
+  MuxStreamConfig c;
+  c.name = std::move(name);
+  c.policy = policy;
+  return c;
+}
+
+// --- varint ------------------------------------------------------------
+
+TEST(MuxFraming, VarintRoundTripsBoundaryValues) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 ~0ull};
+  for (std::uint64_t v : cases) {
+    char buf[kMaxVarintBytes];
+    const std::size_t n = encode_varint(buf, v);
+    ASSERT_GE(n, 1u);
+    ASSERT_LE(n, kMaxVarintBytes);
+    std::uint64_t back = 0;
+    EXPECT_EQ(decode_varint(buf, n, &back), n) << v;
+    EXPECT_EQ(back, v);
+    // append_varint must produce identical bytes.
+    std::string s;
+    append_varint(&s, v);
+    EXPECT_EQ(s, std::string(buf, n));
+  }
+}
+
+TEST(MuxFraming, TruncatedAndOverlongVarintsAreRejected) {
+  char buf[kMaxVarintBytes];
+  const std::size_t n = encode_varint(buf, ~0ull);
+  std::uint64_t v = 0;
+  // Every strict prefix is truncated.
+  for (std::size_t len = 0; len < n; ++len)
+    EXPECT_EQ(decode_varint(buf, len, &v), 0u) << len;
+  // Eleven continuation groups exceed kMaxVarintBytes: malformed.
+  char runaway[12];
+  std::memset(runaway, static_cast<char>(0x80), sizeof(runaway));
+  EXPECT_EQ(decode_varint(runaway, sizeof(runaway), &v), 0u);
+}
+
+TEST(MuxFraming, WireBytesAreLengthThenVarintThenPayload) {
+  std::string wire;
+  append_mux_frame(&wire, 5, "abc");
+  // L = |varint(5)| + |"abc"| = 1 + 3 = 4, big-endian.
+  const unsigned char expect[] = {0, 0, 0, 4, 5, 'a', 'b', 'c'};
+  ASSERT_EQ(wire.size(), sizeof(expect));
+  for (std::size_t i = 0; i < sizeof(expect); ++i)
+    EXPECT_EQ(static_cast<unsigned char>(wire[i]), expect[i]) << i;
+
+  // encode_mux_header writes the same eight header bytes the append did.
+  char hdr[kMuxMaxHeaderBytes];
+  const std::size_t hn = encode_mux_header(hdr, 5, 3);
+  ASSERT_EQ(hn, 5u);
+  EXPECT_EQ(std::memcmp(hdr, wire.data(), hn), 0);
+}
+
+// --- MuxDecoder ----------------------------------------------------------
+
+TEST(MuxDecoder, DecodesInterleavedPartialFramesAcrossStreams) {
+  // Frames from different streams split at every possible byte boundary:
+  // the worst fragmentation a TCP stream can hand readv.
+  std::string wire;
+  append_mux_frame(&wire, 1, "alpha");
+  append_mux_frame(&wire, 300, std::string(700, 'x'));  // 2-byte varint
+  append_mux_frame(&wire, 2, "");
+  append_mux_frame(&wire, 1, "omega");
+
+  MuxDecoder dec;
+  std::vector<std::pair<std::uint64_t, std::string>> got;
+  FrameView v;
+  for (char c : wire) {
+    ASSERT_EQ(dec.feed(&c, 1), 1u);
+    while (dec.next(&v)) got.emplace_back(v.stream_id,
+                                          std::string(v.data, v.size));
+  }
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got[0], (std::pair<std::uint64_t, std::string>{1, "alpha"}));
+  EXPECT_EQ(got[1].first, 300u);
+  EXPECT_EQ(got[1].second, std::string(700, 'x'));
+  EXPECT_EQ(got[2], (std::pair<std::uint64_t, std::string>{2, ""}));
+  EXPECT_EQ(got[3], (std::pair<std::uint64_t, std::string>{1, "omega"}));
+  EXPECT_FALSE(dec.poisoned());
+}
+
+TEST(MuxDecoder, HeartbeatsSurfaceWithZeroLength) {
+  std::string wire;
+  char hb[kMuxMaxHeaderBytes];
+  wire.append(hb, encode_mux_heartbeat(hb));
+  append_mux_frame(&wire, 9, "pay");
+  MuxDecoder dec;
+  ASSERT_EQ(dec.feed(wire.data(), wire.size()), wire.size());
+  FrameView v;
+  ASSERT_TRUE(dec.next(&v));
+  EXPECT_TRUE(v.heartbeat);
+  EXPECT_EQ(v.size, 0u);
+  ASSERT_TRUE(dec.next(&v));
+  EXPECT_FALSE(v.heartbeat);
+  EXPECT_EQ(v.stream_id, 9u);
+  EXPECT_EQ(std::string(v.data, v.size), "pay");
+}
+
+TEST(MuxDecoder, WrapStraddlingPayloadUsesScratchExactlyOnce) {
+  // A small ring (max frame 64 -> ring 128) forced to wrap: feed/decode a
+  // first frame to advance the head, then a frame whose payload straddles
+  // the ring's physical end.
+  MuxDecoder dec(64);
+  const std::size_t cap = dec.capacity();
+  ASSERT_EQ(cap & (cap - 1), 0u);  // power of two
+
+  std::string first;
+  append_mux_frame(&first, 1, std::string(60, 'a'));
+  ASSERT_EQ(first.size(), 65u);  // 4B length + 1B varint + 60B payload
+  ASSERT_EQ(dec.feed(first.data(), first.size()), first.size());
+  FrameView v;
+  ASSERT_TRUE(dec.next(&v));  // head advances to 65
+  EXPECT_EQ(dec.scratch_copies(), 0u);
+
+  std::string second;
+  append_mux_frame(&second, 1, std::string(60, 'b'));
+  ASSERT_EQ(dec.feed(second.data(), second.size()), second.size());
+  ASSERT_TRUE(dec.next(&v));
+  EXPECT_EQ(std::string(v.data, v.size), std::string(60, 'b'));
+  EXPECT_FALSE(dec.poisoned());
+  // The second frame occupies physical 65..130 in a 128-byte ring, so its
+  // payload (70..130) straddles the wrap and must be assembled in scratch.
+  EXPECT_EQ(dec.scratch_copies(), 1u);
+}
+
+TEST(MuxDecoder, OversizedFramePoisons) {
+  MuxDecoder dec(64);
+  std::string wire;
+  append_mux_frame(&wire, 1, std::string(65, 'z'));
+  (void)dec.feed(wire.data(), wire.size());
+  FrameView v;
+  EXPECT_FALSE(dec.next(&v));
+  EXPECT_TRUE(dec.poisoned());
+  dec.reset();
+  EXPECT_FALSE(dec.poisoned());
+  std::string ok;
+  append_mux_frame(&ok, 1, "ok");
+  (void)dec.feed(ok.data(), ok.size());
+  ASSERT_TRUE(dec.next(&v));
+  EXPECT_EQ(std::string(v.data, v.size), "ok");
+}
+
+// --- MuxEndpoint, on both loop backends ---------------------------------
+
+class MuxEndpointTest : public ::testing::TestWithParam<NetBackend> {};
+
+std::string backend_name(
+    const ::testing::TestParamInfo<NetBackend>& param_info) {
+  return param_info.param == NetBackend::kPoll ? "poll" : "epoll";
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, MuxEndpointTest,
+                         ::testing::Values(NetBackend::kPoll,
+                                           NetBackend::kEpoll),
+                         backend_name);
+
+TEST_P(MuxEndpointTest, StreamsRoundTripIndependently) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  MuxTransport* s1 = server->open_stream(1, scfg("s1"));
+  MuxTransport* s2 = server->open_stream(2, scfg("s2"));
+  MuxTransport* c1 = client->open_stream(1, scfg("c1"));
+  MuxTransport* c2 = client->open_stream(2, scfg("c2"));
+
+  EXPECT_EQ(c1->send("one"), SendResult::kQueued);
+  EXPECT_EQ(c2->send("two"), SendResult::kQueued);
+  EXPECT_EQ(s2->receive(10000).value_or("?"), "two");
+  EXPECT_EQ(s1->receive(10000).value_or("?"), "one");
+  // And back the other way, on both streams.
+  EXPECT_EQ(s1->send("ack1"), SendResult::kQueued);
+  EXPECT_EQ(s2->send("ack2"), SendResult::kQueued);
+  EXPECT_EQ(c1->receive(10000).value_or("?"), "ack1");
+  EXPECT_EQ(c2->receive(10000).value_or("?"), "ack2");
+  EXPECT_EQ(server->stats().unknown_stream_frames, 0u);
+}
+
+TEST_P(MuxEndpointTest, UnknownStreamIdIsDroppedWithoutPoisoningConnection) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  MuxTransport* s1 = server->open_stream(1, scfg("s1"));
+  MuxTransport* c1 = client->open_stream(1, scfg("c1"));
+  // Stream 42 exists only on the client: its frames reach the server as
+  // unknown-stream drops, and stream 1 keeps working on the SAME connection.
+  MuxTransport* c42 = client->open_stream(42, scfg("c42"));
+  EXPECT_EQ(c42->send("into the void"), SendResult::kQueued);
+  EXPECT_EQ(c1->send("hello"), SendResult::kQueued);
+  EXPECT_EQ(s1->receive(10000).value_or("?"), "hello");
+  EXPECT_TRUE(eventually(
+      [&] { return server->stats().unknown_stream_frames == 1; }));
+  EXPECT_TRUE(server->established());
+  EXPECT_EQ(server->stats().link.decode_resets, 0u);
+}
+
+TEST_P(MuxEndpointTest, PerStreamBackpressureIsolation) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  // A tiny kShedOldest receive queue on one stream; a normal kBlock stream
+  // beside it.
+  MuxStreamConfig shed = scfg("shed", BackpressurePolicy::kShedOldest);
+  shed.max_recv_queue = 4;
+  MuxTransport* s_shed = server->open_stream(1, shed);
+  MuxTransport* s_ok = server->open_stream(2, scfg("ok"));
+  MuxTransport* c_shed = client->open_stream(1, shed);
+  MuxTransport* c_ok = client->open_stream(2, scfg("ok"));
+  ASSERT_TRUE(eventually([&] { return client->established(); }));
+
+  // Flood the shed stream far past its bound while nobody drains it.
+  for (int i = 0; i < 64; ++i)
+    ASSERT_NE(c_shed->send("x"), SendResult::kClosed);
+  EXPECT_EQ(c_ok->send("untouched"), SendResult::kQueued);
+  // The healthy stream delivers despite its sibling overflowing...
+  EXPECT_EQ(s_ok->receive(10000).value_or("?"), "untouched");
+  // ...and the shed stream kept only its newest few frames.
+  EXPECT_TRUE(eventually([&] { return s_shed->stats().recv_shed > 0; }));
+  EXPECT_LE(s_shed->drain().size(), 4u);
+  EXPECT_TRUE(server->established());
+}
+
+TEST_P(MuxEndpointTest, ReconnectRedeliversInFlightFramesOnThreeStreams) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  cfg.heartbeat_ms = 20;
+  cfg.peer_timeout_ms = 120;
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  std::vector<MuxTransport*> s, c;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    std::string nm = "st";
+    nm += std::to_string(id);
+    s.push_back(server->open_stream(id, scfg(nm)));
+    c.push_back(client->open_stream(id, scfg(nm)));
+  }
+  ASSERT_TRUE(eventually([&] { return client->established(); }));
+
+  // Cut the wire, then queue frames on all three streams while down: the
+  // per-stream queues must survive the reconnect and redeliver in order.
+  client->force_disconnect();
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    for (int k = 0; k < 3; ++k) {
+      std::string m = "m";
+      m += std::to_string(id);
+      m += std::to_string(k);
+      ASSERT_NE(c[id]->send(m), SendResult::kClosed);
+    }
+  }
+  ASSERT_TRUE(eventually([&] { return client->established(); }));
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    for (int k = 0; k < 3; ++k) {
+      std::string want = "m";
+      want += std::to_string(id);
+      want += std::to_string(k);
+      EXPECT_EQ(s[id]->receive(10000).value_or("?"), want)
+          << "stream " << id << " frame " << k;
+    }
+  }
+  EXPECT_GE(client->stats().link.reconnects, 1u);
+}
+
+TEST_P(MuxEndpointTest, HeartbeatsDetectPeerDeath) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  cfg.heartbeat_ms = 20;
+  cfg.peer_timeout_ms = 150;
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  MuxTransport* cs = client->open_stream(1, scfg("c"));
+  server->open_stream(1, scfg("s"));
+  ASSERT_TRUE(eventually([&] { return client->established(); }));
+  EXPECT_EQ(cs->send("up"), SendResult::kQueued);
+
+  // A chaos partition on the client silences everything it sends (data AND
+  // heartbeats); the server must declare the peer dead via timeout.
+  // Partition windows arm from the first established transition, so instead
+  // kill the link the blunt way and watch supervision notice.
+  const std::uint64_t before = server->stats().link.peer_timeouts +
+                               client->stats().link.reconnects;
+  client->force_disconnect();
+  ASSERT_TRUE(eventually([&] {
+    return server->stats().link.peer_timeouts +
+               client->stats().link.reconnects >
+           before;
+  }));
+  // And the pair heals on its own.
+  ASSERT_TRUE(eventually(
+      [&] { return client->established() && server->established(); }));
+}
+
+TEST_P(MuxEndpointTest, ChaosPartitionStarvesPeerThenRecovers) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  cfg.heartbeat_ms = 20;
+  cfg.peer_timeout_ms = 150;
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  cfg.chaos.partitions.push_back({0, 400, false});  // from establishment
+  cfg.chaos_seed = 11;
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  MuxTransport* cs = client->open_stream(1, scfg("c"));
+  MuxTransport* ss = server->open_stream(1, scfg("s"));
+  ASSERT_TRUE(eventually([&] { return client->established(); }));
+
+  // During the partition the client's sends (and heartbeats) are swallowed:
+  // the server times the peer out at least once.
+  EXPECT_EQ(cs->send("swallowed?"), SendResult::kQueued);
+  ASSERT_TRUE(eventually(
+      [&] { return server->stats().link.peer_timeouts >= 1; }));
+  EXPECT_TRUE(eventually(
+      [&] { return client->stats().link.chaos_partition_drops > 0; }));
+  // A chaos partition drop is a true loss (the frame was already handed to
+  // the wire when the shim swallowed it) — same semantics as the TCP plane.
+  // What IS guaranteed: once the window closes the pair heals and new
+  // traffic flows end to end. The window is 400ms from the FIRST
+  // establishment (the shim arms once), so sleep past it before sending —
+  // a send queued during the window would be consumed and dropped too.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  ASSERT_TRUE(eventually(
+      [&] { return client->established() && server->established(); },
+      5000));
+  for (int i = 0; i < 50; ++i) {
+    if (cs->send("after") == SendResult::kQueued) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(ss->receive(20000).value_or("?"), "after");
+}
+
+TEST_P(MuxEndpointTest, DrainAllPreservesPerStreamOrderAcrossStreams) {
+  EventLoop loop(GetParam());
+  MuxEndpointConfig cfg;
+  cfg.name = "srv";
+  auto server = MuxEndpoint::listen(&loop, 0, cfg);
+  cfg.name = "cli";
+  auto client = MuxEndpoint::connect(&loop, "127.0.0.1", server->local_port(),
+                                     cfg);
+  const int kStreams = 5;
+  const int kFrames = 20;
+  std::vector<MuxTransport*> c;
+  for (std::uint64_t id = 1; id <= kStreams; ++id) {
+    std::string nm = "d";
+    nm += std::to_string(id);
+    server->open_stream(id, scfg(nm));
+    c.push_back(client->open_stream(id, scfg(nm)));
+  }
+  for (int k = 0; k < kFrames; ++k)
+    for (int i = 0; i < kStreams; ++i) {
+      std::string m = std::to_string(k);
+      ASSERT_NE(c[i]->send(m), SendResult::kClosed);
+    }
+
+  std::vector<StreamFrame> got;
+  ASSERT_TRUE(eventually([&] {
+    server->drain_all(&got);
+    return got.size() == static_cast<std::size_t>(kStreams * kFrames);
+  }));
+  // Per-stream order must be intact regardless of wire interleaving.
+  std::vector<int> next(kStreams + 1, 0);
+  for (const StreamFrame& f : got) {
+    ASSERT_GE(f.stream_id, 1u);
+    ASSERT_LE(f.stream_id, static_cast<std::uint64_t>(kStreams));
+    EXPECT_EQ(f.payload, std::to_string(next[f.stream_id]));
+    ++next[f.stream_id];
+  }
+}
+
+// --- fleet plane ---------------------------------------------------------
+
+oran::FleetIndication sample_indication() {
+  oran::FleetIndication ind;
+  ind.period = 41;
+  ind.ctx = {3.0, 17.25, 2.5};
+  ind.has_feedback = true;
+  ind.policy_index = 624;
+  ind.prev_ctx = {2.0, 16.5, 1.25};
+  ind.meas.delay_s = 0.123456789012345;
+  ind.meas.map = 0.875;
+  ind.meas.server_power_w = 215.0625;
+  ind.meas.bs_power_w = 37.5;
+  return ind;
+}
+
+TEST(FleetPlane, IndicationRoundTripsBitExactAtPinnedSize) {
+  const oran::FleetIndication ind = sample_indication();
+  std::string wire;
+  oran::encode(ind, &wire);
+  ASSERT_EQ(wire.size(), oran::kFleetIndicationBytes);
+  const auto back = oran::decode_fleet_indication(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->period, ind.period);
+  EXPECT_EQ(back->ctx.n_users, ind.ctx.n_users);
+  EXPECT_EQ(back->ctx.cqi_mean, ind.ctx.cqi_mean);
+  EXPECT_EQ(back->ctx.cqi_var, ind.ctx.cqi_var);
+  EXPECT_EQ(back->has_feedback, true);
+  EXPECT_EQ(back->policy_index, ind.policy_index);
+  EXPECT_EQ(back->prev_ctx.cqi_mean, ind.prev_ctx.cqi_mean);
+  // Doubles must cross bit-exactly, not via a decimal round trip.
+  EXPECT_EQ(back->meas.delay_s, ind.meas.delay_s);
+  EXPECT_EQ(back->meas.map, ind.meas.map);
+  EXPECT_EQ(back->meas.server_power_w, ind.meas.server_power_w);
+  EXPECT_EQ(back->meas.bs_power_w, ind.meas.bs_power_w);
+}
+
+TEST(FleetPlane, PolicyRoundTripsBitExactAtPinnedSize) {
+  oran::FleetPolicy pol;
+  pol.period = 7;
+  pol.policy_index = 88;
+  pol.policy.resolution = 0.6;
+  pol.policy.airtime = 0.55;
+  pol.policy.gpu_speed = 0.84999999999999998;
+  pol.policy.mcs_cap = 23;
+  std::string wire;
+  oran::encode(pol, &wire);
+  ASSERT_EQ(wire.size(), oran::kFleetPolicyBytes);
+  const auto back = oran::decode_fleet_policy(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->period, pol.period);
+  EXPECT_EQ(back->policy_index, pol.policy_index);
+  EXPECT_TRUE(back->policy == pol.policy);
+}
+
+TEST(FleetPlane, MalformedFramesAreRejected) {
+  const oran::FleetIndication ind = sample_indication();
+  std::string wire;
+  oran::encode(ind, &wire);
+  // Wrong kind byte.
+  std::string bad = wire;
+  bad[0] = 'Z';
+  EXPECT_FALSE(oran::decode_fleet_indication(bad).has_value());
+  // Truncated and padded.
+  EXPECT_FALSE(
+      oran::decode_fleet_indication(wire.substr(0, wire.size() - 1))
+          .has_value());
+  EXPECT_FALSE(oran::decode_fleet_indication(wire + "x").has_value());
+  // An indication is not a policy.
+  EXPECT_FALSE(oran::decode_fleet_policy(wire).has_value());
+}
+
+TEST(FleetPlane, ServerAnswersDuplicateIndicationsFromCacheWithoutRedeciding) {
+  env::GridSpec spec;
+  spec.levels_per_dim = 3;
+  core::FleetEngineConfig ecfg;
+  ecfg.num_threads = 1;
+  ecfg.cell.gp_budget = 16;
+  core::FleetEngine engine(env::ControlGrid{spec}, ecfg);
+  const std::size_t kCells = 4;
+  for (std::size_t i = 0; i < kCells; ++i) engine.add_cell();
+
+  EventLoop sloop;
+  EventLoop cloop;
+  oran::FleetPlaneConfig pcfg;
+  pcfg.num_connections = 2;
+  oran::FleetRicServer server(&sloop, &engine, kCells, pcfg);
+  ASSERT_EQ(server.num_connections(), 2u);
+  oran::FleetCellBank bank(&cloop, "127.0.0.1", server.ports(), kCells, pcfg);
+  ASSERT_TRUE(bank.wait_established(15000));
+
+  std::atomic<bool> stop{false};
+  std::thread srv([&] {
+    while (!stop.load()) {
+      if (server.poll_once() == 0) (void)server.wait_activity(10);
+    }
+  });
+
+  oran::FleetIndication ind;
+  ind.period = 0;
+  ind.ctx = {2.0, 18.0, 1.0};
+  for (std::size_t cell = 0; cell < kCells; ++cell)
+    ASSERT_EQ(bank.send_indication(cell, ind), SendResult::kQueued);
+
+  std::vector<std::pair<std::size_t, oran::FleetPolicy>> got;
+  ASSERT_TRUE(eventually([&] {
+    bank.drain_policies(&got);
+    return got.size() == kCells;
+  }));
+  std::vector<oran::FleetPolicy> first(kCells);
+  for (const auto& [cell, fp] : got) first[cell] = fp;
+
+  // Resend period 0 on every cell (a redelivery after reconnect): the
+  // server must answer from cache — same policy, no fresh decisions, no
+  // GP re-conditioning.
+  const std::uint64_t decided = server.decisions();
+  got.clear();
+  for (std::size_t cell = 0; cell < kCells; ++cell)
+    ASSERT_EQ(bank.send_indication(cell, ind), SendResult::kQueued);
+  ASSERT_TRUE(eventually([&] {
+    bank.drain_policies(&got);
+    return got.size() == kCells;
+  }));
+  for (const auto& [cell, fp] : got) {
+    EXPECT_EQ(fp.period, 0);
+    EXPECT_EQ(fp.policy_index, first[cell].policy_index);
+    EXPECT_TRUE(fp.policy == first[cell].policy);
+  }
+  EXPECT_EQ(server.decisions(), decided);
+  EXPECT_EQ(server.duplicate_indications(), kCells);
+
+  // An indication OLDER than the newest seen is stale: dropped outright.
+  oran::FleetIndication fresh = ind;
+  fresh.period = 1;
+  fresh.has_feedback = true;
+  fresh.policy_index = first[0].policy_index;
+  fresh.prev_ctx = ind.ctx;
+  fresh.meas.delay_s = 0.1;
+  fresh.meas.map = 0.9;
+  fresh.meas.server_power_w = 200.0;
+  fresh.meas.bs_power_w = 30.0;
+  ASSERT_EQ(bank.send_indication(0, fresh), SendResult::kQueued);
+  got.clear();
+  ASSERT_TRUE(eventually([&] {
+    bank.drain_policies(&got);
+    return !got.empty();
+  }));
+  oran::FleetIndication old = ind;
+  old.period = -5;
+  ASSERT_EQ(bank.send_indication(0, old), SendResult::kQueued);
+  ASSERT_TRUE(eventually([&] { return server.stale_indications() >= 1; }));
+
+  stop.store(true);
+  srv.join();
+}
+
+}  // namespace
+}  // namespace edgebol::net

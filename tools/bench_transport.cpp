@@ -14,11 +14,17 @@
 //              lifts the control loop completes its first fully clean
 //              period (KPI delivered, finite BS power), plus constraint
 //              violations from then on.
+//   fleet      the tentpole scenario: a 1000-cell FleetSim driving a
+//              FleetEngine through the binary fleet plane — every cell a
+//              MuxTransport stream, the whole fleet on 8 TCP connections.
+//              Reports the per-decision indication-to-policy latency
+//              distribution and the transport-vs-engine wall split.
 //
 // Emits machine-readable JSON (default BENCH_transport.json) with a
 // `metrics` block the perf gate reads:
 //   { ..., "metrics": {"p50_clean_ms", "p99_clean_ms", "p50_loaded_ms",
-//                      "p99_loaded_ms", "recovery_ms"} }
+//                      "p99_loaded_ms", "recovery_ms", "p99_mux_ms",
+//                      "mux_cells_shortfall", "mux_connections"} }
 //
 // Usage: bench_transport [--smoke] [--seed S] [--out PATH]
 //   --smoke    fewer periods + a short partition window (CI).
@@ -31,8 +37,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "plane_harness.hpp"
@@ -51,6 +59,9 @@ struct Config {
   std::int64_t partition_ms = 5000;
   double recovery_cap_ms = 30000.0;
   int post_recovery_periods = 20;
+  std::size_t fleet_cells = 1000;
+  std::size_t fleet_connections = 8;
+  std::int64_t fleet_periods = 3;  // per cell
 };
 
 struct LatencySummary {
@@ -108,7 +119,7 @@ std::size_t run_periods(core::Orchestrator& orch, plane::PlaneNodes& nodes,
 bool run_latency_phases(const Config& cfg, LatencySummary* clean,
                         LatencySummary* loaded, LoadSummary* load) {
   plane::TcpPlane net_plane;
-  plane::PlaneNodes nodes(net_plane,
+  plane::PlaneNodes nodes(net_plane.links(),
                           env::make_static_testbed(35.0, [&] {
                             env::TestbedConfig t;
                             t.seed = cfg.seed;
@@ -197,7 +208,7 @@ bool run_recovery_phase(const Config& cfg, RecoverySummary* out) {
   const double window_end_ms =
       t_est + static_cast<double>(cfg.partition_start_ms + cfg.partition_ms);
 
-  plane::PlaneNodes nodes(net_plane, std::move(tb));
+  plane::PlaneNodes nodes(net_plane.links(), std::move(tb));
   if (!nodes.nonrt.handshake()) {
     std::fprintf(stderr, "bench_transport: handshake failed (recovery)\n");
     return false;
@@ -239,11 +250,192 @@ bool run_recovery_phase(const Config& cfg, RecoverySummary* out) {
   return out->recovered;
 }
 
+// --- phase 4: the 1000-cell fleet over TCP ----------------------------------
+
+struct FleetSummary {
+  std::size_t cells = 0;
+  std::size_t connections = 0;
+  std::size_t decisions = 0;
+  LatencySummary lat;            // per-decision indication -> policy (ms)
+  double total_wall_ms = 0.0;
+  double engine_wall_ms = 0.0;   // inside decide_batch/update_batch
+  std::size_t cells_shortfall = 0;  // cells that finished < target periods
+  std::uint64_t duplicates = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t decode_rejects = 0;
+  std::uint64_t writev_calls = 0;
+  std::uint64_t readv_calls = 0;
+  double readv_wall_ms = 0.0;
+  double decode_wall_ms = 0.0;
+};
+
+bool run_fleet_phase(const Config& cfg, FleetSummary* out) {
+  const std::size_t n_cells = cfg.fleet_cells;
+  out->cells = n_cells;
+
+  // Engine sized like bench_fleet's throughput fleet: 5^4 grid, budget-64
+  // cells, up to 8 dispatch threads.
+  core::FleetEngineConfig ecfg;
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  ecfg.num_threads = std::min<std::size_t>(8, hw);
+  ecfg.cell.weights = {1.0, 8.0};
+  ecfg.cell.constraints = {0.4, 0.5};
+  ecfg.cell.gp_budget = 64;
+  env::GridSpec spec;
+  spec.levels_per_dim = 5;
+  core::FleetEngine engine(env::ControlGrid{spec}, ecfg);
+  for (std::size_t i = 0; i < n_cells; ++i) engine.add_cell();
+
+  env::FleetScenario sc;
+  sc.num_cells = n_cells;
+  sc.seed = 7;
+  sc.tick_s = 0.25;
+  env::FleetSim sim(sc);
+
+  // The plane: server and cell bank on separate event loops, so server-side
+  // readv batching competes with a real sender rather than itself.
+  net::EventLoop sloop;
+  net::EventLoop cloop;
+  oran::FleetPlaneConfig pcfg;
+  pcfg.num_connections = cfg.fleet_connections;
+  oran::FleetRicServer server(&sloop, &engine, n_cells, pcfg);
+  out->connections = server.num_connections();
+  oran::FleetCellBank bank(&cloop, "127.0.0.1", server.ports(), n_cells,
+                           pcfg);
+  if (!bank.wait_established(15000)) {
+    std::fprintf(stderr, "bench_transport: fleet plane never established\n");
+    return false;
+  }
+
+  std::atomic<bool> stop{false};
+  std::thread srv([&] {
+    while (!stop.load()) {
+      if (server.poll_once() == 0) (void)server.wait_activity(10);
+    }
+  });
+
+  // Per-cell protocol state (the cell side of the idempotent loop).
+  std::vector<std::int64_t> period(n_cells, 0);
+  std::vector<std::int64_t> done(n_cells, 0);
+  std::vector<bool> has_fb(n_cells, false);
+  std::vector<env::Context> prev_ctx(n_cells);
+  std::vector<std::uint64_t> prev_idx(n_cells, 0);
+  std::vector<env::Measurement> prev_meas(n_cells);
+  std::vector<std::ptrdiff_t> slot_of(n_cells, -1);
+
+  std::vector<env::Context> ctx;
+  std::vector<env::ControlPolicy> pol;
+  std::vector<env::Measurement> meas;
+  std::vector<double> t_send;
+  std::vector<bool> answered;
+  std::vector<std::pair<std::size_t, oran::FleetPolicy>> got;
+  std::vector<double> lat;
+  lat.reserve(n_cells * static_cast<std::size_t>(cfg.fleet_periods));
+
+  bool ok = true;
+  const double t0 = plane::now_ms();
+  std::size_t cells_pending = n_cells;  // cells with done < fleet_periods
+  while (ok && cells_pending > 0) {
+    const std::span<const std::size_t> due = sim.next_due();
+    const std::size_t n = due.size();
+    ctx.resize(n);
+    pol.resize(n);
+    meas.resize(n);
+    t_send.resize(n);
+    answered.assign(n, false);
+    sim.due_contexts(ctx);
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cell = due[i];
+      slot_of[cell] = static_cast<std::ptrdiff_t>(i);
+      oran::FleetIndication ind;
+      ind.period = period[cell];
+      ind.ctx = ctx[i];
+      ind.has_feedback = has_fb[cell];
+      ind.policy_index = prev_idx[cell];
+      ind.prev_ctx = prev_ctx[cell];
+      ind.meas = prev_meas[cell];
+      t_send[i] = plane::now_ms();
+      if (bank.send_indication(cell, ind) == net::SendResult::kClosed) {
+        std::fprintf(stderr, "bench_transport: fleet link closed\n");
+        ok = false;
+        break;
+      }
+    }
+
+    std::size_t have = 0;
+    const double deadline = plane::now_ms() + 30000.0;
+    while (ok && have < n) {
+      got.clear();
+      if (bank.drain_policies(&got) == 0) {
+        if (plane::now_ms() > deadline) {
+          std::fprintf(stderr,
+                       "bench_transport: fleet batch timed out (%zu/%zu "
+                       "replies)\n",
+                       have, n);
+          ok = false;
+          break;
+        }
+        (void)bank.wait_activity(20);
+        continue;
+      }
+      const double t_now = plane::now_ms();
+      for (const auto& [cell, fp] : got) {
+        const std::ptrdiff_t slot = slot_of[cell];
+        // Replies for an earlier period (redelivery) or an unexpected cell
+        // are dropped; the period key makes that safe.
+        if (slot < 0 || fp.period != period[cell]) continue;
+        const std::size_t i = static_cast<std::size_t>(slot);
+        if (answered[i]) continue;
+        answered[i] = true;
+        ++have;
+        pol[i] = fp.policy;
+        prev_idx[cell] = fp.policy_index;
+        lat.push_back(t_now - t_send[i]);
+      }
+    }
+    if (!ok) break;
+
+    // Lock-step with the serving thread (it only touches the engine inside
+    // poll_once, and every reply above means that work is finished), so the
+    // serial step keeps each cell's trajectory deterministic.
+    sim.step_due(pol, meas, nullptr);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cell = due[i];
+      prev_ctx[cell] = ctx[i];
+      prev_meas[cell] = meas[i];
+      has_fb[cell] = true;
+      ++period[cell];
+      slot_of[cell] = -1;
+      if (++done[cell] == cfg.fleet_periods) --cells_pending;
+    }
+  }
+  out->total_wall_ms = plane::now_ms() - t0;
+
+  stop.store(true);
+  srv.join();
+
+  out->decisions = server.decisions();
+  out->duplicates = server.duplicate_indications();
+  out->stale = server.stale_indications();
+  out->decode_rejects = server.decode_rejects() + bank.decode_rejects();
+  out->engine_wall_ms = server.engine_wall_ms();
+  const net::MuxEndpointStats ls = server.link_stats();
+  out->writev_calls = ls.writev_calls;
+  out->readv_calls = ls.readv_calls;
+  out->readv_wall_ms = ls.readv_wall_ms;
+  out->decode_wall_ms = ls.decode_wall_ms;
+  for (std::size_t c = 0; c < n_cells; ++c)
+    if (done[c] < cfg.fleet_periods) ++out->cells_shortfall;
+  out->lat = summarize(std::move(lat));
+  return ok;
+}
+
 // --- output ----------------------------------------------------------------
 
 void write_json(const Config& cfg, const LatencySummary& clean,
                 const LatencySummary& loaded, const LoadSummary& load,
-                const RecoverySummary& rec) {
+                const RecoverySummary& rec, const FleetSummary& fleet) {
   std::ofstream os(cfg.out);
   os.precision(6);
   auto lat = [&](const char* name, const LatencySummary& s) {
@@ -269,11 +461,29 @@ void write_json(const Config& cfg, const LatencySummary& clean,
      << ", \"e2_reconnects\": " << rec.e2_reconnects
      << ", \"e2_peer_timeouts\": " << rec.e2_peer_timeouts
      << ", \"partition_drops\": " << rec.partition_drops << "},\n"
+     << "  \"fleet\": {\"cells\": " << fleet.cells
+     << ", \"connections\": " << fleet.connections
+     << ", \"decisions\": " << fleet.decisions
+     << ", \"p50_ms\": " << fleet.lat.p50 << ", \"p99_ms\": " << fleet.lat.p99
+     << ", \"max_ms\": " << fleet.lat.max
+     << ", \"total_wall_ms\": " << fleet.total_wall_ms
+     << ", \"engine_wall_ms\": " << fleet.engine_wall_ms
+     << ", \"readv_wall_ms\": " << fleet.readv_wall_ms
+     << ", \"decode_wall_ms\": " << fleet.decode_wall_ms
+     << ", \"writev_calls\": " << fleet.writev_calls
+     << ", \"readv_calls\": " << fleet.readv_calls
+     << ", \"duplicates\": " << fleet.duplicates
+     << ", \"stale\": " << fleet.stale
+     << ", \"decode_rejects\": " << fleet.decode_rejects
+     << ", \"cells_shortfall\": " << fleet.cells_shortfall << "},\n"
      << "  \"metrics\": {\"p50_clean_ms\": " << clean.p50
      << ", \"p99_clean_ms\": " << clean.p99
      << ", \"p50_loaded_ms\": " << loaded.p50
      << ", \"p99_loaded_ms\": " << loaded.p99
-     << ", \"recovery_ms\": " << rec.recovery_ms << "}\n"
+     << ", \"recovery_ms\": " << rec.recovery_ms
+     << ", \"p99_mux_ms\": " << fleet.lat.p99
+     << ", \"mux_cells_shortfall\": " << fleet.cells_shortfall
+     << ", \"mux_connections\": " << fleet.connections << "}\n"
      << "}\n";
 }
 
@@ -305,6 +515,9 @@ int main(int argc, char** argv) {
     // past the window and the partition never actually costs a sample.
     cfg.partition_ms = 4000;
     cfg.post_recovery_periods = 8;
+    // Same 1000 cells and 8 connections as the full run — the point of the
+    // phase is the scale — just fewer periods per cell.
+    cfg.fleet_periods = 2;
   }
 
   LatencySummary clean, loaded;
@@ -321,12 +534,13 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(load.wire_frames));
 
   RecoverySummary rec;
+  FleetSummary fleet;
   if (!run_recovery_phase(cfg, &rec)) {
     std::fprintf(stderr,
                  "bench_transport: control loop never recovered within "
                  "%.0fms of the partition lifting\n",
                  cfg.recovery_cap_ms);
-    write_json(cfg, clean, loaded, load, rec);
+    write_json(cfg, clean, loaded, load, rec, fleet);
     return 1;
   }
   std::fprintf(stderr,
@@ -336,7 +550,21 @@ int main(int argc, char** argv) {
                rec.degraded_periods, rec.violations_after,
                static_cast<unsigned long long>(rec.e2_reconnects));
 
-  write_json(cfg, clean, loaded, load, rec);
+  if (!run_fleet_phase(cfg, &fleet)) {
+    write_json(cfg, clean, loaded, load, rec, fleet);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "fleet: %zu cells on %zu connections, %zu decisions; "
+               "p50=%.2fms p99=%.2fms max=%.2fms (engine %.0fms of %.0fms "
+               "wall; %llu writev, %llu readv)\n",
+               fleet.cells, fleet.connections, fleet.decisions, fleet.lat.p50,
+               fleet.lat.p99, fleet.lat.max, fleet.engine_wall_ms,
+               fleet.total_wall_ms,
+               static_cast<unsigned long long>(fleet.writev_calls),
+               static_cast<unsigned long long>(fleet.readv_calls));
+
+  write_json(cfg, clean, loaded, load, rec, fleet);
   std::fprintf(stderr, "wrote %s\n", cfg.out.c_str());
   return 0;
 }

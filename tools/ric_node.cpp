@@ -18,9 +18,17 @@
 //            [--e2-partition START_MS:DUR_MS] [--chaos-seed S]
 //   ric_node --role nonrt  --dir DIR [--periods N] [--out PATH]
 //
+// With --mux the same three roles run over the multiplexed plane instead:
+// a1 and o1 ride ONE connection (published as <dir>/nn.port) as two
+// MuxTransport streams, e2 and svc one mux connection each (<dir>/e2m.port,
+// <dir>/svcm.port) — three sockets instead of four, stream-ID framing and
+// batched readv/writev on all of them. All three processes must agree on
+// --mux. E2 chaos flags apply to the e2m connection's client endpoint.
+//
 // A fourth mode runs everything in one process and checks the tentpole's
-// equivalence claim — the TCP plane must reproduce the in-process loopback
-// (OranManagedTestbed) trajectory bit-for-bit on the same seed:
+// equivalence claim — both the TCP plane and the multiplexed plane must
+// reproduce the in-process loopback (OranManagedTestbed) trajectory
+// bit-for-bit on the same seed:
 //
 //   ric_node --verify-loopback [--periods N] [--seed S]
 
@@ -49,6 +57,7 @@ struct Options {
   std::uint64_t seed = 1;
   double snr_db = 35.0;
   bool verify_loopback = false;
+  bool mux = false;  // roles run over the multiplexed plane
   // NearRT-side chaos on the e2 client endpoint.
   double e2_drop = 0.0;
   double e2_delay = 0.0;
@@ -60,9 +69,10 @@ struct Options {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --role env|nearrt|nonrt --dir DIR [--periods N] [--seed S]\n"
-      "          [--snr DB] [--out PATH] [--e2-drop R] [--e2-delay R]\n"
-      "          [--e2-partition START_MS:DUR_MS] [--chaos-seed S]\n"
+      "usage: %s --role env|nearrt|nonrt --dir DIR [--mux] [--periods N]\n"
+      "          [--seed S] [--snr DB] [--out PATH] [--e2-drop R]\n"
+      "          [--e2-delay R] [--e2-partition START_MS:DUR_MS]\n"
+      "          [--chaos-seed S]\n"
       "       %s --verify-loopback [--periods N] [--seed S]\n",
       argv0, argv0);
   std::exit(2);
@@ -102,6 +112,8 @@ Options parse(int argc, char** argv) {
       o.partition_dur_ms = std::atoll(spec.substr(colon + 1).c_str());
     } else if (std::strcmp(argv[i], "--chaos-seed") == 0) {
       o.chaos_seed = static_cast<std::uint64_t>(std::atoll(next("--chaos-seed")));
+    } else if (std::strcmp(argv[i], "--mux") == 0) {
+      o.mux = true;
     } else if (std::strcmp(argv[i], "--verify-loopback") == 0) {
       o.verify_loopback = true;
     } else {
@@ -175,18 +187,42 @@ int run_env(const Options& o) {
 
   net::EventLoop loop;
   net::ReadySignal ready;
-  auto e2 = net::TcpTransport::listen(
-      &loop, 0,
-      plane::link_config("e2/env", &ready, net::BackpressurePolicy::kBlock));
-  auto svc = net::TcpTransport::listen(
-      &loop, 0,
-      plane::link_config("svc/env", &ready, net::BackpressurePolicy::kBlock));
-  publish_port(o.dir, "e2", e2->local_port());
-  publish_port(o.dir, "svc", svc->local_port());
-  std::fprintf(stderr, "ric_node[env]: e2 on %u, svc on %u\n",
-               e2->local_port(), svc->local_port());
+  std::unique_ptr<net::TcpTransport> e2_tcp, svc_tcp;
+  std::unique_ptr<net::MuxEndpoint> e2m, svcm;
+  net::Transport* e2 = nullptr;
+  net::Transport* svc = nullptr;
+  if (o.mux) {
+    e2m = net::MuxEndpoint::listen(&loop, 0,
+                                   plane::mux_link_config("e2m/env", &ready));
+    svcm = net::MuxEndpoint::listen(
+        &loop, 0, plane::mux_link_config("svcm/env", &ready));
+    e2 = e2m->open_stream(
+        plane::MuxPlane::kE2,
+        plane::mux_stream_config("e2/env", net::BackpressurePolicy::kBlock));
+    svc = svcm->open_stream(
+        plane::MuxPlane::kSvc,
+        plane::mux_stream_config("svc/env", net::BackpressurePolicy::kBlock));
+    publish_port(o.dir, "e2m", e2m->local_port());
+    publish_port(o.dir, "svcm", svcm->local_port());
+    std::fprintf(stderr, "ric_node[env]: mux e2m on %u, svcm on %u\n",
+                 e2m->local_port(), svcm->local_port());
+  } else {
+    e2_tcp = net::TcpTransport::listen(
+        &loop, 0,
+        plane::link_config("e2/env", &ready, net::BackpressurePolicy::kBlock));
+    svc_tcp = net::TcpTransport::listen(
+        &loop, 0,
+        plane::link_config("svc/env", &ready,
+                           net::BackpressurePolicy::kBlock));
+    e2 = e2_tcp.get();
+    svc = svc_tcp.get();
+    publish_port(o.dir, "e2", e2_tcp->local_port());
+    publish_port(o.dir, "svc", svc_tcp->local_port());
+    std::fprintf(stderr, "ric_node[env]: e2 on %u, svc on %u\n",
+                 e2_tcp->local_port(), svc_tcp->local_port());
+  }
 
-  oran::EnvNode node(tb, e2.get(), svc.get(), &ready);
+  oran::EnvNode node(tb, e2, svc, &ready);
   std::atomic<bool> stop{false};
   std::thread watcher = watch_done(o.dir, &stop, &ready);
   node.run(stop);
@@ -201,8 +237,6 @@ int run_env(const Options& o) {
 }
 
 int run_nearrt(const Options& o) {
-  const std::uint16_t e2_port = await_port(o.dir, "e2");
-
   plane::LinkChaos chaos;
   chaos.rates.frames.drop = o.e2_drop;
   chaos.rates.frames.delay = o.e2_delay;
@@ -213,28 +247,62 @@ int run_nearrt(const Options& o) {
 
   net::EventLoop loop;
   net::ReadySignal ready;
-  auto a1 = net::TcpTransport::listen(
-      &loop, 0,
-      plane::link_config("a1/nearrt", &ready, net::BackpressurePolicy::kBlock));
-  auto o1 = net::TcpTransport::listen(
-      &loop, 0,
-      plane::link_config("o1/nearrt", &ready,
-                         net::BackpressurePolicy::kShedOldest));
-  auto e2 = net::TcpTransport::connect(
-      &loop, "127.0.0.1", e2_port,
-      plane::link_config("e2/nearrt", &ready, net::BackpressurePolicy::kBlock,
-                         chaos));
-  publish_port(o.dir, "a1", a1->local_port());
-  publish_port(o.dir, "o1", o1->local_port());
-  std::fprintf(stderr, "ric_node[nearrt]: a1 on %u, o1 on %u, e2 -> %u\n",
-               a1->local_port(), o1->local_port(), e2_port);
+  std::unique_ptr<net::TcpTransport> a1_tcp, o1_tcp, e2_tcp;
+  std::unique_ptr<net::MuxEndpoint> nn, e2m;
+  net::Transport* a1 = nullptr;
+  net::Transport* o1 = nullptr;
+  net::Transport* e2 = nullptr;
+  if (o.mux) {
+    const std::uint16_t e2m_port = await_port(o.dir, "e2m");
+    nn = net::MuxEndpoint::listen(&loop, 0,
+                                  plane::mux_link_config("nn/nearrt", &ready));
+    a1 = nn->open_stream(plane::MuxPlane::kA1,
+                         plane::mux_stream_config(
+                             "a1/nearrt", net::BackpressurePolicy::kBlock));
+    o1 = nn->open_stream(
+        plane::MuxPlane::kO1,
+        plane::mux_stream_config("o1/nearrt",
+                                 net::BackpressurePolicy::kShedOldest));
+    e2m = net::MuxEndpoint::connect(
+        &loop, "127.0.0.1", e2m_port,
+        plane::mux_link_config("e2m/nearrt", &ready, chaos));
+    e2 = e2m->open_stream(plane::MuxPlane::kE2,
+                          plane::mux_stream_config(
+                              "e2/nearrt", net::BackpressurePolicy::kBlock));
+    publish_port(o.dir, "nn", nn->local_port());
+    std::fprintf(stderr, "ric_node[nearrt]: mux nn on %u, e2m -> %u\n",
+                 nn->local_port(), e2m_port);
+  } else {
+    const std::uint16_t e2_port = await_port(o.dir, "e2");
+    a1_tcp = net::TcpTransport::listen(
+        &loop, 0,
+        plane::link_config("a1/nearrt", &ready,
+                           net::BackpressurePolicy::kBlock));
+    o1_tcp = net::TcpTransport::listen(
+        &loop, 0,
+        plane::link_config("o1/nearrt", &ready,
+                           net::BackpressurePolicy::kShedOldest));
+    e2_tcp = net::TcpTransport::connect(
+        &loop, "127.0.0.1", e2_port,
+        plane::link_config("e2/nearrt", &ready,
+                           net::BackpressurePolicy::kBlock, chaos));
+    a1 = a1_tcp.get();
+    o1 = o1_tcp.get();
+    e2 = e2_tcp.get();
+    publish_port(o.dir, "a1", a1_tcp->local_port());
+    publish_port(o.dir, "o1", o1_tcp->local_port());
+    std::fprintf(stderr, "ric_node[nearrt]: a1 on %u, o1 on %u, e2 -> %u\n",
+                 a1_tcp->local_port(), o1_tcp->local_port(), e2_port);
+  }
 
-  oran::NearRtRicNode node(a1.get(), e2.get(), o1.get(), &ready);
+  oran::NearRtRicNode node(a1, e2, o1, &ready);
   std::atomic<bool> stop{false};
   std::thread watcher = watch_done(o.dir, &stop, &ready);
   node.run(stop);
   watcher.join();
-  const net::TransportStats e2s = e2->stats();
+  // Reconnect/timeout/partition supervision lives at the connection level,
+  // so on the mux plane those counters come from the e2m endpoint.
+  const net::TransportStats e2s = o.mux ? e2m->stats().link : e2_tcp->stats();
   std::fprintf(stderr,
                "ric_node[nearrt]: %zu accepted, %zu rejected, %zu e2 "
                "failures, %zu forwarded (%zu stale); e2 reconnects=%llu "
@@ -249,25 +317,53 @@ int run_nearrt(const Options& o) {
 }
 
 int run_nonrt(const Options& o) {
-  const std::uint16_t a1_port = await_port(o.dir, "a1");
-  const std::uint16_t o1_port = await_port(o.dir, "o1");
-  const std::uint16_t svc_port = await_port(o.dir, "svc");
-
   net::EventLoop loop;
   net::ReadySignal ready;
-  auto a1 = net::TcpTransport::connect(
-      &loop, "127.0.0.1", a1_port,
-      plane::link_config("a1/nonrt", &ready, net::BackpressurePolicy::kBlock));
-  auto o1 = net::TcpTransport::connect(
-      &loop, "127.0.0.1", o1_port,
-      plane::link_config("o1/nonrt", &ready,
-                         net::BackpressurePolicy::kShedOldest));
-  auto svc = net::TcpTransport::connect(
-      &loop, "127.0.0.1", svc_port,
-      plane::link_config("svc/nonrt", &ready,
-                         net::BackpressurePolicy::kBlock));
+  std::unique_ptr<net::TcpTransport> a1_tcp, o1_tcp, svc_tcp;
+  std::unique_ptr<net::MuxEndpoint> nn, svcm;
+  net::Transport* a1 = nullptr;
+  net::Transport* o1 = nullptr;
+  net::Transport* svc = nullptr;
+  if (o.mux) {
+    const std::uint16_t nn_port = await_port(o.dir, "nn");
+    const std::uint16_t svcm_port = await_port(o.dir, "svcm");
+    nn = net::MuxEndpoint::connect(&loop, "127.0.0.1", nn_port,
+                                   plane::mux_link_config("nn/nonrt", &ready));
+    svcm = net::MuxEndpoint::connect(
+        &loop, "127.0.0.1", svcm_port,
+        plane::mux_link_config("svcm/nonrt", &ready));
+    a1 = nn->open_stream(plane::MuxPlane::kA1,
+                         plane::mux_stream_config(
+                             "a1/nonrt", net::BackpressurePolicy::kBlock));
+    o1 = nn->open_stream(
+        plane::MuxPlane::kO1,
+        plane::mux_stream_config("o1/nonrt",
+                                 net::BackpressurePolicy::kShedOldest));
+    svc = svcm->open_stream(plane::MuxPlane::kSvc,
+                            plane::mux_stream_config(
+                                "svc/nonrt", net::BackpressurePolicy::kBlock));
+  } else {
+    const std::uint16_t a1_port = await_port(o.dir, "a1");
+    const std::uint16_t o1_port = await_port(o.dir, "o1");
+    const std::uint16_t svc_port = await_port(o.dir, "svc");
+    a1_tcp = net::TcpTransport::connect(
+        &loop, "127.0.0.1", a1_port,
+        plane::link_config("a1/nonrt", &ready,
+                           net::BackpressurePolicy::kBlock));
+    o1_tcp = net::TcpTransport::connect(
+        &loop, "127.0.0.1", o1_port,
+        plane::link_config("o1/nonrt", &ready,
+                           net::BackpressurePolicy::kShedOldest));
+    svc_tcp = net::TcpTransport::connect(
+        &loop, "127.0.0.1", svc_port,
+        plane::link_config("svc/nonrt", &ready,
+                           net::BackpressurePolicy::kBlock));
+    a1 = a1_tcp.get();
+    o1 = o1_tcp.get();
+    svc = svc_tcp.get();
+  }
 
-  oran::NonRtRicNode node(a1.get(), o1.get(), svc.get(), &ready);
+  oran::NonRtRicNode node(a1, o1, svc, &ready);
   // Ensure the servers learn about completion even if we bail early.
   struct DoneFlag {
     std::string path;
@@ -325,52 +421,40 @@ int run_nonrt(const Options& o) {
 
 // --- loopback equivalence --------------------------------------------------
 
-int run_verify_loopback(const Options& o) {
-  env::TestbedConfig tcfg;
-  tcfg.seed = o.seed;
-
-  // Reference: the whole control plane collapsed into synchronous calls.
-  std::vector<core::PeriodRecord> ref;
-  {
-    env::Testbed tb = env::make_static_testbed(o.snr_db, tcfg);
-    oran::OranManagedTestbed managed(tb);
-    core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
-    core::Orchestrator orch(agent, {.keep_history = true});
-    orch.run(managed, o.periods);
-    ref = orch.history();
+/// One candidate plane run: handshake, drive the orchestrator, return the
+/// history. Fails (false) on handshake failure or any chaos-free-run
+/// degradation (kpi losses / delivery failures).
+bool run_candidate(const Options& o, const env::TestbedConfig& tcfg,
+                   const plane::PlaneLinks& links, const char* label,
+                   std::vector<core::PeriodRecord>* got) {
+  plane::PlaneNodes nodes(links, env::make_static_testbed(o.snr_db, tcfg));
+  if (!nodes.nonrt.handshake()) {
+    std::fprintf(stderr, "verify-loopback: %s handshake failed\n", label);
+    return false;
   }
-
-  // Candidate: the same split across real TCP links, three threads.
-  std::vector<core::PeriodRecord> got;
-  std::size_t kpi_losses = 0;
-  std::size_t delivery_failures = 0;
-  {
-    plane::TcpPlane net_plane;
-    plane::PlaneNodes nodes(net_plane,
-                            env::make_static_testbed(o.snr_db, tcfg));
-    if (!nodes.nonrt.handshake()) {
-      std::fprintf(stderr, "verify-loopback: handshake failed\n");
-      return 1;
-    }
-    core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
-    core::Orchestrator orch(agent, {.keep_history = true});
-    orch.run(nodes.nonrt, o.periods);
-    got = orch.history();
-    kpi_losses = nodes.nonrt.kpi_losses();
-    delivery_failures = nodes.nonrt.policy_delivery_failures();
-  }
-
-  if (kpi_losses != 0 || delivery_failures != 0) {
+  core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
+  core::Orchestrator orch(agent, {.keep_history = true});
+  orch.run(nodes.nonrt, o.periods);
+  *got = orch.history();
+  if (nodes.nonrt.kpi_losses() != 0 ||
+      nodes.nonrt.policy_delivery_failures() != 0) {
     std::fprintf(stderr,
-                 "verify-loopback: FAIL (chaos-free run degraded: %zu kpi "
+                 "verify-loopback: FAIL (%s chaos-free run degraded: %zu kpi "
                  "losses, %zu delivery failures)\n",
-                 kpi_losses, delivery_failures);
-    return 1;
+                 label, nodes.nonrt.kpi_losses(),
+                 nodes.nonrt.policy_delivery_failures());
+    return false;
   }
+  return true;
+}
+
+bool compare_trajectories(const std::vector<core::PeriodRecord>& ref,
+                          const std::vector<core::PeriodRecord>& got,
+                          const char* label) {
   if (ref.size() != got.size()) {
-    std::fprintf(stderr, "verify-loopback: FAIL (%zu vs %zu periods)\n",
-                 ref.size(), got.size());
-    return 1;
+    std::fprintf(stderr, "verify-loopback: FAIL (%s: %zu vs %zu periods)\n",
+                 label, ref.size(), got.size());
+    return false;
   }
   for (std::size_t i = 0; i < ref.size(); ++i) {
     const env::ControlPolicy& a = ref[i].decision.policy;
@@ -389,17 +473,52 @@ int run_verify_loopback(const Options& o) {
                    "verify-loopback: FAIL at period %zu\n"
                    "  loopback policy (%.17g, %.17g, %.17g, %d) "
                    "delay %.17g map %.17g\n"
-                   "  tcp      policy (%.17g, %.17g, %.17g, %d) "
+                   "  %-8s policy (%.17g, %.17g, %.17g, %d) "
                    "delay %.17g map %.17g\n",
                    i, a.resolution, a.airtime, a.gpu_speed, a.mcs_cap,
-                   ma.delay_s, ma.map, b.resolution, b.airtime, b.gpu_speed,
-                   b.mcs_cap, mb.delay_s, mb.map);
-      return 1;
+                   ma.delay_s, ma.map, label, b.resolution, b.airtime,
+                   b.gpu_speed, b.mcs_cap, mb.delay_s, mb.map);
+      return false;
     }
   }
+  return true;
+}
+
+int run_verify_loopback(const Options& o) {
+  env::TestbedConfig tcfg;
+  tcfg.seed = o.seed;
+
+  // Reference: the whole control plane collapsed into synchronous calls.
+  std::vector<core::PeriodRecord> ref;
+  {
+    env::Testbed tb = env::make_static_testbed(o.snr_db, tcfg);
+    oran::OranManagedTestbed managed(tb);
+    core::EdgeBol agent(env::ControlGrid{}, plane::canonical_agent_config());
+    core::Orchestrator orch(agent, {.keep_history = true});
+    orch.run(managed, o.periods);
+    ref = orch.history();
+  }
+
+  // Candidate 1: the same split across real TCP links (eight sockets).
+  {
+    std::vector<core::PeriodRecord> got;
+    plane::TcpPlane net_plane;
+    if (!run_candidate(o, tcfg, net_plane.links(), "tcp", &got)) return 1;
+    if (!compare_trajectories(ref, got, "tcp")) return 1;
+  }
+
+  // Candidate 2: the multiplexed plane (three sockets, stream-ID framing).
+  {
+    std::vector<core::PeriodRecord> got;
+    plane::MuxPlane net_plane;
+    if (!run_candidate(o, tcfg, net_plane.links(), "mux", &got)) return 1;
+    if (!compare_trajectories(ref, got, "mux")) return 1;
+  }
+
   std::fprintf(stderr,
-               "verify-loopback: PASS (%d periods, TCP trajectory matches "
-               "in-process loopback bit-for-bit)\n",
+               "verify-loopback: PASS (%d periods; both the TCP and the "
+               "multiplexed plane match the in-process loopback trajectory "
+               "bit-for-bit)\n",
                o.periods);
   return 0;
 }
