@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full verification ladder: lint, tier-1 tests, optimized perf gate (GP
 # engine speedups + transport latency/recovery ceilings), the sanitizer
-# tiers (ASan+UBSan+LSan, then TSan at thread counts 2 and 8), and the
+# tiers (ASan+UBSan+LSan, TSan at thread counts 2 and 8, then standalone
+# UBSan with every finding fatal), the lockdep tier (whole suite plus the
+# transport smoke with runtime lock-order checking fatal), and the
 # multi-process transport smoke under both sanitizers.
 #
 #   scripts/check.sh            # every tier
 #   scripts/check.sh --fast     # lint + tier-1 + release smoke only
 #
-# Builds live under build/, build-release/, build-asan/, and build-tsan/ so
+# Builds live under build/, build-release/, build-asan/, build-tsan/,
+# build-ubsan/, and build-lockdep/ (Debug: the affinity asserts and the
+# EXPECT_DEATH coverage only exist without NDEBUG) so
 # repeat runs are incremental. All builds carry EDGEBOL_WERROR=ON: a warning
 # anywhere is a failure here even though plain developer builds stay lenient.
 # A summary table of tier outcomes prints on exit, success or failure.
@@ -171,7 +175,10 @@ done
 end_tier pass
 
 if [[ "$FAST" == 1 ]]; then
-  begin_tier "sanitizers (ASan/TSan)"
+  begin_tier "sanitizers (ASan/TSan/UBSan)"
+  echo "skipped (--fast)"
+  end_tier "SKIP (--fast)"
+  begin_tier "lockdep (debug, fatal)"
   echo "skipped (--fast)"
   end_tier "SKIP (--fast)"
   echo
@@ -200,6 +207,28 @@ for threads in 2 8; do
     EDGEBOL_THREADS="$threads" \
     ctest --test-dir build-tsan --output-on-failure -j "$(nproc)"
 done
+end_tier pass
+
+begin_tier "UBSan (standalone, fatal)"
+# -fno-sanitize-recover=all: the first UB report aborts the test, so this
+# tier cannot pass with findings scrolling by (the ASan tier's UBSan is
+# recoverable and halts via halt_on_error instead).
+cmake -B build-ubsan -S . -DEDGEBOL_SANITIZE=undefined -DEDGEBOL_WERROR=ON >/dev/null
+cmake --build build-ubsan -j >/dev/null
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)"
+end_tier pass
+
+begin_tier "lockdep (debug, fatal)"
+# Debug build (no NDEBUG): the EventLoop loop-affinity asserts are live and
+# the sync death tests run. EDGEBOL_LOCKDEP=1 turns on runtime lock-order
+# recording in common::Mutex; _FATAL=1 aborts on the first inversion, so a
+# pass means the whole suite AND the three-process transport smoke ran with
+# zero lock-order cycles against the DESIGN.md §5e hierarchy.
+cmake -B build-lockdep -S . -DCMAKE_BUILD_TYPE=Debug -DEDGEBOL_WERROR=ON >/dev/null
+cmake --build build-lockdep -j >/dev/null
+EDGEBOL_LOCKDEP=1 EDGEBOL_LOCKDEP_FATAL=1 \
+  ctest --test-dir build-lockdep --output-on-failure -j "$(nproc)"
+EDGEBOL_LOCKDEP=1 EDGEBOL_LOCKDEP_FATAL=1 scripts/transport_smoke.sh build-lockdep
 end_tier pass
 
 begin_tier "transport (multi-process smoke)"

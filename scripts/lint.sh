@@ -32,6 +32,8 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "lint: SKIP clang-tidy (not installed; config in .clang-tidy)"
+  echo "      install it to run this tier: apt-get install clang-tidy" \
+       "(Debian/Ubuntu) or dnf install clang-tools-extra (Fedora)"
 fi
 
 echo "== lint: project invariants =="

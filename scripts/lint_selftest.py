@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Regression suite for scripts/invariant_lint.py over tests/lint_corpus/.
+
+Each corpus file is a .cc fixture (never compiled, never linted as repo
+source) carrying two kinds of markers:
+
+    // lint-as: <virtual repo path>
+        The path the linter should believe the file lives at — rules are
+        path-sensitive (src/ vs bench/, the socket.*/sync.* exemptions,
+        hpp/cpp component pairing for the guarded-member rule).
+
+    ... lint-expect: <rule>[, <rule>]
+        On every line that must be reported, naming the rule tag(s) the
+        linter prints in brackets ([rng], [alloc], [guarded], ...).
+
+All fixtures are analyzed in ONE batch (so an .hpp/.cpp pair shares its
+EB_GUARDED_BY / EB_REQUIRES maps) and the reported (file, line, rule) set
+must equal the expected set exactly: every miss is a false negative,
+every extra a false positive — both fail the test with a labelled diff.
+
+A lexer sanity pass also asserts the stripped twin of each fixture keeps
+its line count, since every rule's line numbers depend on that.
+"""
+
+import importlib.util
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS = os.path.join(REPO, "tests", "lint_corpus")
+
+_spec = importlib.util.spec_from_file_location(
+    "invariant_lint", os.path.join(REPO, "scripts", "invariant_lint.py"))
+invariant_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(invariant_lint)
+
+LINT_AS = re.compile(r"//\s*lint-as:\s*(\S+)")
+LINT_EXPECT = re.compile(r"lint-expect:\s*([A-Za-z_]\w*(?:\s*,\s*\w+)*)")
+REPORT = re.compile(r"(.+?):(\d+): \[(\w+)\]")
+
+
+def main() -> int:
+    sources = []
+    expected = set()
+    names = sorted(f for f in os.listdir(CORPUS) if f.endswith(".cc"))
+    if not names:
+        print(f"lint selftest: no corpus files in {CORPUS}", file=sys.stderr)
+        return 1
+    failures = []
+    for name in names:
+        with open(os.path.join(CORPUS, name), encoding="utf-8") as f:
+            raw = f.read()
+        m = LINT_AS.search(raw)
+        if not m:
+            failures.append(f"{name}: missing '// lint-as: <path>' marker")
+            continue
+        vpath = m.group(1).replace("/", os.sep)
+        src = invariant_lint.Source(vpath, raw)
+        if src.code.count("\n") != raw.count("\n"):
+            failures.append(
+                f"{name}: lexer changed the line count "
+                f"({raw.count(chr(10))} -> {src.code.count(chr(10))})")
+        sources.append(src)
+        for lineno, line in enumerate(raw.splitlines(), start=1):
+            em = LINT_EXPECT.search(line)
+            if em:
+                for rule in re.findall(r"\w+", em.group(1)):
+                    expected.add((vpath, lineno, rule))
+
+    actual = set()
+    for err in invariant_lint.analyze_sources(sources):
+        m = REPORT.match(err)
+        if not m:
+            failures.append(f"unparsable report: {err}")
+            continue
+        actual.add((m.group(1), int(m.group(2)), m.group(3)))
+
+    for path, line, rule in sorted(expected - actual):
+        failures.append(
+            f"FALSE NEGATIVE: expected [{rule}] at {path}:{line}, "
+            "not reported")
+    for path, line, rule in sorted(actual - expected):
+        failures.append(
+            f"FALSE POSITIVE: unexpected [{rule}] at {path}:{line}")
+
+    if failures:
+        for f_ in failures:
+            print(f_)
+        print(f"lint selftest: FAILED ({len(failures)} problem(s), "
+              f"{len(names)} fixtures)", file=sys.stderr)
+        return 1
+    print(f"lint selftest: ok ({len(names)} fixtures, "
+          f"{len(expected)} seeded violations all matched)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

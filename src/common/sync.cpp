@@ -1,0 +1,312 @@
+// Lockdep engine behind common::Mutex: lock classes keyed by construction
+// site, per-thread held sets, a global acquisition-order graph, and DFS
+// cycle detection that reports a potential deadlock the first time two
+// classes are ever taken in inconsistent order.
+//
+// This file is the one place in the tree allowed to use raw std::mutex
+// (invariant lint R8): the registry mutex below sits strictly at the
+// bottom of the lock hierarchy — it is taken while arbitrary user locks
+// are held and never takes a user lock itself — so instrumenting it with
+// itself would only recurse.
+
+#include "common/sync.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace edgebol::common {
+namespace lockdep {
+
+namespace detail {
+constinit std::atomic<int> g_state{-1};
+}  // namespace detail
+
+struct LockClass {
+  std::uint32_t id = 0;
+  std::string name;  // display name (explicit name, else file:line)
+  std::string site;  // construction site, always file:line
+};
+
+namespace {
+
+// Reports abort the process when EDGEBOL_LOCKDEP_FATAL=1 and no capture
+// hook is installed (how the check.sh lockdep tier enforces "zero cycles").
+constinit std::atomic<bool> g_fatal{false};
+
+std::string site_string(const char* file, std::uint32_t line) {
+  std::string s(file != nullptr ? file : "?");
+  s += ':';
+  s += std::to_string(line);
+  return s;
+}
+
+struct Edge {
+  std::uint32_t from = 0;       // class held ...
+  std::uint32_t to = 0;         // ... while this class was acquired
+  const char* hold_file = "?";  // where the held lock was taken
+  std::uint32_t hold_line = 0;
+  const char* acq_file = "?";  // where the new lock was taken
+  std::uint32_t acq_line = 0;
+  bool reported = false;  // inversion already reported once for this pair
+
+  std::string describe(const std::deque<LockClass>& classes) const {
+    std::string s = classes[from].name;
+    s += " -> ";
+    s += classes[to].name;
+    s += " (";
+    s += classes[to].name;
+    s += " acquired at ";
+    s += site_string(acq_file, acq_line);
+    s += " while holding ";
+    s += classes[from].name;
+    s += " acquired at ";
+    s += site_string(hold_file, hold_line);
+    s += ")";
+    return s;
+  }
+};
+
+constexpr std::uint64_t edge_key(std::uint32_t from, std::uint32_t to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+struct Graph {
+  std::mutex mu;  // bottom of the hierarchy; see file comment
+  std::map<std::string, LockClass*> by_key;
+  std::deque<LockClass> classes;  // stable addresses, indexed by id
+  std::unordered_map<std::uint64_t, Edge> edges;
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> adj;
+  std::atomic<std::uint64_t> cycles{0};
+  ReportHook hook = nullptr;
+  void* hook_arg = nullptr;
+};
+
+Graph& graph() {
+  static Graph g;
+  return g;
+}
+
+struct Held {
+  const Mutex* m = nullptr;
+  LockClass* k = nullptr;
+  const char* file = "?";  // acquisition site of this hold
+  std::uint32_t line = 0;
+};
+
+thread_local std::vector<Held> t_held;
+
+/// DFS from `from` over recorded edges looking for `target`. On success
+/// fills `path` with the edge sequence from -> ... -> target. Requires
+/// graph().mu.
+bool find_path(Graph& g, std::uint32_t from, std::uint32_t target,
+               std::vector<const Edge*>& path,
+               std::vector<bool>& visited) {
+  if (from == target) return true;
+  visited[from] = true;
+  auto it = g.adj.find(from);
+  if (it == g.adj.end()) return false;
+  for (std::uint32_t next : it->second) {
+    if (visited[next]) continue;
+    const auto eit = g.edges.find(edge_key(from, next));
+    if (eit == g.edges.end()) continue;
+    path.push_back(&eit->second);
+    if (find_path(g, next, target, path, visited)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+/// Emit one report. Requires graph().mu (hook runs under it; hooks are
+/// test-only and must not take user locks).
+void report_cycle(Graph& g, const Held& held, LockClass* acquiring,
+                  const std::source_location& loc,
+                  const std::vector<const Edge*>& path) {
+  g.cycles.fetch_add(1, std::memory_order_relaxed);
+
+  CycleReport r;
+  r.acquiring = acquiring->name;
+  r.held = held.k->name;
+  r.acquire_site = site_string(loc.file_name(), loc.line());
+  r.held_site = site_string(held.file, held.line);
+  for (const Edge* e : path) r.path.push_back(e->describe(g.classes));
+
+  std::string msg = "LOCKDEP: potential deadlock (lock-order inversion)\n";
+  msg += "  acquiring " + r.acquiring + " at " + r.acquire_site + "\n";
+  msg += "  while holding " + r.held + " (acquired at " + r.held_site +
+         ")\n";
+  if (r.path.empty()) {
+    msg +=
+        "  (same lock class held twice by one thread: two instances of "
+        "this class can deadlock against a thread nesting them the other "
+        "way)\n";
+  } else {
+    msg += "  but the opposite order was recorded earlier:\n";
+    for (const std::string& p : r.path) msg += "    " + p + "\n";
+  }
+  r.message = msg;
+
+  if (g.hook != nullptr) {
+    g.hook(r, g.hook_arg);
+    return;
+  }
+  std::fprintf(stderr, "%s", msg.c_str());
+  std::fflush(stderr);
+  if (g_fatal.load(std::memory_order_relaxed)) std::abort();
+}
+
+}  // namespace
+
+namespace detail {
+
+bool init_slow() noexcept {
+  const char* env = std::getenv("EDGEBOL_LOCKDEP");
+  const bool on =
+      env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+  const char* fatal = std::getenv("EDGEBOL_LOCKDEP_FATAL");
+  if (fatal != nullptr && fatal[0] != '\0' && std::strcmp(fatal, "0") != 0)
+    g_fatal.store(true, std::memory_order_relaxed);
+  int expected = -1;
+  g_state.compare_exchange_strong(expected, on ? 1 : 0,
+                                  std::memory_order_acq_rel);
+  return g_state.load(std::memory_order_relaxed) > 0;
+}
+
+}  // namespace detail
+
+std::uint64_t cycle_count() noexcept {
+  return graph().cycles.load(std::memory_order_relaxed);
+}
+
+void set_report_hook(ReportHook hook, void* arg) noexcept {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.hook = hook;
+  g.hook_arg = arg;
+}
+
+void reset_for_testing() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  g.edges.clear();
+  g.adj.clear();
+  g.cycles.store(0, std::memory_order_relaxed);
+  t_held.clear();
+}
+
+ScopedForTesting::ScopedForTesting(std::vector<CycleReport>* capture) {
+  prev_state_ = detail::g_state.exchange(1, std::memory_order_acq_rel);
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lk(g.mu);
+    prev_hook_ = g.hook;
+    prev_arg_ = g.hook_arg;
+    // Capture (or swallow) reports so seeded cycles never hit the fatal
+    // path in an EDGEBOL_LOCKDEP_FATAL=1 run.
+    g.hook = [](const CycleReport& r, void* arg) {
+      if (arg != nullptr)
+        static_cast<std::vector<CycleReport>*>(arg)->push_back(r);
+    };
+    g.hook_arg = capture;
+  }
+  reset_for_testing();
+}
+
+ScopedForTesting::~ScopedForTesting() {
+  reset_for_testing();
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> lk(g.mu);
+    g.hook = prev_hook_;
+    g.hook_arg = prev_arg_;
+  }
+  detail::g_state.store(prev_state_, std::memory_order_release);
+}
+
+}  // namespace lockdep
+
+lockdep::LockClass* Mutex::lock_class() {
+  auto* k = klass_.load(std::memory_order_acquire);
+  if (k != nullptr) return k;
+  auto& g = lockdep::graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  const std::string site = lockdep::site_string(file_, line_);
+  const std::string key = name_ != nullptr ? std::string(name_) : site;
+  auto it = g.by_key.find(key);
+  if (it == g.by_key.end()) {
+    g.classes.push_back(lockdep::LockClass{
+        static_cast<std::uint32_t>(g.classes.size()), key, site});
+    it = g.by_key.emplace(key, &g.classes.back()).first;
+  }
+  klass_.store(it->second, std::memory_order_release);
+  return it->second;
+}
+
+void Mutex::lockdep_pre_lock(const std::source_location& loc) {
+  auto& held = lockdep::t_held;
+  if (held.empty()) return;  // no ordering constraint to record
+  lockdep::LockClass* k = lock_class();
+  auto& g = lockdep::graph();
+  std::lock_guard<std::mutex> lk(g.mu);
+  for (const auto& h : held) {
+    if (h.m == this) continue;  // relock via CondVar bookkeeping races
+    const std::uint64_t key = lockdep::edge_key(h.k->id, k->id);
+    auto it = g.edges.find(key);
+    if (it != g.edges.end()) continue;  // order already known-consistent
+    lockdep::Edge e;
+    e.from = h.k->id;
+    e.to = k->id;
+    e.hold_file = h.file;
+    e.hold_line = h.line;
+    e.acq_file = loc.file_name();
+    e.acq_line = loc.line();
+
+    // Same-class nesting (two instances of one class held together) is an
+    // instance-level inversion hazard with no path to search for.
+    std::vector<const lockdep::Edge*> path;
+    bool cyclic = false;
+    if (h.k == k) {
+      cyclic = true;
+    } else {
+      std::vector<bool> visited(g.classes.size(), false);
+      std::vector<const lockdep::Edge*> p;
+      if (lockdep::find_path(g, k->id, h.k->id, p, visited)) {
+        cyclic = true;
+        path = std::move(p);
+      }
+    }
+    e.reported = cyclic;
+    g.edges.emplace(key, e);
+    if (cyclic) {
+      lockdep::report_cycle(g, h, k, loc, path);
+      // Deliberately not added to the adjacency list: the cycle is
+      // reported once here, and keeping the graph acyclic prevents one
+      // bad edge from implicating every later, unrelated pair.
+    } else {
+      g.adj[e.from].push_back(e.to);
+    }
+  }
+}
+
+void Mutex::lockdep_post_lock(const std::source_location& loc) {
+  lockdep::t_held.push_back(
+      lockdep::Held{this, lock_class(), loc.file_name(), loc.line()});
+}
+
+void Mutex::lockdep_on_unlock() noexcept {
+  auto& held = lockdep::t_held;
+  for (auto it = held.rbegin(); it != held.rend(); ++it) {
+    if (it->m == this) {
+      held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Locked before lockdep was enabled (or on another thread by design,
+  // e.g. a MutexLock handed across threads): nothing to pop.
+}
+
+}  // namespace edgebol::common

@@ -1,0 +1,328 @@
+// Annotated synchronization primitives + runtime lock-order checking.
+//
+// Every mutex and condition variable in this codebase outside this file is
+// one of these wrappers (enforced by invariant lint rule R8). They buy three
+// things over the raw std:: primitives:
+//
+//   1. **Static lock discipline.** The EB_* capability macros below compile
+//      to Clang thread-safety-analysis attributes under clang (build with
+//      -Wthread-safety) and to nothing under gcc, so guarded members are
+//      machine-checkable where the analysis exists and zero-cost where it
+//      does not. Rule R9 of scripts/invariant_lint.py additionally enforces
+//      a scope heuristic over EB_GUARDED_BY members on every compiler.
+//
+//   2. **Runtime lockdep (linux-kernel style).** With EDGEBOL_LOCKDEP=1,
+//      every Mutex belongs to a lock class (keyed by its construction site,
+//      or by the explicit name passed to the constructor — all instances
+//      from one declaration share a class). Each thread tracks its held
+//      set; taking a lock while others are held records "held -> taken"
+//      edges in a global acquisition-order graph, and a DFS on each new
+//      edge reports a *potential* deadlock the first time an inconsistent
+//      order appears — even if no schedule ever actually deadlocked. The
+//      report names both acquisition sites of the inversion plus the full
+//      prior-order path. With lockdep off (the default), the entire hook is
+//      one relaxed atomic load per lock/unlock.
+//
+//   3. **A single place to audit.** The global lock hierarchy lives in
+//      DESIGN.md §5e; every level is one of these wrappers, so the table
+//      and the code cannot drift apart silently.
+//
+// Lockdep knobs (read once, at the first lock of the process):
+//   EDGEBOL_LOCKDEP=1        enable order tracking + cycle detection
+//   EDGEBOL_LOCKDEP_FATAL=1  abort() on an unexpected cycle report (used by
+//                            the check.sh lockdep tier so any inversion
+//                            fails the suite; reports captured by a test
+//                            hook are never fatal)
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <source_location>
+#include <string>
+#include <vector>
+
+// ---------------------------------------------------------------------------
+// Clang thread-safety capability macros. Real attributes under clang, no-ops
+// under gcc (gcc has no equivalent analysis; the default build is unchanged).
+
+#if defined(__clang__)
+#define EB_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define EB_THREAD_ANNOTATION(x)
+#endif
+
+#define EB_CAPABILITY(x) EB_THREAD_ANNOTATION(capability(x))
+#define EB_SCOPED_CAPABILITY EB_THREAD_ANNOTATION(scoped_lockable)
+#define EB_GUARDED_BY(x) EB_THREAD_ANNOTATION(guarded_by(x))
+#define EB_PT_GUARDED_BY(x) EB_THREAD_ANNOTATION(pt_guarded_by(x))
+#define EB_REQUIRES(...) \
+  EB_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define EB_ACQUIRE(...) EB_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define EB_RELEASE(...) EB_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EB_TRY_ACQUIRE(...) \
+  EB_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define EB_EXCLUDES(...) EB_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define EB_ACQUIRED_BEFORE(...) \
+  EB_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define EB_ACQUIRED_AFTER(...) \
+  EB_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+#define EB_RETURN_CAPABILITY(x) EB_THREAD_ANNOTATION(lock_returned(x))
+#define EB_NO_THREAD_SAFETY_ANALYSIS \
+  EB_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace edgebol::common {
+
+class Mutex;
+
+namespace lockdep {
+
+struct LockClass;  // opaque; one per distinct Mutex construction site/name
+
+namespace detail {
+// -1 = uninitialized, 0 = off, 1 = on. constinit so a global Mutex locked
+// during static initialization still sees a defined value.
+extern constinit std::atomic<int> g_state;
+bool init_slow() noexcept;  // reads EDGEBOL_LOCKDEP / _FATAL exactly once
+}  // namespace detail
+
+/// Fast-path gate: with lockdep off this is ONE relaxed load (the slow
+/// branch runs only until the first lock initializes the flag from the
+/// environment).
+inline bool enabled() noexcept {
+  const int s = detail::g_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s != 0;
+  return detail::init_slow();
+}
+
+/// One potential-deadlock finding. `message` is the full human-readable
+/// report; the structured fields exist so tests can assert on the two
+/// acquisition sites of the inversion without parsing text.
+struct CycleReport {
+  std::string message;
+  std::string acquiring;      // lock class being acquired (closes the cycle)
+  std::string held;           // lock class held at that moment
+  std::string acquire_site;   // file:line of the closing acquisition
+  std::string held_site;      // file:line where the held lock was taken
+  // Each prior-order edge on the cycle path, oldest first, formatted
+  // "A -> B (B acquired at file:line while holding A acquired at file:line)".
+  std::vector<std::string> path;
+};
+
+/// Total cycle reports since process start (or the last reset).
+std::uint64_t cycle_count() noexcept;
+
+/// Capture hook for tests. While installed, reports go to the hook instead
+/// of stderr and are never fatal. Pass nullptr to uninstall.
+using ReportHook = void (*)(const CycleReport&, void* arg);
+void set_report_hook(ReportHook hook, void* arg) noexcept;
+
+/// Drop every recorded edge, reported-mark, and the cycle counter. Lock
+/// classes persist (they are keyed by site and re-registering is
+/// idempotent). Also clears the calling thread's held set.
+void reset_for_testing();
+
+/// RAII for unit tests: force lockdep on, reset the graph, capture reports
+/// into `*capture` (or swallow them when null); restores the previous state
+/// and hook on destruction. Not for production code.
+class ScopedForTesting {
+ public:
+  explicit ScopedForTesting(std::vector<CycleReport>* capture = nullptr);
+  ~ScopedForTesting();
+  ScopedForTesting(const ScopedForTesting&) = delete;
+  ScopedForTesting& operator=(const ScopedForTesting&) = delete;
+
+ private:
+  int prev_state_;
+  ReportHook prev_hook_;
+  void* prev_arg_;
+};
+
+}  // namespace lockdep
+
+/// std::mutex with a thread-safety capability and lockdep instrumentation.
+///
+/// Pass a stable name ("Class::member_") to fold every instance from one
+/// declaration into one lock class with a readable report name; unnamed
+/// mutexes are classed by their construction site (file:line).
+class EB_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(const char* name = nullptr,
+                 std::source_location loc =
+                     std::source_location::current()) noexcept
+      : name_(name), file_(loc.file_name()), line_(loc.line()) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current())
+      EB_ACQUIRE() {
+    if (lockdep::enabled()) {
+      lockdep_pre_lock(loc);  // order check BEFORE blocking: a real ABBA
+                              // deadlock still gets its report
+      m_.lock();
+      lockdep_post_lock(loc);
+      return;
+    }
+    m_.lock();
+  }
+
+  bool try_lock(std::source_location loc = std::source_location::current())
+      EB_TRY_ACQUIRE(true) {
+    if (!m_.try_lock()) return false;
+    // A try-lock cannot block, so it contributes no ordering edge of its
+    // own — but it joins the held set so later blocking locks order
+    // against it.
+    if (lockdep::enabled()) lockdep_post_lock(loc);
+    return true;
+  }
+
+  void unlock() EB_RELEASE() {
+    if (lockdep::enabled()) lockdep_on_unlock();
+    m_.unlock();
+  }
+
+  /// Display name for diagnostics (the explicit name, or file:line).
+  const char* debug_name() const noexcept {
+    return name_ != nullptr ? name_ : file_;
+  }
+
+ private:
+  friend class CondVar;
+  friend class lockdep::ScopedForTesting;
+
+  /// The raw mutex, for CondVar's atomic release-and-wait only.
+  std::mutex& native() noexcept { return m_; }
+
+  // Lockdep slow paths (sync.cpp); called only when lockdep::enabled().
+  void lockdep_pre_lock(const std::source_location& loc);
+  void lockdep_post_lock(const std::source_location& loc);
+  void lockdep_on_unlock() noexcept;
+  lockdep::LockClass* lock_class();
+
+  std::mutex m_;
+  const char* name_;
+  const char* file_;
+  std::uint32_t line_;
+  std::atomic<lockdep::LockClass*> klass_{nullptr};  // lazily registered
+};
+
+/// Scope-bound lock (std::lock_guard analog). Records the caller's
+/// file:line as the acquisition site under lockdep.
+class EB_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m, std::source_location loc =
+                                   std::source_location::current())
+      EB_ACQUIRE(m)
+      : mu_(m) {
+    mu_.lock(loc);
+  }
+  ~LockGuard() EB_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Movable-ownership lock (std::unique_lock analog): supports manual
+/// unlock()/lock() and is what CondVar waits on.
+class EB_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m, std::source_location loc =
+                                   std::source_location::current())
+      EB_ACQUIRE(m)
+      : mu_(&m) {
+    mu_->lock(loc);
+    owned_ = true;
+  }
+  ~MutexLock() EB_RELEASE() {
+    if (owned_) mu_->unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock(std::source_location loc = std::source_location::current())
+      EB_ACQUIRE() {
+    mu_->lock(loc);
+    owned_ = true;
+  }
+  void unlock() EB_RELEASE() {
+    owned_ = false;
+    mu_->unlock();
+  }
+  bool owns_lock() const noexcept { return owned_; }
+  Mutex* mutex() const noexcept { return mu_; }
+
+ private:
+  friend class CondVar;
+
+  Mutex* mu_;
+  bool owned_ = false;
+};
+
+/// Condition variable over common::Mutex. Waits keep the lockdep held set
+/// honest: the mutex leaves the held set for the blocked stretch and
+/// rejoins it on wakeup (the reacquisition is recorded at the wait call
+/// site).
+class CondVar {
+ public:
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Atomically release `lk` and block; reacquired on return.
+  void wait(MutexLock& lk,
+            std::source_location loc = std::source_location::current()) {
+    Mutex* m = lk.mu_;
+    const bool dep = lockdep::enabled();
+    if (dep) m->lockdep_on_unlock();
+    std::unique_lock<std::mutex> ul(m->native(), std::adopt_lock);
+    cv_.wait(ul);
+    ul.release();  // ownership stays with lk across the wait
+    if (dep) m->lockdep_post_lock(loc);
+  }
+
+  template <class Pred>
+  void wait(MutexLock& lk, Pred pred,
+            std::source_location loc = std::source_location::current()) {
+    while (!pred()) wait(lk, loc);
+  }
+
+  /// Returns pred() at exit (false = timed out with the predicate still
+  /// unsatisfied), mirroring std::condition_variable::wait_for.
+  template <class Rep, class Period, class Pred>
+  bool wait_for(MutexLock& lk, std::chrono::duration<Rep, Period> timeout,
+                Pred pred,
+                std::source_location loc = std::source_location::current()) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      if (!wait_until(lk, deadline, loc)) return pred();
+    }
+    return true;
+  }
+
+  /// Untimed-predicate building block: false on timeout.
+  bool wait_until(MutexLock& lk,
+                  std::chrono::steady_clock::time_point deadline,
+                  std::source_location loc =
+                      std::source_location::current()) {
+    Mutex* m = lk.mu_;
+    const bool dep = lockdep::enabled();
+    if (dep) m->lockdep_on_unlock();
+    std::unique_lock<std::mutex> ul(m->native(), std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(ul, deadline);
+    ul.release();
+    if (dep) m->lockdep_post_lock(loc);
+    return st == std::cv_status::no_timeout;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace edgebol::common

@@ -20,7 +20,7 @@ ThreadPool::~ThreadPool() {
     // set, so raising it while a group is open would strand a caller
     // blocked in parallel_for (and destroy mu_/cv_ under it). Wait until
     // every group retired and every caller left the pooled path.
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     cv_.wait(lock, [this] { return open_groups_.empty() && active_ == 0; });
     stop_ = true;
   }
@@ -28,8 +28,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
-void ThreadPool::run_one_block(std::shared_ptr<Group> g,
-                               std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_one_block(std::shared_ptr<Group> g, MutexLock& lock) {
   const std::size_t b = g->next++;
   if (g->next >= g->num_blocks) {
     // Last block claimed: retire the group from the open list so other
@@ -51,7 +50,7 @@ void ThreadPool::run_one_block(std::shared_ptr<Group> g,
 }
 
 void ThreadPool::worker_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     cv_.wait(lock, [this] { return stop_ || !open_groups_.empty(); });
     if (stop_) return;
@@ -82,7 +81,7 @@ void ThreadPool::parallel_for(
   g->grain = grain;
   g->num_blocks = num_blocks;
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++active_;
   open_groups_.push_back(g);
   cv_.notify_all();

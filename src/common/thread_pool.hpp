@@ -16,13 +16,13 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace edgebol::common {
 
@@ -83,14 +83,20 @@ class ThreadPool {
   // open_groups_, and claiming the last block erases that element — a
   // by-reference parameter would dangle across the erase (and the body
   // call, which may push/erase further groups while the lock is dropped).
-  void run_one_block(std::shared_ptr<Group> g,
-                     std::unique_lock<std::mutex>& lock);
+  void run_one_block(std::shared_ptr<Group> g, MutexLock& lock)
+      EB_REQUIRES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::vector<std::shared_ptr<Group>> open_groups_;  // groups with unclaimed blocks
-  std::size_t active_ = 0;  // callers currently inside the pooled path
-  bool stop_ = false;
+  // mu_ is a leaf in the lock hierarchy (DESIGN.md §5e): it is dropped
+  // around every user-function call, so no other lock is ever taken
+  // while it is held. Group fields (next/done/error) are mu_-guarded too;
+  // they live on the heap so the annotation cannot name mu_ directly.
+  Mutex mu_{"ThreadPool::mu_"};
+  CondVar cv_;
+  std::vector<std::shared_ptr<Group>> open_groups_
+      EB_GUARDED_BY(mu_);  // groups with unclaimed blocks
+  std::size_t active_ EB_GUARDED_BY(mu_) =
+      0;  // callers currently inside the pooled path
+  bool stop_ EB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

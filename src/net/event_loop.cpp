@@ -1,7 +1,7 @@
 #include "net/event_loop.hpp"
 
 #include <array>
-#include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
@@ -72,9 +72,18 @@ std::int64_t EventLoop::now_ms() const {
       .count();
 }
 
+void EventLoop::die_off_loop() const {
+  std::fprintf(stderr,
+               "EventLoop: loop-affinity violation — a `// affinity: loop` "
+               "method was called off the loop thread while the loop was "
+               "running\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
 void EventLoop::post(Task task) {
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    common::LockGuard lock(tasks_mu_);
     // stopped_ flips under this mutex, so the check and the push are one
     // atomic step: either the loop's final drain sees our task, or we see
     // the flag and run inline (single-threaded teardown makes that safe).
@@ -91,7 +100,7 @@ void EventLoop::post(Task task) {
 }
 
 void EventLoop::watch(int fd, short events, FdCallback cb) {
-  assert(on_loop_thread());
+  assert_on_loop_thread();  // affinity: loop
   watches_[fd] = Watch{events, std::move(cb)};
   if (backend_ == NetBackend::kEpoll) {
     epoll_set(epoll_fd_.get(), fd, to_epoll_events(events));
@@ -99,7 +108,7 @@ void EventLoop::watch(int fd, short events, FdCallback cb) {
 }
 
 void EventLoop::set_events(int fd, short events) {
-  assert(on_loop_thread());
+  assert_on_loop_thread();  // affinity: loop
   auto it = watches_.find(fd);
   if (it == watches_.end()) return;
   it->second.events = events;
@@ -109,7 +118,7 @@ void EventLoop::set_events(int fd, short events) {
 }
 
 void EventLoop::unwatch(int fd) {
-  assert(on_loop_thread());
+  assert_on_loop_thread();  // affinity: loop
   // Deregister before the caller closes the fd: epoll keys entries by the
   // open file description, and a closed-then-reused fd number must not
   // inherit the old interest mask.
@@ -120,14 +129,14 @@ void EventLoop::unwatch(int fd) {
 }
 
 std::uint64_t EventLoop::add_timer(std::int64_t delay_ms, Task task) {
-  assert(on_loop_thread());
+  assert_on_loop_thread();  // affinity: loop
   const std::uint64_t id = next_timer_id_++;
   timers_[id] = Timer{now_ms() + delay_ms, std::move(task)};
   return id;
 }
 
 void EventLoop::cancel_timer(std::uint64_t id) {
-  assert(on_loop_thread());
+  assert_on_loop_thread();  // affinity: loop
   timers_.erase(id);
 }
 
@@ -146,7 +155,7 @@ int EventLoop::next_poll_timeout_ms() const {
 void EventLoop::run_posted_tasks() {
   std::vector<Task> batch;
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    common::LockGuard lock(tasks_mu_);
     batch.swap(tasks_);
   }
   for (Task& task : batch) task();
@@ -231,7 +240,7 @@ void EventLoop::run() {
   // (the drain below runs it) or will see the flag and run inline. No task
   // can be stranded.
   {
-    std::lock_guard<std::mutex> lock(tasks_mu_);
+    common::LockGuard lock(tasks_mu_);
     stopped_.store(true, std::memory_order_relaxed);
   }
   run_posted_tasks();

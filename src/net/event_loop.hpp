@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/socket.hpp"
 
 namespace edgebol::net {
@@ -77,6 +77,17 @@ class EventLoop {
     return std::this_thread::get_id() == thread_.get_id();
   }
 
+  /// Affinity assertion for `// affinity: loop` methods: the caller must be
+  /// on the loop thread — or the loop must already have stopped, because
+  /// post() then runs tasks inline on the (single-threaded, joined-loop)
+  /// teardown path. Compiles out entirely under NDEBUG.
+  void assert_on_loop_thread() const {
+#ifndef NDEBUG
+    if (!stopped_.load(std::memory_order_acquire) && !on_loop_thread())
+      die_off_loop();
+#endif
+  }
+
   /// Backend actually in use (kPoll when the epoll fallback triggered).
   NetBackend backend() const { return backend_; }
 
@@ -114,6 +125,7 @@ class EventLoop {
   void run_posted_tasks();
   void run_due_timers();
   int next_poll_timeout_ms() const;
+  [[noreturn]] void die_off_loop() const;
 
   std::chrono::steady_clock::time_point epoch_;
   NetBackend backend_ = NetBackend::kPoll;
@@ -126,9 +138,11 @@ class EventLoop {
   std::map<std::uint64_t, Timer> timers_;
   std::uint64_t next_timer_id_ = 1;
 
-  // Cross-thread task queue.
-  std::mutex tasks_mu_;
-  std::vector<Task> tasks_;
+  // Cross-thread task queue. tasks_mu_ sits one level below the transport
+  // mutexes in the lock hierarchy (DESIGN.md §5e): transports post() while
+  // holding their own mu_, and nothing is ever acquired under tasks_mu_.
+  common::Mutex tasks_mu_{"EventLoop::tasks_mu_"};
+  std::vector<Task> tasks_ EB_GUARDED_BY(tasks_mu_);
 
   Fd wake_rd_;
   Fd wake_wr_;

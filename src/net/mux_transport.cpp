@@ -1,7 +1,6 @@
 #include "net/mux_transport.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 namespace edgebol::net {
@@ -42,7 +41,7 @@ std::optional<std::string> MuxTransport::receive(int timeout_ms) {
 bool MuxTransport::connected() const { return ep_->established(); }
 
 TransportStats MuxTransport::stats() const {
-  std::lock_guard<std::mutex> lock(ep_->mu_);
+  common::LockGuard lock(ep_->mu_);
   return stats_;
 }
 
@@ -76,26 +75,31 @@ MuxEndpoint::MuxEndpoint(EventLoop* loop, MuxEndpointConfig cfg,
   if (cfg_.chaos.any()) {
     chaos_ = std::make_unique<ChaosShim>(cfg_.chaos, cfg_.chaos_seed);
   }
-  if (is_server_) {
-    // Bind synchronously so local_port() is valid the moment the factory
-    // returns (the fleet plane hands ports to the client process/thread).
-    listen_fd_ = tcp_listen(bound_port_);
-    if (!listen_fd_.valid()) {
-      state_ = LinkState::kClosed;
-      closed_ = true;
-      return;
+  {
+    // Nothing races yet (the loop task is posted below), but taking the
+    // lock keeps the guarded-member discipline uniform and costs nothing.
+    common::LockGuard lock(mu_);
+    if (is_server_) {
+      // Bind synchronously so local_port() is valid the moment the factory
+      // returns (the fleet plane hands ports to the client process/thread).
+      listen_fd_ = tcp_listen(bound_port_);
+      if (!listen_fd_.valid()) {
+        state_ = LinkState::kClosed;
+        closed_ = true;
+        return;
+      }
+      bound_port_ = net::local_port(listen_fd_.get());
+      state_ = LinkState::kListening;
+    } else {
+      state_ = LinkState::kConnecting;
     }
-    bound_port_ = net::local_port(listen_fd_.get());
-    state_ = LinkState::kListening;
-  } else {
-    state_ = LinkState::kConnecting;
   }
   loop_->post([this] { setup_on_loop(); });
 }
 
 MuxEndpoint::~MuxEndpoint() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     closed_ = true;
   }
   cv_tx_.notify_all();
@@ -104,13 +108,13 @@ MuxEndpoint::~MuxEndpoint() {
   // run concurrently with destruction, so FIFO posting puts this after all
   // pending kicks, and a stopped loop runs it inline.
   loop_->post([this] { teardown_on_loop(); });
-  std::unique_lock<std::mutex> down_lock(down_mu_);
+  common::MutexLock down_lock(down_mu_);
   down_cv_.wait(down_lock, [this] { return down_; });
 }
 
 MuxTransport* MuxEndpoint::open_stream(std::uint64_t id, MuxStreamConfig cfg) {
   if (id == 0) return nullptr;  // 0 is the heartbeat pseudo-stream
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   auto it = by_id_.find(id);
   if (it != by_id_.end()) return it->second;
   streams_.push_back(std::make_unique<MuxTransport>(this, id, std::move(cfg)));
@@ -123,7 +127,7 @@ MuxTransport* MuxEndpoint::open_stream(std::uint64_t id, MuxStreamConfig cfg) {
 // Application-thread interface
 
 SendResult MuxEndpoint::stream_send(MuxTransport* s, const std::string& frame) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (closed_) return SendResult::kClosed;
   if (frame.size() > cfg_.max_frame_bytes) {
     ++s->stats_.send_rejected;
@@ -163,7 +167,7 @@ void MuxEndpoint::kick_locked() {
   kick_pending_ = true;
   loop_->post([this] {
     {
-      std::lock_guard<std::mutex> kick_lock(mu_);
+      common::LockGuard kick_lock(mu_);
       kick_pending_ = false;
     }
     pump_tx();
@@ -172,7 +176,7 @@ void MuxEndpoint::kick_locked() {
 
 std::vector<std::string> MuxEndpoint::stream_drain(MuxTransport* s) {
   std::vector<std::string> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   out.reserve(s->rx_.size());
   while (!s->rx_.empty()) {
     out.push_back(std::move(s->rx_.front()));
@@ -184,7 +188,7 @@ std::vector<std::string> MuxEndpoint::stream_drain(MuxTransport* s) {
 
 std::optional<std::string> MuxEndpoint::stream_receive(MuxTransport* s,
                                                        int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   // The endpoint-wide cv means a frame for a sibling stream wakes us too;
   // the predicate re-checks our own queue, so that is just a spurious wake.
   cv_rx_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
@@ -197,7 +201,7 @@ std::optional<std::string> MuxEndpoint::stream_receive(MuxTransport* s,
 }
 
 std::size_t MuxEndpoint::drain_all(std::vector<StreamFrame>* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   std::size_t n = 0;
   for (const auto& sp : streams_) {
     MuxTransport* s = sp.get();
@@ -223,17 +227,17 @@ void MuxEndpoint::maybe_resume_rx_locked(MuxTransport* s) {
 }
 
 LinkState MuxEndpoint::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return state_;
 }
 
 bool MuxEndpoint::established() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return state_ == LinkState::kEstablished;
 }
 
 MuxEndpointStats MuxEndpoint::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return stats_;
 }
 
@@ -251,7 +255,7 @@ void MuxEndpoint::notify_ready() {
 // Loop-thread-only machinery (supervision mirrors TcpTransport)
 
 void MuxEndpoint::setup_on_loop() {
-  assert(loop_->on_loop_thread());
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (is_server_) {
     if (!listen_fd_.valid()) return;
     loop_->watch(listen_fd_.get(), POLLIN,
@@ -262,8 +266,9 @@ void MuxEndpoint::setup_on_loop() {
 }
 
 void MuxEndpoint::start_connect() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;
     state_ = LinkState::kConnecting;
   }
@@ -283,6 +288,7 @@ void MuxEndpoint::start_connect() {
 }
 
 void MuxEndpoint::on_connect_writable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!connect_finished(conn_fd_.get())) {
     loop_->unwatch(conn_fd_.get());
     conn_fd_.reset();
@@ -293,11 +299,12 @@ void MuxEndpoint::on_connect_writable() {
 }
 
 void MuxEndpoint::schedule_reconnect() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   backoff_ms_ = backoff_ms_ == 0
                     ? cfg_.reconnect_base_ms
                     : std::min(backoff_ms_ * 2, cfg_.reconnect_max_ms);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;
     state_ = LinkState::kBackoff;
     ++stats_.link.reconnects;
@@ -310,6 +317,7 @@ void MuxEndpoint::schedule_reconnect() {
 }
 
 void MuxEndpoint::on_listen_readable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   for (;;) {
     Fd client = accept_client(listen_fd_.get());
     if (!client.valid()) break;
@@ -323,12 +331,12 @@ void MuxEndpoint::on_listen_readable() {
       wire_q_.clear();
       wire_bytes_ = 0;
       wire_off_ = 0;
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       if (chaos_) chaos_->clear_held();
     }
     conn_fd_ = std::move(client);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++stats_.link.accepts;
     }
     on_connected();
@@ -336,11 +344,12 @@ void MuxEndpoint::on_listen_readable() {
 }
 
 void MuxEndpoint::on_connected() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   loop_->unwatch(conn_fd_.get());  // drop any connect-phase watch
   backoff_ms_ = 0;
   last_rx_ms_ = loop_->now_ms();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     state_ = LinkState::kEstablished;
     if (chaos_ && !chaos_->armed()) chaos_->arm(last_rx_ms_);
   }
@@ -354,6 +363,7 @@ void MuxEndpoint::on_connected() {
 }
 
 void MuxEndpoint::on_conn_event(short revents) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
     // Read even on HUP/ERR: pending bytes surface first, then EOF/error
     // lands in readv_some and disconnect() runs exactly once.
@@ -364,6 +374,7 @@ void MuxEndpoint::on_conn_event(short revents) {
 }
 
 void MuxEndpoint::on_readable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   double readv_ms = 0.0;
   for (;;) {
     struct iovec iov[2];
@@ -389,7 +400,7 @@ void MuxEndpoint::on_readable() {
       last_rx_ms_ = loop_->now_ms();  // any traffic counts as liveness
       decoder_.commit(n);
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         stats_.link.bytes_received += n;
         ++stats_.readv_calls;
       }
@@ -400,26 +411,27 @@ void MuxEndpoint::on_readable() {
     }
     if (s == IoStatus::kWouldBlock) break;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       stats_.readv_wall_ms += readv_ms;
     }
     disconnect(/*failure=*/true);  // kEof or kError
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     stats_.readv_wall_ms += readv_ms;
   }
   update_conn_events();
 }
 
 void MuxEndpoint::dispatch_decoded(bool* fatal) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   *fatal = false;
   const auto t0 = std::chrono::steady_clock::now();
   bool delivered = false;
   {
     // One lock hold dispatches the whole readv batch across stream queues.
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     FrameView v;
     while (decoder_.next(&v)) {
       if (v.heartbeat) {
@@ -461,7 +473,7 @@ void MuxEndpoint::dispatch_decoded(bool* fatal) {
   }
   if (decoder_.poisoned()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++stats_.link.decode_resets;
     }
     *fatal = true;
@@ -475,6 +487,7 @@ void MuxEndpoint::dispatch_decoded(bool* fatal) {
 }
 
 void MuxEndpoint::disconnect(bool failure) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   (void)failure;
   if (conn_fd_.valid()) {
     loop_->unwatch(conn_fd_.get());
@@ -491,7 +504,7 @@ void MuxEndpoint::disconnect(bool failure) {
   delay_timers_.clear();
   bool finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (chaos_) chaos_->clear_held();
     finished = closed_;
     if (finished) {
@@ -512,11 +525,12 @@ void MuxEndpoint::disconnect(bool failure) {
 }
 
 void MuxEndpoint::pump_tx() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   for (;;) {
     bool staged = false;
     bool backlog = false;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       if (state_ != LinkState::kEstablished) return;
       const std::size_t n = streams_.size();
       // Round-robin, one frame per stream per sweep: per-stream fairness is
@@ -553,6 +567,7 @@ void MuxEndpoint::pump_tx() {
 
 void MuxEndpoint::emit_locked(std::uint64_t stream_id, std::string payload,
                               bool heartbeat, TransportStats* stream_stats) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (chaos_) {
     const auto emissions =
         chaos_->on_send(payload, loop_->now_ms(), &stats_.link);
@@ -571,6 +586,7 @@ void MuxEndpoint::emit_locked(std::uint64_t stream_id, std::string payload,
 void MuxEndpoint::queue_delayed(std::uint64_t stream_id,
                                 const ChaosEmission& em, bool heartbeat,
                                 TransportStats* stream_stats) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   // Timed hold: re-stage when the timer fires, if the link is still up (a
   // dropped link drops held frames — the application retry layer owns
   // redelivery, as in TcpTransport).
@@ -581,7 +597,7 @@ void MuxEndpoint::queue_delayed(std::uint64_t stream_id,
        timer_id] {
         delay_timers_.erase(*timer_id);
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          common::LockGuard lock(mu_);
           if (state_ != LinkState::kEstablished) return;
           stage_frame(stream_id, payload, heartbeat, stream_stats);
         }
@@ -594,6 +610,7 @@ void MuxEndpoint::queue_delayed(std::uint64_t stream_id,
 
 void MuxEndpoint::stage_frame(std::uint64_t stream_id, std::string payload,
                               bool heartbeat, TransportStats* stream_stats) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   WireSeg seg;
   seg.hdr_len = static_cast<std::uint8_t>(
       heartbeat ? encode_mux_heartbeat(seg.hdr)
@@ -615,9 +632,10 @@ void MuxEndpoint::stage_frame(std::uint64_t stream_id, std::string payload,
 }
 
 bool MuxEndpoint::flush_staged() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!conn_fd_.valid()) return false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (state_ != LinkState::kEstablished) return false;
   }
   while (!wire_q_.empty()) {
@@ -650,7 +668,7 @@ bool MuxEndpoint::flush_staged() {
     std::size_t n = 0;
     const IoStatus s = writev_some(conn_fd_.get(), iov_.data(), iovn, &n);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++stats_.writev_calls;
     }
     if (s == IoStatus::kOk && n > 0) {
@@ -669,6 +687,7 @@ bool MuxEndpoint::flush_staged() {
 }
 
 void MuxEndpoint::advance_wire(std::size_t n) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   wire_bytes_ -= n;
   n += wire_off_;
   wire_off_ = 0;
@@ -686,10 +705,11 @@ void MuxEndpoint::advance_wire(std::size_t n) {
 }
 
 void MuxEndpoint::update_conn_events() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!conn_fd_.valid()) return;
   short events = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (rx_paused_streams_ == 0) events |= POLLIN;
   }
   if (!wire_q_.empty()) events |= POLLOUT;
@@ -697,10 +717,11 @@ void MuxEndpoint::update_conn_events() {
 }
 
 void MuxEndpoint::tick() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   tick_timer_ = 0;
   bool established;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     established = state_ == LinkState::kEstablished;
   }
   if (established) {
@@ -708,13 +729,13 @@ void MuxEndpoint::tick() {
     bool storm = false;
     if (now - last_rx_ms_ > cfg_.peer_timeout_ms) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         ++stats_.link.peer_timeouts;
       }
       disconnect(/*failure=*/true);
     } else {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         if (chaos_ && chaos_->take_reset(now)) {
           ++stats_.link.chaos_resets;
           storm = true;
@@ -724,7 +745,7 @@ void MuxEndpoint::tick() {
         disconnect(/*failure=*/true);
       } else {
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          common::LockGuard lock(mu_);
           // Heartbeats ride the chaos path so partitions starve the peer.
           emit_locked(0, "", /*heartbeat=*/true, nullptr);
         }
@@ -733,13 +754,14 @@ void MuxEndpoint::tick() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;  // teardown cancels; don't re-arm past close
   }
   tick_timer_ = loop_->add_timer(cfg_.heartbeat_ms, [this] { tick(); });
 }
 
 void MuxEndpoint::teardown_on_loop() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (tick_timer_ != 0) loop_->cancel_timer(tick_timer_);
   if (reconnect_timer_ != 0) loop_->cancel_timer(reconnect_timer_);
   for (std::uint64_t id : delay_timers_) loop_->cancel_timer(id);
@@ -753,11 +775,11 @@ void MuxEndpoint::teardown_on_loop() {
     listen_fd_.reset();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     state_ = LinkState::kClosed;
   }
   {
-    std::lock_guard<std::mutex> lock(down_mu_);
+    common::LockGuard lock(down_mu_);
     down_ = true;
     // Notify under down_mu_: the destructor destroys this cv the moment its
     // wait returns; under the lock the waiter cannot resume until release.

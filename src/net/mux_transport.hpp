@@ -40,17 +40,16 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/chaos.hpp"
 #include "net/event_loop.hpp"
 #include "net/mux_framing.hpp"
@@ -105,40 +104,9 @@ struct StreamFrame {
   std::string payload;
 };
 
-class MuxEndpoint;
-
-/// One multiplexed stream; a full Transport backed by the endpoint's shared
-/// connection. Created by MuxEndpoint::open_stream and owned by the
-/// endpoint (valid until the endpoint is destroyed).
-class MuxTransport final : public Transport {
- public:
-  SendResult send(const std::string& frame) override;
-  std::vector<std::string> drain() override;
-  std::optional<std::string> receive(int timeout_ms) override;
-  bool connected() const override;
-  const std::string& name() const override { return cfg_.name; }
-
-  std::uint64_t stream_id() const { return id_; }
-  TransportStats stats() const;
-
-  /// Use MuxEndpoint::open_stream; public only for make_unique.
-  MuxTransport(MuxEndpoint* ep, std::uint64_t id, MuxStreamConfig cfg)
-      : ep_(ep), id_(id), cfg_(std::move(cfg)) {}
-
- private:
-  friend class MuxEndpoint;
-
-  MuxEndpoint* ep_;
-  const std::uint64_t id_;
-  const MuxStreamConfig cfg_;
-
-  // Guarded by the ENDPOINT's mutex: one lock per loop sweep across every
-  // stream beats N per-stream locks on the hot path.
-  std::deque<std::string> tx_;
-  std::deque<std::string> rx_;
-  TransportStats stats_;
-  bool rx_paused_ = false;  // this stream is holding the connection's POLLIN
-};
+// MuxEndpoint is defined before MuxTransport so the stream's
+// EB_GUARDED_BY(ep_->mu_) annotations see a complete endpoint type.
+class MuxTransport;
 
 class MuxEndpoint {
  public:
@@ -189,11 +157,12 @@ class MuxEndpoint {
 
   /// mu_ held. Un-pause the stream if it drained below half, and resume
   /// POLLIN once no stream is holding it.
-  void maybe_resume_rx_locked(MuxTransport* s);
+  void maybe_resume_rx_locked(MuxTransport* s) EB_REQUIRES(mu_);
   /// mu_ held. Schedule one coalesced pump on the loop thread.
-  void kick_locked();
+  void kick_locked() EB_REQUIRES(mu_);
 
-  // --- Loop-thread-only machinery (mirrors TcpTransport) -----------------
+  // --- Loop-thread-only machinery (mirrors TcpTransport; each body opens
+  // --- with the // affinity: loop assertion) -----------------------------
   void setup_on_loop();
   void start_connect();
   void on_connect_writable();
@@ -206,11 +175,14 @@ class MuxEndpoint {
   void disconnect(bool failure);
   void pump_tx();
   void emit_locked(std::uint64_t stream_id, std::string payload,
-                   bool heartbeat, TransportStats* stream_stats);
+                   bool heartbeat, TransportStats* stream_stats)
+      EB_REQUIRES(mu_);
   void queue_delayed(std::uint64_t stream_id, const ChaosEmission& em,
-                     bool heartbeat, TransportStats* stream_stats);
+                     bool heartbeat, TransportStats* stream_stats)
+      EB_REQUIRES(mu_);
   void stage_frame(std::uint64_t stream_id, std::string payload,
-                   bool heartbeat, TransportStats* stream_stats);
+                   bool heartbeat, TransportStats* stream_stats)
+      EB_REQUIRES(mu_);
   bool flush_staged();  // one writev sweep; false on EAGAIN or link loss
   void advance_wire(std::size_t n);
   void update_conn_events();
@@ -226,16 +198,20 @@ class MuxEndpoint {
   std::uint16_t bound_port_ = 0;  // server: actual port; client: target
 
   // Shared state (application threads + loop thread), guarded by mu_.
-  mutable std::mutex mu_;
-  std::condition_variable cv_tx_;  // space freed in some stream's tx
-  std::condition_variable cv_rx_;  // frame arrived in some stream's rx
-  std::vector<std::unique_ptr<MuxTransport>> streams_;  // stable pointers
-  std::unordered_map<std::uint64_t, MuxTransport*> by_id_;
-  MuxEndpointStats stats_;
-  LinkState state_ = LinkState::kIdle;
-  bool closed_ = false;
-  bool kick_pending_ = false;
-  std::size_t rx_paused_streams_ = 0;  // lossless streams holding POLLIN
+  // Hierarchy (DESIGN.md §5e): mu_ is held while posting to the loop
+  // (mu_ -> EventLoop::tasks_mu_); never held together with down_mu_.
+  mutable common::Mutex mu_{"MuxEndpoint::mu_"};
+  common::CondVar cv_tx_;  // space freed in some stream's tx
+  common::CondVar cv_rx_;  // frame arrived in some stream's rx
+  std::vector<std::unique_ptr<MuxTransport>> streams_
+      EB_GUARDED_BY(mu_);  // stable pointers
+  std::unordered_map<std::uint64_t, MuxTransport*> by_id_ EB_GUARDED_BY(mu_);
+  MuxEndpointStats stats_ EB_GUARDED_BY(mu_);
+  LinkState state_ EB_GUARDED_BY(mu_) = LinkState::kIdle;
+  bool closed_ EB_GUARDED_BY(mu_) = false;
+  bool kick_pending_ EB_GUARDED_BY(mu_) = false;
+  std::size_t rx_paused_streams_ EB_GUARDED_BY(mu_) =
+      0;  // lossless streams holding POLLIN
 
   // Loop-thread-only state. (wire_q_/iov_ are touched under mu_ too when a
   // pump stages frames, but only ever from the loop thread.)
@@ -260,10 +236,44 @@ class MuxEndpoint {
   std::unique_ptr<ChaosShim> chaos_;
   std::size_t rr_next_ = 0;  // round-robin pump cursor over streams_
 
-  // Destructor barrier.
-  std::mutex down_mu_;
-  std::condition_variable down_cv_;
-  bool down_ = false;
+  // Destructor barrier. down_mu_ is a leaf: never held with mu_.
+  common::Mutex down_mu_{"MuxEndpoint::down_mu_"};
+  common::CondVar down_cv_;
+  bool down_ EB_GUARDED_BY(down_mu_) = false;
+};
+
+/// One multiplexed stream; a full Transport backed by the endpoint's shared
+/// connection. Created by MuxEndpoint::open_stream and owned by the
+/// endpoint (valid until the endpoint is destroyed).
+class MuxTransport final : public Transport {
+ public:
+  SendResult send(const std::string& frame) override;
+  std::vector<std::string> drain() override;
+  std::optional<std::string> receive(int timeout_ms) override;
+  bool connected() const override;
+  const std::string& name() const override { return cfg_.name; }
+
+  std::uint64_t stream_id() const { return id_; }
+  TransportStats stats() const;
+
+  /// Use MuxEndpoint::open_stream; public only for make_unique.
+  MuxTransport(MuxEndpoint* ep, std::uint64_t id, MuxStreamConfig cfg)
+      : ep_(ep), id_(id), cfg_(std::move(cfg)) {}
+
+ private:
+  friend class MuxEndpoint;
+
+  MuxEndpoint* ep_;
+  const std::uint64_t id_;
+  const MuxStreamConfig cfg_;
+
+  // Guarded by the ENDPOINT's mutex: one lock per loop sweep across every
+  // stream beats N per-stream locks on the hot path.
+  std::deque<std::string> tx_ EB_GUARDED_BY(ep_->mu_);
+  std::deque<std::string> rx_ EB_GUARDED_BY(ep_->mu_);
+  TransportStats stats_ EB_GUARDED_BY(ep_->mu_);
+  bool rx_paused_ EB_GUARDED_BY(ep_->mu_) =
+      false;  // this stream is holding the connection's POLLIN
 };
 
 }  // namespace edgebol::net

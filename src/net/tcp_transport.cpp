@@ -1,7 +1,6 @@
 #include "net/tcp_transport.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <chrono>
 
 namespace edgebol::net {
@@ -42,26 +41,31 @@ TcpTransport::TcpTransport(EventLoop* loop, TcpTransportConfig cfg,
   if (cfg_.chaos.any()) {
     chaos_ = std::make_unique<ChaosShim>(cfg_.chaos, cfg_.chaos_seed);
   }
-  if (is_server_) {
-    // Bind synchronously so local_port() is valid the moment the factory
-    // returns (tests and the demo scripts depend on it for port 0).
-    listen_fd_ = tcp_listen(bound_port_);
-    if (!listen_fd_.valid()) {
-      state_ = LinkState::kClosed;
-      closed_ = true;
-      return;
+  {
+    // Nothing races yet (the loop task is posted below), but taking the
+    // lock keeps the guarded-member discipline uniform and costs nothing.
+    common::LockGuard lock(mu_);
+    if (is_server_) {
+      // Bind synchronously so local_port() is valid the moment the factory
+      // returns (tests and the demo scripts depend on it for port 0).
+      listen_fd_ = tcp_listen(bound_port_);
+      if (!listen_fd_.valid()) {
+        state_ = LinkState::kClosed;
+        closed_ = true;
+        return;
+      }
+      bound_port_ = net::local_port(listen_fd_.get());
+      state_ = LinkState::kListening;
+    } else {
+      state_ = LinkState::kConnecting;
     }
-    bound_port_ = net::local_port(listen_fd_.get());
-    state_ = LinkState::kListening;
-  } else {
-    state_ = LinkState::kConnecting;
   }
   loop_->post([this] { setup_on_loop(); });
 }
 
 TcpTransport::~TcpTransport() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     closed_ = true;
   }
   cv_tx_.notify_all();
@@ -71,7 +75,7 @@ TcpTransport::~TcpTransport() {
   // puts this barrier after all of them. Posted outside mu_ because a
   // stopped loop runs it inline, and teardown takes mu_ itself.
   loop_->post([this] { teardown_on_loop(); });
-  std::unique_lock<std::mutex> down_lock(down_mu_);
+  common::MutexLock down_lock(down_mu_);
   down_cv_.wait(down_lock, [this] { return down_; });
 }
 
@@ -79,7 +83,7 @@ TcpTransport::~TcpTransport() {
 // Application-thread interface
 
 SendResult TcpTransport::send(const std::string& frame) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   if (closed_) return SendResult::kClosed;
   if (frame.size() > cfg_.max_frame_bytes) {
     ++stats_.send_rejected;
@@ -110,7 +114,7 @@ SendResult TcpTransport::send(const std::string& frame) {
     kick_pending_ = true;
     loop_->post([this] {
       {
-        std::lock_guard<std::mutex> kick_lock(mu_);
+        common::LockGuard kick_lock(mu_);
         kick_pending_ = false;
       }
       pump_tx();
@@ -121,7 +125,7 @@ SendResult TcpTransport::send(const std::string& frame) {
 
 std::vector<std::string> TcpTransport::drain() {
   std::vector<std::string> out;
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   out.reserve(rx_.size());
   while (!rx_.empty()) {
     out.push_back(std::move(rx_.front()));
@@ -137,7 +141,7 @@ std::vector<std::string> TcpTransport::drain() {
 }
 
 std::optional<std::string> TcpTransport::receive(int timeout_ms) {
-  std::unique_lock<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   cv_rx_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                   [this] { return closed_ || !rx_.empty(); });
   if (rx_.empty()) return std::nullopt;
@@ -153,23 +157,23 @@ std::optional<std::string> TcpTransport::receive(int timeout_ms) {
 }
 
 bool TcpTransport::connected() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return state_ == LinkState::kEstablished;
 }
 
 LinkState TcpTransport::state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return state_;
 }
 
 TransportStats TcpTransport::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::LockGuard lock(mu_);
   return stats_;
 }
 
 void TcpTransport::close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;
     closed_ = true;  // refuse new frames; queued ones still flush
   }
@@ -178,7 +182,7 @@ void TcpTransport::close() {
   loop_->post([this] {
     draining_ = true;
     {
-      std::lock_guard<std::mutex> state_lock(mu_);
+      common::LockGuard state_lock(mu_);
       if (state_ == LinkState::kEstablished) state_ = LinkState::kDraining;
     }
     pump_tx();
@@ -199,7 +203,7 @@ void TcpTransport::notify_ready() {
 // Loop-thread-only machinery
 
 void TcpTransport::setup_on_loop() {
-  assert(loop_->on_loop_thread());
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (is_server_) {
     if (!listen_fd_.valid()) return;
     loop_->watch(listen_fd_.get(), POLLIN,
@@ -210,8 +214,9 @@ void TcpTransport::setup_on_loop() {
 }
 
 void TcpTransport::start_connect() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;
     state_ = LinkState::kConnecting;
   }
@@ -231,6 +236,7 @@ void TcpTransport::start_connect() {
 }
 
 void TcpTransport::on_connect_writable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!connect_finished(conn_fd_.get())) {
     loop_->unwatch(conn_fd_.get());
     conn_fd_.reset();
@@ -241,11 +247,12 @@ void TcpTransport::on_connect_writable() {
 }
 
 void TcpTransport::schedule_reconnect() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   backoff_ms_ = backoff_ms_ == 0
                     ? cfg_.reconnect_base_ms
                     : std::min(backoff_ms_ * 2, cfg_.reconnect_max_ms);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;
     state_ = LinkState::kBackoff;
     ++stats_.reconnects;
@@ -258,6 +265,7 @@ void TcpTransport::schedule_reconnect() {
 }
 
 void TcpTransport::on_listen_readable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   for (;;) {
     Fd client = accept_client(listen_fd_.get());
     if (!client.valid()) break;
@@ -269,12 +277,12 @@ void TcpTransport::on_listen_readable() {
       conn_fd_.reset();
       decoder_.reset();
       out_buf_.clear();
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       if (chaos_) chaos_->clear_held();
     }
     conn_fd_ = std::move(client);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++stats_.accepts;
     }
     on_connected();
@@ -282,11 +290,12 @@ void TcpTransport::on_listen_readable() {
 }
 
 void TcpTransport::on_connected() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   loop_->unwatch(conn_fd_.get());  // drop any connect-phase watch
   backoff_ms_ = 0;
   last_rx_ms_ = loop_->now_ms();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     state_ = LinkState::kEstablished;
     if (chaos_ && !chaos_->armed()) chaos_->arm(last_rx_ms_);
   }
@@ -300,6 +309,7 @@ void TcpTransport::on_connected() {
 }
 
 void TcpTransport::on_conn_event(short revents) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if ((revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
     // Read even on HUP/ERR: pending bytes surface first, then EOF/error
     // lands in read_some and disconnect() runs exactly once.
@@ -313,6 +323,7 @@ void TcpTransport::on_conn_event(short revents) {
 }
 
 void TcpTransport::on_readable() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   char buf[16384];
   for (;;) {
     std::size_t n = 0;
@@ -320,7 +331,7 @@ void TcpTransport::on_readable() {
     if (s == IoStatus::kOk) {
       last_rx_ms_ = loop_->now_ms();  // any traffic counts as liveness
       decoder_.feed(buf, n);
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       stats_.bytes_received += n;
       continue;
     }
@@ -332,7 +343,7 @@ void TcpTransport::on_readable() {
   bool delivered = false;
   std::string frame;
   while (decoder_.next(&frame)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (frame.empty()) {
       ++stats_.heartbeats_received;
       continue;
@@ -350,7 +361,7 @@ void TcpTransport::on_readable() {
   }
   if (decoder_.poisoned()) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++stats_.decode_resets;
     }
     // A length-prefixed stream cannot resynchronize after a corrupt
@@ -366,6 +377,7 @@ void TcpTransport::on_readable() {
 }
 
 void TcpTransport::disconnect(bool failure) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   (void)failure;
   if (conn_fd_.valid()) {
     loop_->unwatch(conn_fd_.get());
@@ -377,7 +389,7 @@ void TcpTransport::disconnect(bool failure) {
   delay_timers_.clear();
   bool finished;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (chaos_) chaos_->clear_held();
     finished = closed_ || draining_;
     if (finished) {
@@ -398,10 +410,11 @@ void TcpTransport::disconnect(bool failure) {
 }
 
 void TcpTransport::pump_tx() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   for (;;) {
     std::string frame;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       if (state_ != LinkState::kEstablished &&
           state_ != LinkState::kDraining) {
         return;  // frames wait in tx_ for the next connection
@@ -417,10 +430,11 @@ void TcpTransport::pump_tx() {
 }
 
 void TcpTransport::emit_frame(const std::string& payload, bool heartbeat) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (chaos_) {
     std::vector<ChaosEmission> emissions;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       emissions = chaos_->on_send(payload, loop_->now_ms(), &stats_);
     }
     for (const ChaosEmission& em : emissions) queue_emission(em, heartbeat);
@@ -430,9 +444,10 @@ void TcpTransport::emit_frame(const std::string& payload, bool heartbeat) {
 }
 
 void TcpTransport::queue_emission(const ChaosEmission& em, bool heartbeat) {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (em.delay_ms <= 0) {
     append_frame(&out_buf_, em.payload);
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (heartbeat) {
       ++stats_.heartbeats_sent;
     } else {
@@ -450,7 +465,7 @@ void TcpTransport::queue_emission(const ChaosEmission& em, bool heartbeat) {
         delay_timers_.erase(*timer_id);
         bool up;
         {
-          std::lock_guard<std::mutex> lock(mu_);
+          common::LockGuard lock(mu_);
           up = state_ == LinkState::kEstablished;
         }
         if (!up || !conn_fd_.valid()) return;
@@ -461,9 +476,10 @@ void TcpTransport::queue_emission(const ChaosEmission& em, bool heartbeat) {
 }
 
 void TcpTransport::try_flush() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!conn_fd_.valid()) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (state_ != LinkState::kEstablished && state_ != LinkState::kDraining)
       return;
   }
@@ -482,7 +498,7 @@ void TcpTransport::try_flush() {
   if (draining_ && out_buf_.empty()) {
     bool flushed;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       flushed = tx_.empty();
     }
     if (flushed) {
@@ -495,10 +511,11 @@ void TcpTransport::try_flush() {
 }
 
 void TcpTransport::update_conn_events() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (!conn_fd_.valid()) return;
   short events = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (!rx_paused_) events |= POLLIN;
   }
   if (!out_buf_.empty()) events |= POLLOUT;
@@ -506,10 +523,11 @@ void TcpTransport::update_conn_events() {
 }
 
 void TcpTransport::tick() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   tick_timer_ = 0;
   bool established;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     established = state_ == LinkState::kEstablished;
   }
   if (established) {
@@ -517,13 +535,13 @@ void TcpTransport::tick() {
     bool storm = false;
     if (now - last_rx_ms_ > cfg_.peer_timeout_ms) {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         ++stats_.peer_timeouts;
       }
       disconnect(/*failure=*/true);
     } else {
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        common::LockGuard lock(mu_);
         if (chaos_ && chaos_->take_reset(now)) {
           ++stats_.chaos_resets;
           storm = true;
@@ -539,13 +557,14 @@ void TcpTransport::tick() {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     if (closed_) return;  // teardown cancels; don't re-arm past close
   }
   tick_timer_ = loop_->add_timer(cfg_.heartbeat_ms, [this] { tick(); });
 }
 
 void TcpTransport::teardown_on_loop() {
+  loop_->assert_on_loop_thread();  // affinity: loop
   if (tick_timer_ != 0) loop_->cancel_timer(tick_timer_);
   if (reconnect_timer_ != 0) loop_->cancel_timer(reconnect_timer_);
   for (std::uint64_t id : delay_timers_) loop_->cancel_timer(id);
@@ -559,11 +578,11 @@ void TcpTransport::teardown_on_loop() {
     listen_fd_.reset();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    common::LockGuard lock(mu_);
     state_ = LinkState::kClosed;
   }
   {
-    std::lock_guard<std::mutex> lock(down_mu_);
+    common::LockGuard lock(down_mu_);
     down_ = true;
     // Notify while holding down_mu_: the destructor destroys this cv the
     // moment its wait returns, so an unlocked broadcast could touch a dead

@@ -29,16 +29,15 @@
 
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "net/chaos.hpp"
 #include "net/event_loop.hpp"
 #include "net/framing.hpp"
@@ -106,7 +105,8 @@ class TcpTransport final : public Transport {
 
  private:
 
-  // --- Loop-thread-only methods ------------------------------------------
+  // --- Loop-thread-only methods (each body opens with the // affinity:
+  // --- loop assertion) ---------------------------------------------------
   void setup_on_loop();
   void start_connect();
   void on_connect_writable();
@@ -133,16 +133,22 @@ class TcpTransport final : public Transport {
   std::uint16_t bound_port_ = 0;  // server: actual port; client: target
 
   // Shared state (application threads + loop thread), guarded by mu_.
-  mutable std::mutex mu_;
-  std::condition_variable cv_tx_;  // space freed in tx_
-  std::condition_variable cv_rx_;  // frame arrived in rx_
-  std::deque<std::string> tx_;
-  std::deque<std::string> rx_;
-  TransportStats stats_;
-  LinkState state_ = LinkState::kIdle;
-  bool closed_ = false;        // destructor/close() begun: refuse new work
-  bool kick_pending_ = false;  // one coalesced pump post outstanding
-  bool rx_paused_ = false;     // POLLIN off because rx_ hit its bound
+  // Hierarchy (DESIGN.md §5e): mu_ is held while posting to the loop
+  // (mu_ -> EventLoop::tasks_mu_); it is never held together with
+  // down_mu_.
+  mutable common::Mutex mu_{"TcpTransport::mu_"};
+  common::CondVar cv_tx_;  // space freed in tx_
+  common::CondVar cv_rx_;  // frame arrived in rx_
+  std::deque<std::string> tx_ EB_GUARDED_BY(mu_);
+  std::deque<std::string> rx_ EB_GUARDED_BY(mu_);
+  TransportStats stats_ EB_GUARDED_BY(mu_);
+  LinkState state_ EB_GUARDED_BY(mu_) = LinkState::kIdle;
+  bool closed_ EB_GUARDED_BY(mu_) =
+      false;  // destructor/close() begun: refuse new work
+  bool kick_pending_ EB_GUARDED_BY(mu_) =
+      false;  // one coalesced pump post outstanding
+  bool rx_paused_ EB_GUARDED_BY(mu_) =
+      false;  // POLLIN off because rx_ hit its bound
 
   // Loop-thread-only state (confined: no lock needed).
   Fd listen_fd_;
@@ -157,10 +163,10 @@ class TcpTransport final : public Transport {
   std::set<std::uint64_t> delay_timers_;  // chaos timed-delay holds
   std::unique_ptr<ChaosShim> chaos_;
 
-  // Destructor barrier.
-  std::mutex down_mu_;
-  std::condition_variable down_cv_;
-  bool down_ = false;
+  // Destructor barrier. down_mu_ is a leaf: never held with mu_.
+  common::Mutex down_mu_{"TcpTransport::down_mu_"};
+  common::CondVar down_cv_;
+  bool down_ EB_GUARDED_BY(down_mu_) = false;
 };
 
 }  // namespace edgebol::net

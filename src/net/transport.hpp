@@ -14,13 +14,14 @@
 
 #pragma once
 
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace edgebol::net {
 
@@ -83,7 +84,7 @@ class ReadySignal {
  public:
   void notify() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      common::LockGuard lock(mu_);
       ++pending_;
     }
     cv_.notify_all();
@@ -92,7 +93,7 @@ class ReadySignal {
   /// Wait until a notify() lands (consuming it) or the timeout elapses.
   /// Returns true when notified.
   bool wait(int timeout_ms) {
-    std::unique_lock<std::mutex> lock(mu_);
+    common::MutexLock lock(mu_);
     if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
                       [&] { return pending_ > 0; }))
       return false;
@@ -101,9 +102,11 @@ class ReadySignal {
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::uint64_t pending_ = 0;
+  // Leaf lock (DESIGN.md §5e): transports notify() after releasing their
+  // own mu_, and nothing is acquired while mu_ is held here.
+  common::Mutex mu_{"ReadySignal::mu_"};
+  common::CondVar cv_;
+  std::uint64_t pending_ EB_GUARDED_BY(mu_) = 0;
 };
 
 class Transport {

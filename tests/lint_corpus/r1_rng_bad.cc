@@ -1,0 +1,19 @@
+// lint-as: src/sim/noise.cpp
+// R1 known-bad: libc randomness outside src/common/rng.*. Mentions inside
+// comments and string literals must stay silent.
+#include <cstdlib>
+#include <random>
+
+int bad_seed() {
+  std::srand(42);  // lint-expect: rng
+  return std::rand();  // lint-expect: rng
+}
+
+int bad_entropy() {
+  std::random_device rd;  // lint-expect: rng
+  return static_cast<int>(rd());
+}
+
+const char* rng_doc() {
+  return "std::rand and random_device are banned here";  // string: silent
+}

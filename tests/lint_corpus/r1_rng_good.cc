@@ -1,0 +1,15 @@
+// lint-as: src/common/rng.cpp
+// R1 known-good: src/common/rng.* is the one place libc randomness may
+// appear (the project RNG wraps and seeds it deterministically).
+#include <cstdlib>
+#include <random>
+
+unsigned hardware_seed() {
+  std::random_device rd;
+  return rd();
+}
+
+int legacy_draw() {
+  std::srand(7);
+  return std::rand();
+}

@@ -1,0 +1,23 @@
+// lint-as: src/service/buffer.cpp
+// R2 known-bad: raw new/delete outside linalg/common. `= delete`d special
+// members and identifiers containing "new" must stay silent.
+struct Blob {
+  explicit Blob(int n);
+};
+
+Blob* leaky() {
+  return new Blob(3);  // lint-expect: alloc
+}
+
+void drop(Blob* b) {
+  delete b;  // lint-expect: alloc
+}
+
+struct NoCopy {
+  NoCopy(const NoCopy&) = delete;  // special member: silent
+  NoCopy& operator=(const NoCopy&) = delete;
+};
+
+int renew_lease(int renewals) {  // "renew" is not "new"
+  return renewals + 1;
+}

@@ -1,0 +1,13 @@
+// lint-as: src/linalg/pool.cpp
+// R2 known-good: src/linalg (like src/common) owns raw allocation.
+struct Slab {
+  explicit Slab(int n);
+};
+
+Slab* acquire() {
+  return new Slab(64);
+}
+
+void release(Slab* s) {
+  delete s;
+}

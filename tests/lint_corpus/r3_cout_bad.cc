@@ -1,0 +1,11 @@
+// lint-as: src/telemetry/report.cpp
+// R3 known-bad: std::cout in library code under src/.
+#include <iostream>
+
+void dump(int value) {
+  std::cout << value << "\n";  // lint-expect: telemetry
+}
+
+const char* cout_doc() {
+  return "std::cout is banned in src/";  // string: silent
+}

@@ -1,0 +1,9 @@
+// lint-as: bench/report_main.cpp
+// R3 known-good: stream output is fine outside src/ (bench, examples,
+// tests, tools).
+#include <iostream>
+
+int main() {
+  std::cout << "p99_ms=0.42\n";
+  return 0;
+}

@@ -1,0 +1,19 @@
+// lint-as: src/fleet/sweep.cpp
+// R5: ThreadPool dispatches in src/ need a sharing-discipline comment
+// (double-slash, the word sync, a colon) within the 10 lines above the
+// call. Bad case first — and this header deliberately avoids spelling
+// the marker — so nothing leaks into the bad call's window.
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+void fan_out_undocumented(edgebol::common::ThreadPool& pool,
+                          std::vector<int>& out) {
+  pool.parallel_for(0, 8, [&](int i) { out[i] = i; });  // lint-expect: sync
+}
+
+void fan_out_documented(edgebol::common::ThreadPool& pool,
+                        std::vector<int>& out) {
+  // sync: disjoint writes — each worker owns out[i]; joined before read.
+  pool.parallel_for(0, 8, [&](int i) { out[i] = i; });
+}

@@ -1,0 +1,11 @@
+// lint-as: src/net/mux_wire.cpp
+// R6 known-bad: ::-qualified socket syscalls outside src/net/socket.*.
+#include <sys/socket.h>
+
+int open_direct(int fd, const sockaddr* addr, unsigned len) {
+  return ::connect(fd, addr, len);  // lint-expect: syscall
+}
+
+int wait_direct(int epfd, epoll_event* evs, int n) {
+  return ::epoll_wait(epfd, evs, n, -1);  // lint-expect: syscall
+}

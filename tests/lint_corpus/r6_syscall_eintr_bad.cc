@@ -1,0 +1,8 @@
+// lint-as: src/net/socket_poll.cpp
+// R6 known-bad (inside src/net/socket.*): a blocking-capable syscall with
+// no interruption story stated within 8 lines either way.
+#include <poll.h>
+
+int wait_readable(pollfd* fds, int n, int timeout_ms) {
+  return ::poll(fds, n, timeout_ms);  // lint-expect: syscall
+}

@@ -1,0 +1,19 @@
+// lint-as: src/net/socket.cpp
+// R6 known-good: inside src/net/socket.*, blocking-capable syscalls are
+// allowed when the EINTR story is stated nearby; non-blocking setup calls
+// need no story at all.
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+long read_batch(int fd, const iovec* iov, int cnt) {
+  for (;;) {
+    const long n = ::readv(fd, iov, cnt);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;  // retry: interrupted before transfer
+    return -1;
+  }
+}
+
+int enable_nodelay(int fd, const void* one, unsigned len) {
+  return ::setsockopt(fd, 6, 1, one, len);
+}

@@ -1,0 +1,20 @@
+// lint-as: src/engine/sweep_hot.cpp
+// R7 known-bad: heap-allocating constructs inside a named hot region.
+#include <vector>
+
+struct Grid {
+  int n = 0;
+  std::vector<int> buf;
+};
+
+void sweep(Grid& g) {
+  // hot: decide
+  for (int i = 0; i < g.n; ++i) {
+    g.buf.push_back(i);  // lint-expect: hot
+  }
+  // hot: end
+}
+
+void setup(Grid& g) {
+  g.buf.reserve(128);  // outside any region: silent
+}

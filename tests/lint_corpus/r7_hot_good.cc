@@ -1,0 +1,25 @@
+// lint-as: src/engine/sweep_ok.cpp
+// R7 known-good: a hot region over fixed storage, allocation hoisted to
+// setup; allocation tokens in comments/strings inside the region are
+// silent.
+#include <array>
+
+struct Flat {
+  std::array<double, 64> slots{};
+  int used = 0;
+};
+
+void configure(Flat& f) {
+  f.used = 64;  // all storage is inline; nothing to reserve
+}
+
+double accumulate(const Flat& f) {
+  double total = 0.0;
+  // hot: decide
+  for (int i = 0; i < f.used; ++i) {
+    // push_back would be a violation here; this comment is not.
+    total += f.slots[static_cast<unsigned>(i)];
+  }
+  // hot: end
+  return total;
+}

@@ -1,0 +1,24 @@
+// lint-as: src/engine/markers.cpp
+// R7 marker bookkeeping: nested opens, stray ends, and an unclosed
+// region are themselves violations.
+struct S {
+  int x = 0;
+};
+
+void nested(S& s) {
+  // hot: decide
+  s.x += 1;
+  // hot: dispatch  (opens inside decide)  lint-expect: hot
+  s.x += 2;
+  // hot: end
+}
+
+void stray(S& s) {
+  s.x += 3;
+  // hot: end  (nothing open)  lint-expect: hot
+}
+
+void unclosed(S& s) {  // region left open to end of file
+  // hot: decide  (never closed)  lint-expect: hot
+  s.x += 4;
+}

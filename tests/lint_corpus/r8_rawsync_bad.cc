@@ -1,0 +1,25 @@
+// lint-as: src/ric/session.cpp
+// R8 known-bad: raw standard sync primitives outside src/common/sync.* —
+// lockdep and the clang annotations only see acquisitions that ride the
+// wrappers.
+#include <condition_variable>
+#include <mutex>
+
+class Session {
+ public:
+  void touch() {
+    std::lock_guard<std::mutex> lock(mu_);  // lint-expect: rawsync
+    ++hits_;
+    cv_.notify_one();
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);  // lint-expect: rawsync
+    cv_.wait(lock, [this] { return hits_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;  // lint-expect: rawsync
+  std::condition_variable cv_;  // lint-expect: rawsync
+  int hits_ = 0;
+};

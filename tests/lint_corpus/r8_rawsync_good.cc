@@ -1,0 +1,13 @@
+// lint-as: src/common/sync.cpp
+// R8 known-good: src/common/sync.* owns the raw primitives (the wrapper
+// implementation and the lockdep registry mutex live here).
+#include <mutex>
+
+namespace edgebol::common {
+
+std::mutex& registry_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace edgebol::common

@@ -1,0 +1,32 @@
+// lint-as: src/cache/shard.hpp
+// R9 header half of the component pair: declares guarded members (one
+// wrapped across lines — the name line is a declaration, not an access)
+// and an EB_REQUIRES method the cpp half defines.
+#pragma once
+
+#include <vector>
+
+#include "common/sync.hpp"
+
+class Shard {
+ public:
+  int size() const;
+  void drain() EB_REQUIRES(mu_);
+  void prime();
+  int peek_racy() const;
+
+  int unguarded_in_header() const {
+    return count_;  // lint-expect: guarded
+  }
+
+  int guarded_in_header() const {
+    edgebol::common::LockGuard lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable edgebol::common::Mutex mu_{"Shard::mu_"};
+  int count_ EB_GUARDED_BY(mu_) = 0;
+  std::vector<int> items_
+      EB_GUARDED_BY(mu_);  // wrapped declaration: silent on both lines
+};

@@ -1,0 +1,28 @@
+// lint-as: src/wire/codec.cpp
+// Tokenizer fixture: every banned token below lives in a literal or a
+// comment — except one real std::cout that FOLLOWS a digit-separated
+// integer literal. A lexer that mistakes 1'000'000 for char literals
+// swallows the rest of the file and misses it (the old stripper did).
+#include <cstdint>
+#include <iostream>
+
+const char* kBanner =
+    "std::cout << new Banner(std::rand())";  // in a string: silent
+
+const char* kEscaped = "quote \" then std::mutex stays quoted";
+
+const char* kQuery = R"sql(
+  SELECT ::connect(::poll) FROM std::mutex -- std::cout
+)sql";
+
+const wchar_t* kWide = L"delete this std::condition_variable";
+
+// std::rand in a line comment is silent, and a block comment
+/* holding ::epoll_wait(std::cout) and new Foo() is silent too. */
+
+std::uint64_t scaled() {
+  constexpr std::uint64_t kWindow = 1'000'000;  // separators, not chars
+  const char kSep = '\'';  // escaped quote in a char literal
+  std::cout << kWindow << kSep;  // lint-expect: telemetry
+  return kWindow / 1'000;
+}

@@ -1,0 +1,367 @@
+// Sync-layer tests: wrapper semantics, lockdep cycle detection (seeded
+// ABBA and longer chains, silence on consistent order), and the EventLoop
+// affinity assertion.
+
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+
+namespace {
+
+using edgebol::common::CondVar;
+using edgebol::common::LockGuard;
+using edgebol::common::Mutex;
+using edgebol::common::MutexLock;
+namespace lockdep = edgebol::common::lockdep;
+
+bool contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+// Tests that SEED a lock-order inversion trip ThreadSanitizer's built-in
+// deadlock detector — the same potential-deadlock our lockdep reports, so
+// under TSan they are skipped rather than suppressed (tsan.supp stays
+// empty by policy). Everything else runs under TSan unchanged.
+#if defined(__SANITIZE_THREAD__)
+#define EB_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EB_TSAN_ACTIVE 1
+#endif
+#endif
+#if defined(EB_TSAN_ACTIVE)
+#define SKIP_SEEDED_INVERSION_UNDER_TSAN()                                  \
+  GTEST_SKIP() << "seeds a lock-order inversion; TSan's own deadlock "      \
+                  "detector reports it (by design)"
+#else
+#define SKIP_SEEDED_INVERSION_UNDER_TSAN() (void)0
+#endif
+
+// ---------------------------------------------------------------------------
+// Wrapper basics
+
+TEST(SyncWrappers, LockGuardProvidesMutualExclusion) {
+  Mutex mu("test::counter_mu");
+  long counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        LockGuard lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SyncWrappers, MutexLockManualUnlockRelock) {
+  Mutex mu("test::manual_mu");
+  MutexLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  EXPECT_TRUE(mu.try_lock());  // actually released
+  mu.unlock();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(SyncWrappers, CondVarNotifyWakesWaiter) {
+  Mutex mu("test::cv_mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    {
+      LockGuard lock(mu);
+      ready = true;
+    }
+    cv.notify_all();
+  });
+  MutexLock lock(mu);
+  cv.wait(lock, [&] { return ready; });
+  EXPECT_TRUE(ready);
+  lock.unlock();
+  waker.join();
+}
+
+TEST(SyncWrappers, CondVarWaitForTimesOut) {
+  Mutex mu("test::timeout_mu");
+  CondVar cv;
+  MutexLock lock(mu);
+  const bool got = cv.wait_for(lock, std::chrono::milliseconds(10),
+                               [] { return false; });
+  EXPECT_FALSE(got);
+  EXPECT_TRUE(lock.owns_lock());  // reacquired even on timeout
+}
+
+// ---------------------------------------------------------------------------
+// Lockdep: seeded inversions must be reported, consistent order must not
+
+TEST(Lockdep, DisabledByDefaultFastPathRecordsNothing) {
+  SKIP_SEEDED_INVERSION_UNDER_TSAN();
+  // No ScopedForTesting here: unless the environment turned it on, an ABBA
+  // pattern must leave no trace (the fast path is one relaxed load).
+  if (lockdep::enabled()) GTEST_SKIP() << "EDGEBOL_LOCKDEP=1 in environment";
+  const std::uint64_t before = lockdep::cycle_count();
+  Mutex a("test::off_A");
+  Mutex b("test::off_B");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);
+  }
+  {
+    LockGuard lb(b);
+    LockGuard la(a);
+  }
+  EXPECT_EQ(lockdep::cycle_count(), before);
+}
+
+TEST(Lockdep, AbbaCycleReportedWithBothSites) {
+  SKIP_SEEDED_INVERSION_UNDER_TSAN();
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  Mutex a("test::abba_A");
+  Mutex b("test::abba_B");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);  // records A -> B
+  }
+  {
+    LockGuard lb(b);
+    LockGuard la(a);  // B held, acquiring A: inversion
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  const lockdep::CycleReport& r = reports[0];
+  EXPECT_EQ(r.acquiring, "test::abba_A");
+  EXPECT_EQ(r.held, "test::abba_B");
+  // Both acquisition sites of the closing edge are named, in this file...
+  EXPECT_TRUE(contains(r.acquire_site, "test_sync.cpp")) << r.acquire_site;
+  EXPECT_TRUE(contains(r.held_site, "test_sync.cpp")) << r.held_site;
+  // ...and the conflicting prior edge names its two sites as well.
+  ASSERT_EQ(r.path.size(), 1u);
+  EXPECT_TRUE(contains(r.path[0], "test::abba_A -> test::abba_B"))
+      << r.path[0];
+  EXPECT_TRUE(contains(r.path[0], "test_sync.cpp")) << r.path[0];
+  EXPECT_TRUE(contains(r.message, "potential deadlock")) << r.message;
+}
+
+TEST(Lockdep, AbbaReportedOncePerPair) {
+  SKIP_SEEDED_INVERSION_UNDER_TSAN();
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  Mutex a("test::once_A");
+  Mutex b("test::once_B");
+  for (int i = 0; i < 5; ++i) {
+    {
+      LockGuard la(a);
+      LockGuard lb(b);
+    }
+    {
+      LockGuard lb(b);
+      LockGuard la(a);
+    }
+  }
+  EXPECT_EQ(reports.size(), 1u);
+  EXPECT_EQ(lockdep::cycle_count(), 1u);
+}
+
+TEST(Lockdep, ThreeLockChainCycleReported) {
+  SKIP_SEEDED_INVERSION_UNDER_TSAN();
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  Mutex a("test::chain_A");
+  Mutex b("test::chain_B");
+  Mutex c("test::chain_C");
+  {
+    LockGuard la(a);
+    LockGuard lb(b);  // A -> B
+  }
+  {
+    LockGuard lb(b);
+    LockGuard lc(c);  // B -> C
+  }
+  {
+    LockGuard lc(c);
+    LockGuard la(a);  // C held, acquiring A: A->B->C->A closes
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  const lockdep::CycleReport& r = reports[0];
+  EXPECT_EQ(r.acquiring, "test::chain_A");
+  EXPECT_EQ(r.held, "test::chain_C");
+  // The prior-order path walks A -> B -> C.
+  ASSERT_EQ(r.path.size(), 2u);
+  EXPECT_TRUE(contains(r.path[0], "test::chain_A -> test::chain_B"));
+  EXPECT_TRUE(contains(r.path[1], "test::chain_B -> test::chain_C"));
+}
+
+TEST(Lockdep, ConsistentHierarchicalOrderSilent) {
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  // Heap-allocated: glibc's std::mutex never calls pthread_mutex_destroy,
+  // so a stack mutex's address stays in TSan's lock-order graph after the
+  // test and aliases a later test's mutex into a phantom cross-test cycle.
+  // TSan drops sync objects on free(), so heap locks stay test-local.
+  auto a = std::make_unique<Mutex>("test::hier_A");
+  auto b = std::make_unique<Mutex>("test::hier_B");
+  auto c = std::make_unique<Mutex>("test::hier_C");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        LockGuard la(*a);
+        LockGuard lb(*b);
+        LockGuard lc(*c);
+      }
+      for (int i = 0; i < 200; ++i) {
+        // Skipping levels is still consistent with A > B > C.
+        LockGuard la(*a);
+        LockGuard lc(*c);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reports.size(), 0u);
+  EXPECT_EQ(lockdep::cycle_count(), 0u);
+}
+
+TEST(Lockdep, ReacquisitionAcrossThreadsSilent) {
+  // Two instances of one class, each thread taking them one at a time
+  // (never nested): no ordering edge exists, so no report — re-acquisition
+  // of a class across threads is not an inversion.
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  // Heap-allocated for TSan graph hygiene (see ConsistentHierarchicalOrder).
+  auto m1 = std::make_unique<Mutex>("test::reacq");
+  auto m2 = std::make_unique<Mutex>("test::reacq");  // same name => class
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        {
+          LockGuard l1(*m1);
+        }
+        {
+          LockGuard l2(*m2);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reports.size(), 0u);
+}
+
+TEST(Lockdep, SameClassNestingReported) {
+  // The converse: nesting two instances of one class IS flagged (two
+  // threads nesting them in opposite instance order would deadlock).
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  // Heap-allocated for TSan graph hygiene (see ConsistentHierarchicalOrder).
+  auto m1 = std::make_unique<Mutex>("test::selfnest");
+  auto m2 = std::make_unique<Mutex>("test::selfnest");
+  {
+    LockGuard l1(*m1);
+    LockGuard l2(*m2);
+  }
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(contains(reports[0].message, "same lock class"))
+      << reports[0].message;
+}
+
+TEST(Lockdep, CondVarWaitReleasesHeldSet) {
+  // While a thread is blocked in CondVar::wait its mutex must not count as
+  // held: another thread locking (cv_mu, other) in that window would
+  // otherwise record edges from a lock nobody holds.
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  // Heap-allocated for TSan graph hygiene (see ConsistentHierarchicalOrder).
+  auto cv_mu = std::make_unique<Mutex>("test::cvrel_mu");
+  auto other = std::make_unique<Mutex>("test::cvrel_other");
+  CondVar cv;
+  bool ready = false;
+  std::thread waiter([&] {
+    MutexLock lock(*cv_mu);
+    cv.wait(lock, [&] { return ready; });
+  });
+  // Take the pair in the only order the program ever uses; if the waiter's
+  // hold leaked, this would still be fine — the real check is that the
+  // waiter's post-wait state is clean and nothing false fires.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  {
+    LockGuard lo(*other);
+    LockGuard lc(*cv_mu);  // other -> cv_mu
+  }
+  {
+    LockGuard lc(*cv_mu);
+    ready = true;
+  }
+  cv.notify_all();
+  waiter.join();
+  EXPECT_EQ(reports.size(), 0u);
+}
+
+TEST(Lockdep, TryLockJoinsHeldSetForLaterEdges) {
+  SKIP_SEEDED_INVERSION_UNDER_TSAN();
+  std::vector<lockdep::CycleReport> reports;
+  lockdep::ScopedForTesting scope(&reports);
+  Mutex a("test::try_A");
+  Mutex b("test::try_B");
+  {
+    ASSERT_TRUE(a.try_lock());
+    LockGuard lb(b);  // A (via try_lock) -> B
+    a.unlock();
+  }
+  {
+    LockGuard lb(b);
+    LockGuard la(a);  // inversion against the try_lock edge
+  }
+  EXPECT_EQ(reports.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// EventLoop affinity assertion
+
+#if !defined(NDEBUG) && !defined(__SANITIZE_THREAD__) && \
+    !defined(__SANITIZE_ADDRESS__)
+TEST(LoopAffinityDeathTest, OffLoopCallAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        edgebol::net::EventLoop loop;
+        // watch() is `// affinity: loop` — calling it from this (non-loop)
+        // thread while the loop runs must abort.
+        loop.watch(0, POLLIN, [](short) {});
+      },
+      "affinity");
+}
+#endif
+
+TEST(LoopAffinity, OnLoopAndPostStopPathsPass) {
+  std::atomic<bool> ran{false};
+  {
+    edgebol::net::EventLoop loop;
+    loop.post([&] {
+      loop.assert_on_loop_thread();  // on the loop thread: fine
+      ran.store(true);
+    });
+    while (!ran.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    loop.stop();
+    // After stop, posted tasks run inline on this thread; the assertion
+    // must tolerate that (teardown is single-threaded by contract).
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+}  // namespace
